@@ -1,0 +1,278 @@
+package helcfl
+
+// The benchmark harness regenerates every evaluation artifact of the paper:
+//
+//	BenchmarkFig1Timeline — Fig. 1 slack illustration + Algorithm 3 plan
+//	BenchmarkFig2IID / BenchmarkFig2NonIID — Fig. 2 accuracy campaigns
+//	BenchmarkTableI — Table I (delay to desired accuracy, both settings)
+//	BenchmarkFig3IID / BenchmarkFig3NonIID — Fig. 3 DVFS energy reduction
+//	BenchmarkFig3SlackRich — the slack-rich regime of DESIGN.md
+//	BenchmarkAblation* — η sweep, C sweep, Algorithm 3 clamping study
+//
+// plus micro-benchmarks of the scheduler and substrate hot paths. Campaign
+// benchmarks use the Tiny preset so `go test -bench=.` completes in
+// minutes; run the CLI with -preset paper for full-scale artifacts.
+
+import (
+	"math/rand"
+	"testing"
+
+	"helcfl/internal/core"
+	"helcfl/internal/device"
+	"helcfl/internal/experiments"
+	"helcfl/internal/fl"
+	"helcfl/internal/nn"
+	"helcfl/internal/sim"
+	"helcfl/internal/tensor"
+	"helcfl/internal/wireless"
+)
+
+// --- Figure/table campaign benchmarks -----------------------------------
+
+func BenchmarkFig1Timeline(b *testing.B) {
+	p := TinyPreset()
+	for i := 0; i < b.N; i++ {
+		demo, err := experiments.RunFig1Demo(p, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if demo.WithDVFS.Makespan > demo.MaxFreq.Makespan+1e-9 {
+			b.Fatal("DVFS lengthened the round")
+		}
+	}
+}
+
+func benchFig2(b *testing.B, s Setting) {
+	b.Helper()
+	p := TinyPreset()
+	for i := 0; i < b.N; i++ {
+		fig, err := RunFig2(p, s, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if fig.Curve("HELCFL").Best() <= fig.Curve("SL").Best() {
+			b.Fatal("campaign produced nonsense ordering")
+		}
+	}
+}
+
+func BenchmarkFig2IID(b *testing.B)    { benchFig2(b, IID) }
+func BenchmarkFig2NonIID(b *testing.B) { benchFig2(b, NonIID) }
+
+func BenchmarkTableI(b *testing.B) {
+	p := TinyPreset()
+	for i := 0; i < b.N; i++ {
+		tbl, _, err := RunTableI(p, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Settings) != 2 {
+			b.Fatal("missing settings")
+		}
+	}
+}
+
+func benchFig3(b *testing.B, s Setting, p Preset) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		f3, err := RunFig3(p, s, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ok := false
+		for i := range f3.Targets {
+			if f3.Reached[i] && f3.ReductionPct[i] > 0 {
+				ok = true
+			}
+		}
+		if !ok {
+			b.Fatal("no DVFS reduction measured")
+		}
+	}
+}
+
+func BenchmarkFig3IID(b *testing.B)    { benchFig3(b, IID, TinyPreset()) }
+func BenchmarkFig3NonIID(b *testing.B) { benchFig3(b, NonIID, TinyPreset()) }
+func BenchmarkFig3SlackRich(b *testing.B) {
+	benchFig3(b, IID, SlackRichPreset(TinyPreset()))
+}
+
+func BenchmarkAblationEta(b *testing.B) {
+	p := TinyPreset()
+	p.MaxRounds = 20
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunEtaAblation(p, NonIID, 1, []float64{0.5, 0.9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationFraction(b *testing.B) {
+	p := TinyPreset()
+	p.MaxRounds = 20
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFractionAblation(p, IID, 1, []float64{0.125, 0.25}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationClamp(b *testing.B) {
+	p := TinyPreset()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunClampAblation(p, IID, 1, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Scheduler micro-benchmarks ------------------------------------------
+
+func benchFleet(n int) []*device.Device {
+	cfg := device.DefaultCatalogConfig()
+	cfg.Q = n
+	devs := device.NewCatalog(cfg, rand.New(rand.NewSource(1)))
+	for i, d := range devs {
+		d.NumSamples = 40 + i%20
+	}
+	return devs
+}
+
+func BenchmarkSelectRound100Users(b *testing.B) {
+	devs := benchFleet(100)
+	s, err := core.NewScheduler(devs, wireless.DefaultChannel(), 4e5, core.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SelectRound()
+	}
+}
+
+func BenchmarkFrequencyPlan10Users(b *testing.B) {
+	devs := benchFleet(10)
+	ch := wireless.DefaultChannel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.FrequencyPlan(devs, ch, 4e5, 1, true)
+	}
+}
+
+func BenchmarkSimulateRound10Users(b *testing.B) {
+	devs := benchFleet(10)
+	ch := wireless.DefaultChannel()
+	freqs := sim.MaxFrequencies(devs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.SimulateRound(devs, freqs, ch, 4e5, 1)
+	}
+}
+
+func BenchmarkScheduleTDMA100(b *testing.B) {
+	reqs := make([]wireless.UploadRequest, 100)
+	rng := rand.New(rand.NewSource(2))
+	for i := range reqs {
+		reqs[i] = wireless.UploadRequest{User: i, ComputeDone: rng.Float64() * 10, Duration: 0.1 + rng.Float64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wireless.ScheduleTDMA(reqs)
+	}
+}
+
+// --- Training substrate micro-benchmarks ---------------------------------
+
+func BenchmarkLocalUpdateMLP(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	spec := nn.ModelSpec{Kind: "mlp", InC: 3, H: 8, W: 8, Classes: 10, Hidden: []int{64}}
+	model := spec.Build(rng)
+	env, err := BuildEnv(TinyPreset(), IID, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := fl.NewClient(0, env.UserData[0], model, true)
+	flat := model.GetFlatParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		client.LocalUpdate(flat, 0.1, 1)
+	}
+}
+
+func BenchmarkLocalUpdateSqueezeNetMini(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	spec := nn.ModelSpec{Kind: "squeezenet-mini", InC: 3, H: 8, W: 8, Classes: 10}
+	model := spec.Build(rng)
+	env, err := BuildEnv(TinyPreset(), IID, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := fl.NewClient(0, env.UserData[0], model, false)
+	flat := model.GetFlatParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		client.LocalUpdate(flat, 0.1, 1)
+	}
+}
+
+func BenchmarkFedAvg10x100k(b *testing.B) {
+	uploads := make([][]float64, 10)
+	weights := make([]int, 10)
+	rng := rand.New(rand.NewSource(5))
+	for i := range uploads {
+		u := make([]float64, 100_000)
+		for j := range u {
+			u[j] = rng.Float64()
+		}
+		uploads[i] = u
+		weights[i] = 40 + i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fl.FedAvg(uploads, weights)
+	}
+}
+
+func BenchmarkEvaluateMLP(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	env, err := BuildEnv(TinyPreset(), IID, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := env.Spec.Build(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fl.Evaluate(model, env.Synth.Test, true)
+	}
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	x := tensor.New(128, 128).FillNormal(rng, 0, 1)
+	y := tensor.New(128, 128).FillNormal(rng, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(x, y)
+	}
+}
+
+func BenchmarkIm2Col8x8(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	x := tensor.New(3, 8, 8).FillNormal(rng, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Im2Col(x, 3, 3, 1, 1)
+	}
+}
+
+func BenchmarkParamBytesRoundTrip(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	model := nn.NewMLP(192, []int{128}, 10, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		payload := nn.ParamBytes(model)
+		if err := nn.LoadParamBytes(model, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

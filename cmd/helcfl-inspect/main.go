@@ -1,0 +1,57 @@
+// Command helcfl-inspect summarizes JSONL training traces produced by
+// `helcfl trace -out <dir>` (or any writer of internal/trace records):
+// per-scheme cost totals, round-delay statistics, and the accuracy curve.
+//
+//	helcfl-inspect trace1.jsonl [trace2.jsonl ...]
+//	helcfl trace -preset tiny | helcfl-inspect -
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"helcfl/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "helcfl-inspect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: helcfl-inspect <trace.jsonl ...> (use - for stdin)")
+	}
+	var recs []trace.Record
+	for _, name := range args {
+		var r io.Reader
+		if name == "-" {
+			r = os.Stdin
+		} else {
+			f, err := os.Open(name)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			r = f
+		}
+		batch, err := trace.Read(r)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		recs = append(recs, batch...)
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("no records found")
+	}
+	if err := trace.Validate(recs); err != nil {
+		fmt.Fprintln(os.Stderr, "warning:", err)
+	}
+	fmt.Println(trace.RenderSummaries(trace.Summarize(recs)))
+	chart := trace.AccuracyChart(recs)
+	fmt.Println(chart)
+	return nil
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"helcfl/internal/fl"
+	"helcfl/internal/trace"
+)
+
+func TestInspectRun(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []fl.RoundRecord{
+		{Round: 0, Delay: 1, Energy: 2, ComputeEnergy: 1.5, CumTime: 1, CumEnergy: 2,
+			Evaluated: true, TestAccuracy: 0.5},
+	}
+	if err := trace.Write(f, "HELCFL", recs); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if err := run([]string{path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(nil); err == nil {
+		t.Fatal("no args must error")
+	}
+	if err := run([]string{filepath.Join(dir, "missing.jsonl")}); err == nil {
+		t.Fatal("missing file must error")
+	}
+	empty := filepath.Join(dir, "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{empty}); err == nil {
+		t.Fatal("empty trace must error")
+	}
+}

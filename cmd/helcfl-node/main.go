@@ -1,0 +1,130 @@
+// Command helcfl-node runs one node of a networked HELCFL deployment: the
+// FLCC server, or a device client. All nodes derive the same synthetic
+// dataset and partition from the shared seed, so a deployment needs no
+// data distribution channel.
+//
+//	# terminal 1: the FLCC (waits for 4 devices, runs 20 rounds)
+//	helcfl-node serve -addr :8080 -users 4 -rounds 20
+//
+//	# terminals 2..5: the devices
+//	helcfl-node client -server http://localhost:8080 -user 0 -users 4
+//	helcfl-node client -server http://localhost:8080 -user 1 -users 4
+//	...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"time"
+
+	"helcfl/internal/core"
+	"helcfl/internal/dataset"
+	"helcfl/internal/deploy"
+	"helcfl/internal/device"
+	"helcfl/internal/fl"
+	"helcfl/internal/nn"
+	"helcfl/internal/selection"
+	"helcfl/internal/wireless"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "helcfl-node:", err)
+		os.Exit(1)
+	}
+}
+
+// sharedSpec is the architecture every node builds.
+func sharedSpec() nn.ModelSpec {
+	return nn.ModelSpec{Kind: "mlp", InC: 3, H: 8, W: 8, Classes: 10, Hidden: []int{64}}
+}
+
+// sharedData regenerates the deployment's dataset and per-user shards from
+// the shared seed.
+func sharedData(users int, seed int64) (*dataset.Synth, []*dataset.Dataset) {
+	synth := dataset.GenerateSynth(dataset.SynthConfig{
+		Classes: 10, C: 3, H: 8, W: 8,
+		TrainN: 40 * users, TestN: 400, Noise: 1.2, Seed: seed,
+	})
+	part := dataset.PartitionIID(synth.Train, users, rand.New(rand.NewSource(seed+1)))
+	return synth, dataset.UserDatasets(synth.Train, part)
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: helcfl-node <serve|client> [flags]")
+	}
+	mode := args[0]
+	fs := flag.NewFlagSet(mode, flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "serve: listen address")
+	server := fs.String("server", "http://localhost:8080", "client: FLCC URL")
+	users := fs.Int("users", 4, "fleet size (must match on all nodes)")
+	user := fs.Int("user", 0, "client: this device's index")
+	rounds := fs.Int("rounds", 20, "serve: round budget")
+	seed := fs.Int64("seed", 1, "shared data seed (must match on all nodes)")
+	eta := fs.Float64("eta", 0.7, "serve: HELCFL decay coefficient")
+	frac := fs.Float64("fraction", 0.5, "serve: selection fraction C")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+
+	switch mode {
+	case "serve":
+		srv, err := deploy.NewServer(deploy.ServerConfig{
+			Spec:          sharedSpec(),
+			Seed:          *seed + 100,
+			ExpectedUsers: *users,
+			Rounds:        *rounds,
+			NewPlanner: func(devs []*device.Device) (fl.Planner, error) {
+				bits := nn.ModelBits(sharedSpec().Build(rand.New(rand.NewSource(*seed + 100))))
+				return selection.NewHELCFL(devs, wireless.DefaultChannel(), bits, core.Params{
+					Eta: *eta, Fraction: *frac, StepsPerRound: 1, Clamp: true,
+				})
+			},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("FLCC listening on %s (fleet %d, %d rounds)\n", *addr, *users, *rounds)
+		return http.ListenAndServe(*addr, srv)
+
+	case "client":
+		if *user < 0 || *user >= *users {
+			return fmt.Errorf("user %d outside fleet of %d", *user, *users)
+		}
+		synth, shards := sharedData(*users, *seed)
+		_ = synth
+		rng := rand.New(rand.NewSource(*seed + int64(*user) + 7))
+		c, err := deploy.NewClient(deploy.ClientConfig{
+			BaseURL: *server,
+			Info: deploy.RegisterRequest{
+				User:        *user,
+				NumSamples:  shards[*user].N(),
+				FMin:        device.DefaultFMin,
+				FMax:        device.FMaxLow + (device.FMaxHigh-device.FMaxLow)*rng.Float64(),
+				TxPower:     0.2,
+				ChannelGain: 0.5 + rng.Float64(),
+			},
+			Data:         shards[*user],
+			Spec:         sharedSpec(),
+			LR:           0.4,
+			LocalSteps:   1,
+			PollInterval: 50 * time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("device %d joining %s with %d samples\n", *user, *server, shards[*user].N())
+		if err := c.Run(); err != nil {
+			return err
+		}
+		fmt.Printf("device %d done: trained %d rounds\n", *user, c.RoundsTrained)
+		return nil
+
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+}

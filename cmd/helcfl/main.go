@@ -1,0 +1,454 @@
+// Command helcfl regenerates the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	helcfl <experiment> [flags]
+//
+// Experiments:
+//
+//	fig1      reproduce the Fig. 1 slack illustration on one scheduled round
+//	fig2      accuracy vs iteration for all five schemes (both settings)
+//	table1    training delay to desired accuracy (Table I)
+//	fig3      DVFS energy reduction (Fig. 3), plus the slack-rich regime
+//	ablation  η, C, clamping, compression, faults, fading, loss-aware, RB,
+//	          model architecture, partition family
+//	seeds     multi-seed robustness of all orderings
+//	budget    best accuracy under a training deadline (constraint 14)
+//	battery   fleet lifetime under finite device batteries
+//	trace     JSONL round telemetry for one scheme
+//	train     train one scheme and save the global model to -model
+//	eval      evaluate a saved model on a preset's test set
+//	all       fig1+fig2+table1+fig3+ablation plus the headline summary
+//
+// Flags:
+//
+//	-preset   paper | fast | tiny           (default fast)
+//	-seed     deterministic seed            (default 1)
+//	-out      directory for CSV/JSONL       (default: none / stdout)
+//	-setting  iid | noniid                  (trace/train/eval)
+//	-scheme   HELCFL | ClassicFL | FedCS | FEDL | HELCFL-noDVFS
+//	-model    model file path               (train/eval)
+//	-n        seed count                    (seeds)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"helcfl/internal/experiments"
+	"helcfl/internal/fl"
+	"helcfl/internal/metrics"
+	"helcfl/internal/nn"
+	"helcfl/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "helcfl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: helcfl <fig1|fig2|table1|fig3|ablation|seeds|trace|all> [-preset paper|fast|tiny] [-seed N] [-out dir]")
+	}
+	cmd := args[0]
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	presetName := fs.String("preset", "fast", "experiment preset: paper, fast, or tiny")
+	seed := fs.Int64("seed", 1, "deterministic seed")
+	outDir := fs.String("out", "", "directory to write CSV artifacts into (optional)")
+	nSeeds := fs.Int("n", 5, "seed count for the seeds experiment")
+	scheme := fs.String("scheme", "HELCFL", "scheme for the trace experiment")
+	settingName := fs.String("setting", "iid", "data setting for the trace/train/eval experiments: iid or noniid")
+	modelPath := fs.String("model", "model.helcfl", "model file for train/eval")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+
+	var preset experiments.Preset
+	switch *presetName {
+	case "paper":
+		preset = experiments.Paper()
+	case "fast":
+		preset = experiments.Fast()
+	case "tiny":
+		preset = experiments.Tiny()
+	default:
+		return fmt.Errorf("unknown preset %q", *presetName)
+	}
+
+	switch cmd {
+	case "fig1":
+		return runFig1(preset, *seed)
+	case "fig2":
+		return runFig2(preset, *seed, *outDir, nil)
+	case "table1":
+		return runTable1(preset, *seed, nil)
+	case "fig3":
+		return runFig3(preset, *seed)
+	case "ablation":
+		return runAblation(preset, *seed)
+	case "seeds":
+		return runSeeds(preset, *seed, *nSeeds)
+	case "budget":
+		return runBudget(preset, *seed)
+	case "battery":
+		return runBattery(preset, *seed)
+	case "trace":
+		return runTrace(preset, *seed, *scheme, *settingName, *outDir)
+	case "train":
+		return runTrain(preset, *seed, *scheme, *settingName, *modelPath)
+	case "eval":
+		return runEval(preset, *seed, *settingName, *modelPath)
+	case "all":
+		return runAll(preset, *seed, *outDir)
+	default:
+		return fmt.Errorf("unknown experiment %q", cmd)
+	}
+}
+
+func runFig1(p experiments.Preset, seed int64) error {
+	demo, err := experiments.RunFig1Demo(p, seed)
+	if err != nil {
+		return err
+	}
+	maxG, dvfsG := demo.RenderGantt()
+	fmt.Println(maxG)
+	fmt.Println(dvfsG)
+	maxTbl, dvfsTbl := demo.Render()
+	fmt.Println(maxTbl)
+	fmt.Println(dvfsTbl)
+	fmt.Printf("compute energy: %.2f J at max frequency → %.2f J with Algorithm 3 (%.1f%% saved)\n",
+		demo.MaxFreq.ComputeEnergy, demo.WithDVFS.ComputeEnergy,
+		(1-demo.WithDVFS.ComputeEnergy/demo.MaxFreq.ComputeEnergy)*100)
+	return nil
+}
+
+// runFig2 executes both settings; when sink is non-nil the results are also
+// stored there for reuse (table1, headline).
+func runFig2(p experiments.Preset, seed int64, outDir string, sink map[experiments.Setting]*experiments.Fig2Result) error {
+	for _, s := range []experiments.Setting{experiments.IID, experiments.NonIID} {
+		fmt.Printf("running Fig. 2 (%s) on preset %q …\n", s, p.Name)
+		fig, err := experiments.RunFig2(p, s, seed)
+		if err != nil {
+			return err
+		}
+		if sink != nil {
+			sink[s] = fig
+		}
+		chart, tbl := experiments.RenderFig2(fig)
+		fmt.Println(chart)
+		fmt.Println(tbl)
+		if outDir != "" {
+			name := filepath.Join(outDir, fmt.Sprintf("fig2_%s_%s.csv", p.Name, s))
+			if err := os.WriteFile(name, []byte(experiments.Fig2CSV(fig)), 0o644); err != nil {
+				return err
+			}
+			fmt.Println("wrote", name)
+		}
+	}
+	return nil
+}
+
+func runTable1(p experiments.Preset, seed int64, figs map[experiments.Setting]*experiments.Fig2Result) error {
+	if figs == nil {
+		figs = map[experiments.Setting]*experiments.Fig2Result{}
+		for _, s := range []experiments.Setting{experiments.IID, experiments.NonIID} {
+			fmt.Printf("running campaign for Table I (%s) …\n", s)
+			f, err := experiments.RunFig2(p, s, seed)
+			if err != nil {
+				return err
+			}
+			figs[s] = f
+		}
+	}
+	tbl := experiments.BuildTableI(p, figs)
+	for _, blk := range tbl.Settings {
+		fmt.Println(blk.Render())
+		for i, target := range blk.Targets {
+			sp := blk.Speedups(i)
+			if len(sp) == 0 {
+				continue
+			}
+			fmt.Printf("  speedups at %.0f%%:", target*100)
+			for _, scheme := range experiments.SchemeOrder {
+				if v, ok := sp[scheme]; ok {
+					fmt.Printf(" %s %.1f%%", scheme, v)
+				}
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func runFig3(p experiments.Preset, seed int64) error {
+	for _, s := range []experiments.Setting{experiments.IID, experiments.NonIID} {
+		fmt.Printf("running Fig. 3 (%s) …\n", s)
+		f3, err := experiments.RunFig3(p, s, seed)
+		if err != nil {
+			return err
+		}
+		bars, tbl := f3.Render()
+		fmt.Println(bars)
+		fmt.Println(tbl)
+	}
+	fmt.Println("slack-rich regime (maximal DVFS savings; see DESIGN.md):")
+	f3u, err := experiments.RunFig3(experiments.SlackRich(p), experiments.IID, seed)
+	if err != nil {
+		return err
+	}
+	_, tbl := f3u.Render()
+	fmt.Println(tbl)
+	return nil
+}
+
+func runAblation(p experiments.Preset, seed int64) error {
+	fmt.Println("η sweep …")
+	etaAb, err := experiments.RunEtaAblation(p, experiments.NonIID, seed, []float64{0.5, 0.7, 0.9, 0.99})
+	if err != nil {
+		return err
+	}
+	fmt.Println(etaAb.Render())
+
+	fmt.Println("selection-fraction sweep …")
+	frAb, err := experiments.RunFractionAblation(p, experiments.IID, seed, []float64{0.05, 0.1, 0.2})
+	if err != nil {
+		return err
+	}
+	fmt.Println(frAb.Render())
+
+	fmt.Println("Algorithm 3 clamping study …")
+	clAb, err := experiments.RunClampAblation(p, experiments.IID, seed, 100)
+	if err != nil {
+		return err
+	}
+	fmt.Println(clAb.Render())
+
+	fmt.Println("upload compression vs scheduling …")
+	cAb, err := experiments.RunCompressionAblation(p, experiments.IID, seed, experiments.DefaultCompressors())
+	if err != nil {
+		return err
+	}
+	fmt.Println(cAb.Render())
+
+	fmt.Println("upload-failure injection …")
+	dAb, err := experiments.RunDropoutAblation(p, experiments.IID, seed, []float64{0, 0.1, 0.3})
+	if err != nil {
+		return err
+	}
+	fmt.Println(dAb.Render())
+
+	fmt.Println("block-fading channel …")
+	fAb, err := experiments.RunFadingAblation(p, experiments.IID, seed, []float64{0, 0.3, 0.6})
+	if err != nil {
+		return err
+	}
+	fmt.Println(fAb.Render())
+
+	fmt.Println("loss-aware utility extension …")
+	ext, err := experiments.RunLossAwareExtension(p, experiments.NonIID, seed, []float64{0.5, 1.0})
+	if err != nil {
+		return err
+	}
+	fmt.Println(ext.Render())
+
+	fmt.Println("RB interpretation (serial vs parallel sub-channels) …")
+	rb, err := experiments.RunRBAblation(p, seed, 100, []int{1, 2, 5, 10})
+	if err != nil {
+		return err
+	}
+	fmt.Println(rb.Render())
+
+	fmt.Println("model architecture (C_model coupling) …")
+	ma, err := experiments.RunModelAblation(p, experiments.IID, seed, []string{"logistic", "mlp"})
+	if err != nil {
+		return err
+	}
+	fmt.Println(ma.Render())
+
+	fmt.Println("partition family (shards vs Dirichlet) …")
+	pa, err := experiments.RunPartitionAblation(p, seed, []float64{0.2, 1.0, 5.0})
+	if err != nil {
+		return err
+	}
+	fmt.Println(pa.Render())
+
+	fmt.Println("discrete DVFS levels …")
+	dl, err := experiments.RunDVFSLevelsAblation(p, experiments.IID, seed, []int{0, 16, 8, 4, 2})
+	if err != nil {
+		return err
+	}
+	fmt.Println(dl.Render())
+
+	fmt.Println("selection fairness …")
+	fa, err := experiments.RunFairnessStudy(p, seed, 200)
+	if err != nil {
+		return err
+	}
+	fmt.Println(fa.Render())
+	return nil
+}
+
+func runBudget(p experiments.Preset, seed int64) error {
+	// Budgets at roughly 1/8 and 1/2 of a full campaign's duration.
+	for _, budget := range []float64{180, 720} {
+		for _, s := range []experiments.Setting{experiments.IID, experiments.NonIID} {
+			fmt.Printf("running deadline-budget campaign (%s, %.0f s) …\n", s, budget)
+			db, err := experiments.RunDeadlineBudget(p, s, seed, budget)
+			if err != nil {
+				return err
+			}
+			fmt.Println(db.Render())
+		}
+	}
+	return nil
+}
+
+func runBattery(p experiments.Preset, seed int64) error {
+	for _, s := range []experiments.Setting{experiments.IID, experiments.NonIID} {
+		fmt.Printf("running battery campaign (%s) …\n", s)
+		bc, err := experiments.RunBatteryCampaign(p, s, seed, 8)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bc.Render())
+	}
+	return nil
+}
+
+func runSeeds(p experiments.Preset, seed int64, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("seed count %d must be positive", n)
+	}
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = seed + int64(i)
+	}
+	for _, s := range []experiments.Setting{experiments.IID, experiments.NonIID} {
+		fmt.Printf("running %d-seed campaign (%s) …\n", n, s)
+		ms, err := experiments.RunMultiSeed(p, s, seeds)
+		if err != nil {
+			return err
+		}
+		fmt.Println(ms.Render())
+	}
+	return nil
+}
+
+func runTrace(p experiments.Preset, seed int64, scheme, settingName, outDir string) error {
+	setting, err := parseSetting(settingName)
+	if err != nil {
+		return err
+	}
+	env, err := experiments.BuildEnv(p, setting, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tracing %s (%s, preset %s) …\n", scheme, setting, p.Name)
+	_, res, err := experiments.RunScheme(env, scheme)
+	if err != nil {
+		return err
+	}
+	out := os.Stdout
+	if outDir != "" {
+		name := filepath.Join(outDir, fmt.Sprintf("trace_%s_%s_%s.jsonl", p.Name, setting, scheme))
+		f, err := os.Create(name)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+		fmt.Fprintln(os.Stderr, "writing", name)
+	}
+	return trace.Write(out, res.Scheme, res.Records)
+}
+
+func parseSetting(name string) (experiments.Setting, error) {
+	switch name {
+	case "iid":
+		return experiments.IID, nil
+	case "noniid":
+		return experiments.NonIID, nil
+	default:
+		return "", fmt.Errorf("unknown setting %q (want iid or noniid)", name)
+	}
+}
+
+func runTrain(p experiments.Preset, seed int64, scheme, settingName, modelPath string) error {
+	setting, err := parseSetting(settingName)
+	if err != nil {
+		return err
+	}
+	env, err := experiments.BuildEnv(p, setting, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("training %s (%s, preset %s) …\n", scheme, setting, p.Name)
+	curve, res, err := experiments.RunScheme(env, scheme)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("best accuracy %.2f%%, total delay %.1f min, total energy %.1f J\n",
+		curve.Best()*100, res.TotalTime/60, res.TotalEnergy)
+	if err := nn.SaveModel(modelPath, env.Spec, res.Model); err != nil {
+		return err
+	}
+	fmt.Println("saved", modelPath)
+	return nil
+}
+
+func runEval(p experiments.Preset, seed int64, settingName, modelPath string) error {
+	setting, err := parseSetting(settingName)
+	if err != nil {
+		return err
+	}
+	spec, model, err := nn.LoadModel(modelPath)
+	if err != nil {
+		return err
+	}
+	env, err := experiments.BuildEnv(p, setting, seed)
+	if err != nil {
+		return err
+	}
+	loss, acc := fl.Evaluate(model, env.Synth.Test, spec.FlattensInput())
+	fmt.Printf("%s on %s/%s test set: loss %.4f, accuracy %.2f%%\n",
+		modelPath, p.Name, setting, loss, acc*100)
+	fmt.Println(metrics.ConfusionOf(model, env.Synth.Test, spec.Classes, spec.FlattensInput()))
+	return nil
+}
+
+func runAll(p experiments.Preset, seed int64, outDir string) error {
+	if err := runFig1(p, seed); err != nil {
+		return err
+	}
+	figs := map[experiments.Setting]*experiments.Fig2Result{}
+	if err := runFig2(p, seed, outDir, figs); err != nil {
+		return err
+	}
+	if err := runTable1(p, seed, figs); err != nil {
+		return err
+	}
+	fig3s := map[experiments.Setting]*experiments.Fig3Result{}
+	for _, s := range []experiments.Setting{experiments.IID, experiments.NonIID} {
+		fmt.Printf("running Fig. 3 (%s) …\n", s)
+		f3, err := experiments.RunFig3(p, s, seed)
+		if err != nil {
+			return err
+		}
+		fig3s[s] = f3
+		bars, tbl := f3.Render()
+		fmt.Println(bars)
+		fmt.Println(tbl)
+	}
+	if err := runAblation(p, seed); err != nil {
+		return err
+	}
+	tbl := experiments.BuildTableI(p, figs)
+	fmt.Println(experiments.BuildHeadline(figs, tbl, fig3s).Render())
+	return nil
+}

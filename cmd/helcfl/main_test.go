@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The CLI is a thin wrapper over internal/experiments; these tests exercise
+// argument parsing and each subcommand's happy path at tiny scale.
+
+func TestRunUsageAndUnknowns(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no args must error")
+	}
+	if err := run([]string{"nope"}); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+	if err := run([]string{"fig1", "-preset", "bogus"}); err == nil {
+		t.Fatal("unknown preset must error")
+	}
+	if err := run([]string{"fig1", "-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag must error")
+	}
+	if err := run([]string{"trace", "-preset", "tiny", "-setting", "weird"}); err == nil {
+		t.Fatal("bad setting must error")
+	}
+}
+
+func TestRunFig1Tiny(t *testing.T) {
+	if err := run([]string{"fig1", "-preset", "tiny"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTrainEvalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	model := filepath.Join(dir, "m.helcfl")
+	if err := run([]string{"train", "-preset", "tiny", "-model", model}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(model); err != nil {
+		t.Fatal("model file not written")
+	}
+	if err := run([]string{"eval", "-preset", "tiny", "-model", model}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"eval", "-preset", "tiny", "-model", filepath.Join(dir, "missing")}); err == nil {
+		t.Fatal("missing model must error")
+	}
+}
+
+func TestRunTraceWritesFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"trace", "-preset", "tiny", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "trace_*.jsonl"))
+	if len(matches) != 1 {
+		t.Fatalf("trace files = %v", matches)
+	}
+	data, err := os.ReadFile(matches[0])
+	if err != nil || len(data) == 0 {
+		t.Fatalf("trace file empty: %v", err)
+	}
+}
+
+func TestRunSeedsValidatesCount(t *testing.T) {
+	if err := run([]string{"seeds", "-preset", "tiny", "-n", "0"}); err == nil {
+		t.Fatal("zero seed count must error")
+	}
+}
+
+func TestRunBatteryTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("battery campaign trains ten runs")
+	}
+	if err := run([]string{"battery", "-preset", "tiny"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSeedsTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed campaign is slow")
+	}
+	if err := run([]string{"seeds", "-preset", "tiny", "-n", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The full artifact pipeline at tiny scale: every figure, table, ablation,
+// and the headline block render without error and the CSVs land on disk.
+func TestRunAllTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign is slow")
+	}
+	dir := t.TempDir()
+	if err := run([]string{"all", "-preset", "tiny", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "fig2_tiny_*.csv"))
+	if len(matches) != 2 {
+		t.Fatalf("fig2 CSVs = %v", matches)
+	}
+}

@@ -1,0 +1,48 @@
+// Non-IID: show why collaborative FL beats separated learning (SL) when
+// user data is label-skewed, and why excluding slow users (FedCS) caps the
+// achievable accuracy — the paper's Eq. (19) argument in action.
+//
+//	go run ./examples/noniid
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"helcfl"
+)
+
+func main() {
+	preset := helcfl.TinyPreset()
+
+	env, err := helcfl.BuildEnv(preset, helcfl.NonIID, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Under the Non-IID shard partition every user sees only a few labels.
+	fmt.Println("per-user label histograms (Non-IID shard partition):")
+	for q, d := range env.UserData {
+		fmt.Printf("  v%-2d:", q)
+		for _, c := range d.LabelHistogram(preset.Classes) {
+			fmt.Printf(" %3d", c)
+		}
+		fmt.Printf("   (%d distinct labels)\n", d.DistinctLabels(preset.Classes))
+	}
+	fmt.Println()
+
+	fig, err := helcfl.RunFig2(preset, helcfl.NonIID, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("best test accuracy after", preset.MaxRounds, "rounds:")
+	for _, scheme := range helcfl.SchemeOrder {
+		c := fig.Curve(scheme)
+		fmt.Printf("  %-10s %.2f%%\n", scheme, c.Best()*100)
+	}
+	fmt.Println()
+	fmt.Println("SL collapses because each user's isolated model only ever sees its")
+	fmt.Println("own few labels; FedCS caps because the labels held by slow users")
+	fmt.Println("never enter FedAvg; HELCFL's greedy-decay selection folds every")
+	fmt.Println("user's data into training (Eq. 19) while still favouring fast ones.")
+}

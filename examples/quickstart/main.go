@@ -1,0 +1,40 @@
+// Quickstart: train a federated model with the HELCFL scheduler on a small
+// synthetic MEC system and print the training trajectory.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"helcfl"
+)
+
+func main() {
+	// TinyPreset: 16 heterogeneous devices, 480 synthetic training images,
+	// 60 federated rounds, selection fraction C = 0.25.
+	preset := helcfl.TinyPreset()
+
+	res, err := helcfl.Train(preset, helcfl.IID, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("scheme: %s\n", res.Scheme)
+	fmt.Printf("model upload size: %.1f KiB (C_model = %.0f bits)\n",
+		res.ModelBits/8/1024, res.ModelBits)
+	fmt.Println()
+	fmt.Println("round  selected  delay(s)  energy(J)  accuracy")
+	for _, r := range res.Records {
+		if !r.Evaluated {
+			continue
+		}
+		fmt.Printf("%5d  %8d  %8.2f  %9.2f  %7.2f%%\n",
+			r.Round, len(r.Selected), r.Delay, r.Energy, r.TestAccuracy*100)
+	}
+	fmt.Println()
+	fmt.Printf("best accuracy:   %.2f%%\n", res.BestAccuracy*100)
+	fmt.Printf("total delay:     %.1f s (%.1f min of simulated training)\n", res.TotalTime, res.TotalTime/60)
+	fmt.Printf("total energy:    %.1f J across all selected devices\n", res.TotalEnergy)
+}

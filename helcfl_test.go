@@ -1,0 +1,111 @@
+package helcfl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPresetConstructors(t *testing.T) {
+	for _, p := range []Preset{PaperPreset(), FastPreset(), TinyPreset()} {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+	}
+	if PaperPreset().Users != 100 || PaperPreset().Fraction != 0.1 {
+		t.Fatal("paper preset must match Section VII-A")
+	}
+	ub := SlackRichPreset(TinyPreset())
+	if ub.CyclesPerUpdate >= TinyPreset().CyclesPerUpdate {
+		t.Fatal("upload-bound preset must cut compute")
+	}
+}
+
+func TestTrainEndToEnd(t *testing.T) {
+	p := TinyPreset()
+	p.MaxRounds = 12
+	res, err := Train(p, IID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheme != "HELCFL" {
+		t.Fatalf("scheme = %s", res.Scheme)
+	}
+	if len(res.Records) != 12 {
+		t.Fatalf("records = %d", len(res.Records))
+	}
+	if res.BestAccuracy <= 0.15 {
+		t.Fatalf("best accuracy %g at chance level", res.BestAccuracy)
+	}
+}
+
+func TestRunSchemeViaFacade(t *testing.T) {
+	p := TinyPreset()
+	p.MaxRounds = 10
+	env, err := BuildEnv(p, NonIID, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, res, err := RunScheme(env, "ClassicFL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if curve.Scheme != "ClassicFL" || res.Scheme != "ClassicFL" {
+		t.Fatal("scheme labels wrong")
+	}
+	if len(curve.Points) == 0 {
+		t.Fatal("empty curve")
+	}
+}
+
+func TestRunTableIFacade(t *testing.T) {
+	p := TinyPreset()
+	p.MaxRounds = 16
+	tbl, figs, err := RunTableI(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Settings) != 2 || len(figs) != 2 {
+		t.Fatal("incomplete Table I campaign")
+	}
+}
+
+func TestSchedulerParamsFromPreset(t *testing.T) {
+	p := TinyPreset()
+	sp := PresetSchedulerParams(p)
+	if sp.Eta != p.Eta || sp.Fraction != p.Fraction {
+		t.Fatal("params not derived from preset")
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewHELCFLPlannerFacade(t *testing.T) {
+	env, err := BuildEnv(TinyPreset(), IID, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planner, err := NewHELCFLPlanner(env, PresetSchedulerParams(env.Preset))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, freqs := planner.PlanRound(0)
+	if len(sel) == 0 || len(sel) != len(freqs) {
+		t.Fatalf("plan sizes %d/%d", len(sel), len(freqs))
+	}
+	if !strings.Contains(planner.Name(), "HELCFL") {
+		t.Fatalf("planner name %q", planner.Name())
+	}
+}
+
+func TestSchemeOrderStable(t *testing.T) {
+	want := []string{"HELCFL", "ClassicFL", "FedCS", "FEDL", "SL"}
+	if len(SchemeOrder) != len(want) {
+		t.Fatal("scheme order changed")
+	}
+	for i := range want {
+		if SchemeOrder[i] != want[i] {
+			t.Fatalf("SchemeOrder[%d] = %s, want %s", i, SchemeOrder[i], want[i])
+		}
+	}
+}

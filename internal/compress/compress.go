@@ -1,0 +1,168 @@
+// Package compress implements the model-upload compression schemes the
+// paper positions HELCFL against (Section I): top-k sparsification (Sattler
+// et al. [5]) and uniform scalar quantization (Shlezinger et al. [6]).
+//
+// HELCFL's thesis is that scheduling beats compression because compression
+// "inevitably sacrifices model accuracy or introduces additional costs".
+// These implementations make that comparison runnable: the FL engine can
+// compress uploads, shrinking C_model in Eq. (7) at the cost of lossy
+// parameter reconstruction.
+package compress
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Compressor transforms an upload parameter vector into its lossy,
+// compressed-and-reconstructed form and accounts for the wire size.
+type Compressor interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// Apply returns the vector as the server will reconstruct it after
+	// decompression. The input is not modified.
+	Apply(flat []float64) []float64
+	// BitsFor returns the wire size in bits of a compressed upload of n
+	// parameters, the C_model to use in Eq. (7).
+	BitsFor(n int) float64
+}
+
+// None is the identity compressor: fp32 uploads, as in the base system.
+type None struct{}
+
+// Name implements Compressor.
+func (None) Name() string { return "none" }
+
+// Apply implements Compressor.
+func (None) Apply(flat []float64) []float64 {
+	return append([]float64(nil), flat...)
+}
+
+// BitsFor implements Compressor: 32 bits per parameter plus an 8-byte
+// header, matching nn.ParamBytes.
+func (None) BitsFor(n int) float64 { return float64(8+4*n) * 8 }
+
+// TopK keeps only the k = ⌈Fraction·n⌉ largest-magnitude parameters,
+// zeroing the rest — magnitude sparsification. The wire format is k
+// (index, value) pairs: 32 bits of index + 32 bits of value each.
+type TopK struct {
+	// Fraction is the kept fraction in (0, 1].
+	Fraction float64
+}
+
+// NewTopK validates and returns a TopK compressor.
+func NewTopK(fraction float64) TopK {
+	if fraction <= 0 || fraction > 1 {
+		panic(fmt.Sprintf("compress: top-k fraction %g outside (0,1]", fraction))
+	}
+	return TopK{Fraction: fraction}
+}
+
+// Name implements Compressor.
+func (t TopK) Name() string { return fmt.Sprintf("topk(%.2f)", t.Fraction) }
+
+// k returns the kept-coordinate count for n parameters (at least 1).
+func (t TopK) k(n int) int {
+	k := int(math.Ceil(t.Fraction * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// Apply implements Compressor.
+func (t TopK) Apply(flat []float64) []float64 {
+	n := len(flat)
+	k := t.k(n)
+	if k == n {
+		return append([]float64(nil), flat...)
+	}
+	// Select the k largest magnitudes; ties broken by lower index to keep
+	// the operation deterministic.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ma, mb := math.Abs(flat[idx[a]]), math.Abs(flat[idx[b]])
+		if ma != mb {
+			return ma > mb
+		}
+		return idx[a] < idx[b]
+	})
+	out := make([]float64, n)
+	for _, i := range idx[:k] {
+		out[i] = flat[i]
+	}
+	return out
+}
+
+// BitsFor implements Compressor: k (index, value) pairs plus a header.
+func (t TopK) BitsFor(n int) float64 {
+	return float64(8+8*t.k(n)) * 8
+}
+
+// Uniform quantizes each parameter to Bits bits on a symmetric uniform
+// grid spanning [-max|θ|, +max|θ|], with the scale sent once per upload.
+type Uniform struct {
+	// Bits per parameter, in [1, 16].
+	Bits int
+}
+
+// NewUniform validates and returns a Uniform quantizer.
+func NewUniform(bits int) Uniform {
+	if bits < 1 || bits > 16 {
+		panic(fmt.Sprintf("compress: quantizer bits %d outside [1,16]", bits))
+	}
+	return Uniform{Bits: bits}
+}
+
+// Name implements Compressor.
+func (u Uniform) Name() string { return fmt.Sprintf("quant(%db)", u.Bits) }
+
+// Apply implements Compressor.
+func (u Uniform) Apply(flat []float64) []float64 {
+	n := len(flat)
+	out := make([]float64, n)
+	maxAbs := 0.0
+	for _, v := range flat {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		return out
+	}
+	levels := float64(int(1)<<(u.Bits-1)) - 1 // symmetric signed grid
+	if levels < 1 {
+		levels = 1
+	}
+	scale := maxAbs / levels
+	for i, v := range flat {
+		q := math.Round(v / scale)
+		if q > levels {
+			q = levels
+		}
+		if q < -levels {
+			q = -levels
+		}
+		out[i] = q * scale
+	}
+	return out
+}
+
+// BitsFor implements Compressor: Bits per parameter plus a 32-bit scale and
+// the 8-byte header.
+func (u Uniform) BitsFor(n int) float64 {
+	return float64(8)*8 + 32 + float64(u.Bits)*float64(n)
+}
+
+// Ratio returns the compression ratio of c for an n-parameter model
+// relative to fp32 uploads.
+func Ratio(c Compressor, n int) float64 {
+	return None{}.BitsFor(n) / c.BitsFor(n)
+}

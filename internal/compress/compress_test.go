@@ -1,0 +1,213 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randVec(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestNoneIsIdentity(t *testing.T) {
+	v := randVec(64, 1)
+	out := None{}.Apply(v)
+	for i := range v {
+		if out[i] != v[i] {
+			t.Fatal("None must not change values")
+		}
+	}
+	out[0] = 99
+	if v[0] == 99 {
+		t.Fatal("None must copy, not alias")
+	}
+	if (None{}).BitsFor(10) != float64(8+40)*8 {
+		t.Fatalf("None bits = %g", (None{}).BitsFor(10))
+	}
+}
+
+func TestTopKKeepsLargestMagnitudes(t *testing.T) {
+	v := []float64{0.1, -5, 0.3, 4, -0.2}
+	out := NewTopK(0.4).Apply(v) // k = 2
+	want := []float64{0, -5, 0, 4, 0}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out[%d] = %g, want %g", i, out[i], want[i])
+		}
+	}
+}
+
+func TestTopKFullFractionIsLossless(t *testing.T) {
+	v := randVec(32, 2)
+	out := NewTopK(1.0).Apply(v)
+	for i := range v {
+		if out[i] != v[i] {
+			t.Fatal("fraction 1.0 must keep everything")
+		}
+	}
+}
+
+func TestTopKAtLeastOneCoordinate(t *testing.T) {
+	v := []float64{1, 2, 3}
+	out := NewTopK(0.01).Apply(v)
+	nonzero := 0
+	for _, x := range out {
+		if x != 0 {
+			nonzero++
+		}
+	}
+	if nonzero != 1 {
+		t.Fatalf("kept %d coordinates, want 1", nonzero)
+	}
+	if out[2] != 3 {
+		t.Fatal("must keep the largest magnitude")
+	}
+}
+
+func TestTopKBadFractionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTopK(0)
+}
+
+func TestTopKBitsSmallerThanNone(t *testing.T) {
+	n := 1000
+	tk := NewTopK(0.1)
+	if tk.BitsFor(n) >= (None{}).BitsFor(n) {
+		t.Fatal("top-k 10% must shrink uploads")
+	}
+	if Ratio(tk, n) < 3 {
+		t.Fatalf("ratio = %g, want ≈5", Ratio(tk, n))
+	}
+}
+
+// Property: top-k output is always supported on the k largest magnitudes
+// and preserves kept values exactly.
+func TestTopKSupportQuick(t *testing.T) {
+	f := func(seed int64, fracRaw uint8) bool {
+		frac := 0.05 + float64(fracRaw%90)/100.0
+		v := randVec(50, seed)
+		tk := NewTopK(frac)
+		out := tk.Apply(v)
+		kept := 0
+		minKept := math.Inf(1)
+		for i := range out {
+			if out[i] != 0 {
+				if out[i] != v[i] {
+					return false // kept values must be exact
+				}
+				kept++
+				if a := math.Abs(v[i]); a < minKept {
+					minKept = a
+				}
+			}
+		}
+		if kept != tk.k(50) {
+			return false
+		}
+		// No dropped coordinate may exceed the smallest kept magnitude.
+		for i := range out {
+			if out[i] == 0 && math.Abs(v[i]) > minKept+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformQuantizationErrorBound(t *testing.T) {
+	v := randVec(500, 3)
+	for _, bits := range []int{4, 8, 12} {
+		q := NewUniform(bits)
+		out := q.Apply(v)
+		maxAbs := 0.0
+		for _, x := range v {
+			if a := math.Abs(x); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		levels := float64(int(1)<<(bits-1)) - 1
+		bound := maxAbs / levels / 2
+		for i := range v {
+			if math.Abs(out[i]-v[i]) > bound+1e-12 {
+				t.Fatalf("bits=%d: error %g exceeds half-step %g", bits, math.Abs(out[i]-v[i]), bound)
+			}
+		}
+	}
+}
+
+func TestUniformZeroVector(t *testing.T) {
+	out := NewUniform(8).Apply(make([]float64, 10))
+	for _, x := range out {
+		if x != 0 {
+			t.Fatal("zero vector must stay zero")
+		}
+	}
+}
+
+func TestUniformMoreBitsLessError(t *testing.T) {
+	v := randVec(200, 4)
+	err := func(bits int) float64 {
+		out := NewUniform(bits).Apply(v)
+		s := 0.0
+		for i := range v {
+			s += (out[i] - v[i]) * (out[i] - v[i])
+		}
+		return s
+	}
+	if err(4) <= err(8) || err(8) <= err(12) {
+		t.Fatalf("quantization error must shrink with bits: %g, %g, %g", err(4), err(8), err(12))
+	}
+}
+
+func TestUniformBadBitsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewUniform(0)
+}
+
+func TestUniformBitsAccounting(t *testing.T) {
+	q := NewUniform(8)
+	if got := q.BitsFor(1000); got != 64+32+8000 {
+		t.Fatalf("bits = %g", got)
+	}
+	if Ratio(q, 100000) < 3.9 {
+		t.Fatalf("8-bit ratio = %g, want ≈4", Ratio(q, 100000))
+	}
+}
+
+// Property: quantization is idempotent — re-quantizing the reconstruction
+// changes nothing (values already sit on the grid and share the max).
+func TestUniformIdempotentQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		v := randVec(40, seed)
+		q := NewUniform(6)
+		once := q.Apply(v)
+		twice := q.Apply(once)
+		for i := range once {
+			if math.Abs(once[i]-twice[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

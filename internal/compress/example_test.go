@@ -1,0 +1,29 @@
+package compress_test
+
+import (
+	"fmt"
+
+	"helcfl/internal/compress"
+)
+
+// Top-k sparsification keeps only the largest-magnitude coordinates of a
+// model update, shrinking C_model in Eq. (7) at the cost of a lossy
+// reconstruction.
+func ExampleTopK() {
+	delta := []float64{0.05, -2.0, 0.3, 1.5, -0.1}
+	tk := compress.NewTopK(0.4) // keep 40% → 2 of 5 coordinates
+	fmt.Println(tk.Apply(delta))
+	// Keeping 10% of a big model gives ~5x smaller uploads (each kept
+	// coordinate ships an index alongside its value).
+	fmt.Printf("%.1fx smaller\n", compress.Ratio(compress.NewTopK(0.1), 100000))
+	// Output:
+	// [0 -2 0 1.5 0]
+	// 5.0x smaller
+}
+
+func ExampleUniform() {
+	q := compress.NewUniform(8)
+	fmt.Printf("%.1fx smaller than fp32\n", compress.Ratio(q, 100000))
+	// Output:
+	// 4.0x smaller than fp32
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"helcfl/internal/wireless"
+)
+
+// Property: over many rounds, greedy-decay selection counts are balanced —
+// no user is selected more than a few times the fair share, and none is
+// starved forever. This is the quantitative version of the paper's claim
+// that the decay "can incorporate users with long training delays".
+func TestGreedyDecayBalanceQuick(t *testing.T) {
+	f := func(seed int64, etaRaw uint8) bool {
+		eta := 0.5 + float64(etaRaw%40)/100.0 // 0.50–0.89
+		devs := fleet(20, seed)
+		s, err := NewScheduler(devs, wireless.DefaultChannel(), testModelBits, Params{
+			Eta: eta, Fraction: 0.2, StepsPerRound: 1, Clamp: true,
+		})
+		if err != nil {
+			return false
+		}
+		const rounds = 200
+		for j := 0; j < rounds; j++ {
+			s.SelectRound()
+		}
+		counts := s.Appearances()
+		fair := float64(rounds*s.NumSelect()) / float64(len(devs)) // = 40
+		for _, c := range counts {
+			if c == 0 {
+				return false // starvation
+			}
+			if float64(c) > 3*fair {
+				return false // monopolization
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the per-round selection count is always exactly NumSelect and
+// indices are unique and in range, whatever the decay history.
+func TestSelectRoundShapeQuick(t *testing.T) {
+	f := func(seed int64, roundsRaw uint8) bool {
+		devs := fleet(15, seed)
+		s, err := NewScheduler(devs, wireless.DefaultChannel(), testModelBits, DefaultParams())
+		if err != nil {
+			return false
+		}
+		rounds := int(roundsRaw)%30 + 1
+		rng := rand.New(rand.NewSource(seed))
+		_ = rng
+		for j := 0; j < rounds; j++ {
+			sel := s.SelectRound()
+			if len(sel) != s.NumSelect() {
+				return false
+			}
+			seen := map[int]bool{}
+			for _, q := range sel {
+				if q < 0 || q >= 15 || seen[q] {
+					return false
+				}
+				seen[q] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// LossAwareScheduler extends the HELCFL utility (Eq. 20) with a statistical
+// term in the spirit of Oort (Lai et al., OSDI'21): users whose last local
+// training loss was high carry more useful gradient signal and receive a
+// utility bonus,
+//
+//	u_q = η^{α_q} · (1 + λ·L̂_q) / (T_q^cal + T_q^com),
+//
+// where L̂_q is the user's last observed local loss normalized by the
+// current fleet mean (1 for never-observed users). With λ = 0 this is
+// exactly the paper's scheduler. This is an extension beyond the paper,
+// exercised by the "lossaware" ablation.
+type LossAwareScheduler struct {
+	*Scheduler
+	// Lambda weights the statistical term; 0 disables it.
+	Lambda float64
+
+	lastLoss []float64
+	seen     []bool
+}
+
+// NewLossAwareScheduler wraps a scheduler with loss feedback.
+func NewLossAwareScheduler(s *Scheduler, lambda float64) (*LossAwareScheduler, error) {
+	if lambda < 0 {
+		return nil, fmt.Errorf("core: negative loss weight %g", lambda)
+	}
+	return &LossAwareScheduler{
+		Scheduler: s,
+		Lambda:    lambda,
+		lastLoss:  make([]float64, len(s.devs)),
+		seen:      make([]bool, len(s.devs)),
+	}, nil
+}
+
+// ObserveRound records the local losses reported by the selected users of
+// round j — the feedback channel the FL engine drives.
+func (l *LossAwareScheduler) ObserveRound(j int, selected []int, losses []float64) {
+	if len(selected) != len(losses) {
+		panic(fmt.Sprintf("core: %d selected but %d losses", len(selected), len(losses)))
+	}
+	for i, q := range selected {
+		if q < 0 || q >= len(l.lastLoss) {
+			panic(fmt.Sprintf("core: observed user %d outside fleet", q))
+		}
+		if math.IsNaN(losses[i]) || math.IsInf(losses[i], 0) || losses[i] < 0 {
+			continue // defensive: ignore degenerate reports
+		}
+		l.lastLoss[q] = losses[i]
+		l.seen[q] = true
+	}
+}
+
+// lossBonus returns 1 + λ·L̂_q.
+func (l *LossAwareScheduler) lossBonus(q int) float64 {
+	if l.Lambda == 0 || !l.seen[q] {
+		return 1 + l.Lambda // unseen users get the mean bonus (L̂ = 1)
+	}
+	mean := 0.0
+	n := 0
+	for i, s := range l.seen {
+		if s {
+			mean += l.lastLoss[i]
+			n++
+		}
+	}
+	if n == 0 || mean == 0 {
+		return 1 + l.Lambda
+	}
+	mean /= float64(n)
+	return 1 + l.Lambda*l.lastLoss[q]/mean
+}
+
+// Utility returns the loss-augmented utility of user q.
+func (l *LossAwareScheduler) Utility(q int) float64 {
+	return l.Scheduler.Utility(q) * l.lossBonus(q)
+}
+
+// SelectRound mirrors Algorithm 2's loop over the augmented utility.
+func (l *LossAwareScheduler) SelectRound() []int {
+	n := l.NumSelect()
+	utilities := make([]float64, len(l.devs))
+	for q := range l.devs {
+		utilities[q] = l.Utility(q)
+	}
+	selectable := make([]bool, len(l.devs))
+	for q := range selectable {
+		selectable[q] = true
+	}
+	selected := make([]int, 0, n)
+	for len(selected) < n {
+		best := -1
+		for q := range l.devs {
+			if !selectable[q] {
+				continue
+			}
+			if best == -1 || utilities[q] > utilities[best] {
+				best = q
+			}
+		}
+		if best == -1 {
+			break
+		}
+		selectable[best] = false
+		selected = append(selected, best)
+		l.alpha[best]++
+	}
+	return selected
+}

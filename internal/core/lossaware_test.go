@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"helcfl/internal/wireless"
+)
+
+func newLossAware(t *testing.T, n int, lambda float64) *LossAwareScheduler {
+	t.Helper()
+	devs := fleet(n, 21)
+	base, err := NewScheduler(devs, wireless.DefaultChannel(), testModelBits, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, err := NewLossAwareScheduler(base, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return la
+}
+
+func TestLossAwareZeroLambdaMatchesBase(t *testing.T) {
+	la := newLossAware(t, 20, 0)
+	for q := 0; q < 20; q++ {
+		if la.Utility(q) != la.Scheduler.Utility(q) {
+			t.Fatalf("λ=0 utility differs for user %d", q)
+		}
+	}
+	// Selection identical to the base scheduler's.
+	devs := fleet(20, 21)
+	base, err := NewScheduler(devs, wireless.DefaultChannel(), testModelBits, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 5; r++ {
+		a := la.SelectRound()
+		b := base.SelectRound()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("round %d: λ=0 selection differs", r)
+			}
+		}
+	}
+}
+
+func TestLossAwareBonusRaisesHighLossUsers(t *testing.T) {
+	la := newLossAware(t, 10, 1.0)
+	sel := []int{0, 1}
+	la.ObserveRound(0, sel, []float64{4.0, 0.5}) // user 0 struggling
+	u0 := la.lossBonus(0)
+	u1 := la.lossBonus(1)
+	if u0 <= u1 {
+		t.Fatalf("high-loss user bonus %g not above low-loss %g", u0, u1)
+	}
+	// Unseen users get the neutral mean bonus 1+λ.
+	if got := la.lossBonus(5); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("unseen bonus = %g, want 2", got)
+	}
+}
+
+func TestLossAwareSelectionPrefersStrugglingUser(t *testing.T) {
+	la := newLossAware(t, 12, 2.0)
+	// Make two users' static utilities comparable by observing losses that
+	// strongly favour a slow user.
+	first := la.SelectRound()
+	losses := make([]float64, len(first))
+	for i := range losses {
+		losses[i] = 0.01 // everyone selected so far is nearly converged
+	}
+	la.ObserveRound(0, first, losses)
+	// An unselected user reports (via a later selection) a huge loss.
+	second := la.SelectRound()
+	big := make([]float64, len(second))
+	for i := range big {
+		big[i] = 10
+	}
+	la.ObserveRound(1, second, big)
+	third := la.SelectRound()
+	// The high-loss cohort (second) should be favoured for reselection over
+	// the near-converged first cohort, appearance decay permitting.
+	inSecond := map[int]bool{}
+	for _, q := range second {
+		inSecond[q] = true
+	}
+	overlap := 0
+	for _, q := range third {
+		if inSecond[q] {
+			overlap++
+		}
+	}
+	if overlap == 0 {
+		t.Fatal("loss bonus never favoured the struggling cohort")
+	}
+}
+
+func TestLossAwareObserveValidation(t *testing.T) {
+	la := newLossAware(t, 5, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched lengths")
+		}
+	}()
+	la.ObserveRound(0, []int{1, 2}, []float64{0.5})
+}
+
+func TestLossAwareIgnoresDegenerateLosses(t *testing.T) {
+	la := newLossAware(t, 5, 1)
+	la.ObserveRound(0, []int{1}, []float64{math.NaN()})
+	if la.seen[1] {
+		t.Fatal("NaN loss must be ignored")
+	}
+	la.ObserveRound(0, []int{1}, []float64{math.Inf(1)})
+	if la.seen[1] {
+		t.Fatal("Inf loss must be ignored")
+	}
+}
+
+func TestLossAwareNegativeLambdaRejected(t *testing.T) {
+	devs := fleet(4, 22)
+	base, err := NewScheduler(devs, wireless.DefaultChannel(), testModelBits, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLossAwareScheduler(base, -1); err == nil {
+		t.Fatal("negative λ must be rejected")
+	}
+}

@@ -1,0 +1,259 @@
+// Package core implements the paper's primary contribution: the HELCFL
+// scheduler. It contains the utility function of Eq. (20), the
+// utility-driven greedy-decay user selection of Algorithm 2, and the
+// DVFS-enabled operating-frequency determination of Algorithm 3.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"helcfl/internal/device"
+	"helcfl/internal/wireless"
+)
+
+// Params configures the HELCFL scheduler.
+type Params struct {
+	// Eta is the decay coefficient η ∈ (0, 1) of Eq. (20).
+	Eta float64
+	// Fraction is the user selection fraction C; N = max(Q·C, 1) users are
+	// selected each round.
+	Fraction float64
+	// StepsPerRound is the number of local full-batch GD passes per round
+	// (the paper's Eq. (3) does exactly 1). It scales compute delay.
+	StepsPerRound int
+	// Clamp applies constraint (15) to Algorithm 3's frequencies. The
+	// printed algorithm omits the projection; disabling this reproduces the
+	// literal pseudocode for the ablation study.
+	Clamp bool
+}
+
+// DefaultParams returns the paper's experimental setting: η = 0.9, C = 0.1,
+// one local GD step, clamped frequencies.
+func DefaultParams() Params {
+	return Params{Eta: 0.9, Fraction: 0.1, StepsPerRound: 1, Clamp: true}
+}
+
+// Validate reports configuration errors.
+func (p Params) Validate() error {
+	if p.Eta <= 0 || p.Eta >= 1 {
+		return fmt.Errorf("core: decay coefficient η = %g outside (0,1)", p.Eta)
+	}
+	if p.Fraction <= 0 || p.Fraction > 1 {
+		return fmt.Errorf("core: selection fraction C = %g outside (0,1]", p.Fraction)
+	}
+	if p.StepsPerRound <= 0 {
+		return fmt.Errorf("core: non-positive steps per round %d", p.StepsPerRound)
+	}
+	return nil
+}
+
+// Scheduler is the FLCC-side state of Algorithm 2: the per-user static
+// delays measured in the initialization phase and the appearance counters
+// α_q that drive utility decay.
+type Scheduler struct {
+	params Params
+	devs   []*device.Device
+
+	// tcalMax[q] is T_q^cal at f_q^max (Algorithm 2, line 3).
+	tcalMax []float64
+	// tcom[q] is T_q^com (Algorithm 2, line 4).
+	tcom []float64
+	// alpha[q] counts how often user q has been selected (Eq. 20).
+	alpha []int
+}
+
+// NewScheduler runs the initialization of Algorithm 2 (lines 1–7): it
+// derives every user's compute delay at maximum frequency and upload delay,
+// and zeroes the appearance counters. modelBits is C_model for Eq. (7).
+func NewScheduler(devs []*device.Device, ch wireless.Channel, modelBits float64, params Params) (*Scheduler, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(devs) == 0 {
+		return nil, fmt.Errorf("core: no devices")
+	}
+	s := &Scheduler{
+		params:  params,
+		devs:    devs,
+		tcalMax: make([]float64, len(devs)),
+		tcom:    make([]float64, len(devs)),
+		alpha:   make([]int, len(devs)),
+	}
+	for q, d := range devs {
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
+		if d.NumSamples <= 0 {
+			return nil, fmt.Errorf("core: device %d has no local data", d.ID)
+		}
+		s.tcalMax[q] = float64(params.StepsPerRound) * d.ComputeDelayAtMax()
+		s.tcom[q] = ch.UploadDelay(modelBits, d.TxPower, d.ChannelGain)
+	}
+	return s, nil
+}
+
+// Utility returns u_q = η^{α_q} / (T_q^cal + T_q^com), Eq. (20), for user q
+// at the current appearance count.
+func (s *Scheduler) Utility(q int) float64 {
+	return pow(s.params.Eta, s.alpha[q]) / (s.tcalMax[q] + s.tcom[q])
+}
+
+// pow computes η^a for a non-negative integer a without the math.Pow
+// rounding surprises for small exponents.
+func pow(eta float64, a int) float64 {
+	out := 1.0
+	for ; a > 0; a-- {
+		out *= eta
+	}
+	return out
+}
+
+// Appearances returns a copy of the appearance counters α.
+func (s *Scheduler) Appearances() []int {
+	return append([]int(nil), s.alpha...)
+}
+
+// NumSelect returns N = max(Q·C, 1), the per-round selection count.
+func (s *Scheduler) NumSelect() int {
+	n := int(float64(len(s.devs)) * s.params.Fraction)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// SelectRound runs the selection loop of Algorithm 2 (lines 8–19): it
+// greedily picks the N users with the largest utilities and increments each
+// winner's appearance counter so its utility decays for later rounds.
+// The returned indices are positions in the scheduler's device slice,
+// in selection (descending utility) order.
+func (s *Scheduler) SelectRound() []int {
+	n := s.NumSelect()
+	// Compute utilities for all selectable users (lines 8–10).
+	utilities := make([]float64, len(s.devs))
+	for q := range s.devs {
+		utilities[q] = s.Utility(q)
+	}
+	selectable := make([]bool, len(s.devs))
+	for q := range selectable {
+		selectable[q] = true
+	}
+	selected := make([]int, 0, n)
+	for len(selected) < n {
+		// argmax over the selectable set (line 15), ties broken by index
+		// for determinism.
+		best := -1
+		for q := range s.devs {
+			if !selectable[q] {
+				continue
+			}
+			if best == -1 || utilities[q] > utilities[best] {
+				best = q
+			}
+		}
+		if best == -1 {
+			break // fewer users than N
+		}
+		selectable[best] = false
+		selected = append(selected, best)
+		s.alpha[best]++ // utility decay for future rounds (line 18)
+	}
+	return selected
+}
+
+// StaticDelay returns T_q^cal(f_max) + T_q^com for user q, the denominator
+// of Eq. (20). Exposed for baselines (FedCS ranks on the same quantity).
+func (s *Scheduler) StaticDelay(q int) float64 { return s.tcalMax[q] + s.tcom[q] }
+
+// TComOf returns the cached upload delay of user q.
+func (s *Scheduler) TComOf(q int) float64 { return s.tcom[q] }
+
+// TCalMaxOf returns the cached max-frequency compute delay of user q.
+func (s *Scheduler) TCalMaxOf(q int) float64 { return s.tcalMax[q] }
+
+// PlanRound runs one full FLCC scheduling decision: Algorithm 2 selection
+// followed by Algorithm 3 frequency determination. The returned frequencies
+// align with the returned device indices.
+func (s *Scheduler) PlanRound(ch wireless.Channel, modelBits float64) ([]int, []float64) {
+	selected := s.SelectRound()
+	devs := make([]*device.Device, len(selected))
+	for i, q := range selected {
+		devs[i] = s.devs[q]
+	}
+	freqs := FrequencyPlan(devs, ch, modelBits, s.params.StepsPerRound, s.params.Clamp)
+	// FrequencyPlan orders by ascending compute delay internally but
+	// returns frequencies aligned with its input order, so selected and
+	// freqs stay aligned here.
+	return selected, freqs
+}
+
+// FrequencyPlan implements Algorithm 3: determine the CPU operating
+// frequencies of the selected users by reclaiming TDMA slack. The users are
+// sorted by compute delay at maximum frequency; the first runs at f_max and
+// each subsequent user is slowed so its local update completes exactly when
+// the previous user's upload finishes.
+//
+// The returned slice aligns with devs (input order). steps scales compute
+// delay as in Params.StepsPerRound. If clamp is true the frequencies are
+// projected onto [f_min, f_max] (constraint (15)) and the chaining uses the
+// realized post-clamp completion times; if false the function returns the
+// literal pseudocode values, which may violate the device's range.
+func FrequencyPlan(devs []*device.Device, ch wireless.Channel, modelBits float64, steps int, clamp bool) []float64 {
+	if len(devs) == 0 {
+		return nil
+	}
+	if steps <= 0 {
+		panic(fmt.Sprintf("core: non-positive steps %d", steps))
+	}
+	scale := float64(steps)
+
+	// Line 1: ascending order of model-update delay at max frequency.
+	order := make([]int, len(devs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		da := scale * devs[order[a]].ComputeDelayAtMax()
+		db := scale * devs[order[b]].ComputeDelayAtMax()
+		if da != db {
+			return da < db
+		}
+		return devs[order[a]].ID < devs[order[b]].ID
+	})
+
+	freqs := make([]float64, len(devs))
+	// Lines 3–4: the first user has no slack and runs at maximum frequency.
+	first := devs[order[0]]
+	freqs[order[0]] = first.FMax
+	// prevEnd is T_q^j of the previous user: the time its upload completes,
+	// assuming the chain starts at round time zero.
+	prevEnd := scale*first.ComputeDelayAtMax() +
+		ch.UploadDelay(modelBits, first.TxPower, first.ChannelGain)
+
+	for k := 1; k < len(order); k++ {
+		d := devs[order[k]]
+		// Line 9: stretch this user's computation to fill the previous
+		// user's total delay: f = π|D| / T_prev (Eq. (4) inverted).
+		f := scale * d.TotalCycles() / prevEnd
+		if clamp {
+			// Project onto [f_min, f_max] (constraint 15) and, when the
+			// device exposes discrete DVFS levels, snap UP to the next
+			// operating point so the chain time is never missed.
+			f = d.SnapFreq(f)
+		}
+		freqs[order[k]] = f
+		// Line 8 for the next iteration: this user's total delay at the
+		// determined frequency. With clamping, the realized upload start is
+		// delayed to when the channel frees (compute may finish early after
+		// an f_min clamp) or pushed later (an f_max clamp cannot meet
+		// prevEnd), so chain on the realized completion time.
+		computeDone := scale * d.ComputeDelay(f)
+		start := computeDone
+		if clamp && prevEnd > start {
+			start = prevEnd
+		}
+		prevEnd = start + ch.UploadDelay(modelBits, d.TxPower, d.ChannelGain)
+	}
+	return freqs
+}

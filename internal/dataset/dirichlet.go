@@ -1,0 +1,129 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// PartitionDirichlet assigns samples to users with per-class Dirichlet(α)
+// proportions — the other standard federated Non-IID generator (Hsu et
+// al., 2019), complementing the paper's sort-and-shard scheme. Small α
+// (e.g. 0.1) gives extreme label skew; large α approaches IID.
+//
+// Every user is guaranteed at least one sample: after the proportional
+// assignment, empty users steal one sample from the largest user.
+func PartitionDirichlet(d *Dataset, users, numClasses int, alpha float64, rng *rand.Rand) *Partition {
+	if users <= 0 {
+		panic(fmt.Sprintf("dataset: need positive user count, got %d", users))
+	}
+	if alpha <= 0 {
+		panic(fmt.Sprintf("dataset: Dirichlet alpha %g must be positive", alpha))
+	}
+	if d.N() < users {
+		panic(fmt.Sprintf("dataset: %d samples cannot cover %d users", d.N(), users))
+	}
+
+	// Group sample indices by class, shuffled within class.
+	byClass := make([][]int, numClasses)
+	for i, l := range d.Labels {
+		if l < 0 || l >= numClasses {
+			panic(fmt.Sprintf("dataset: label %d outside [0,%d)", l, numClasses))
+		}
+		byClass[l] = append(byClass[l], i)
+	}
+	for _, idxs := range byClass {
+		rng.Shuffle(len(idxs), func(a, b int) { idxs[a], idxs[b] = idxs[b], idxs[a] })
+	}
+
+	p := &Partition{UserIndices: make([][]int, users)}
+	for _, idxs := range byClass {
+		if len(idxs) == 0 {
+			continue
+		}
+		props := dirichlet(rng, alpha, users)
+		// Convert proportions to cumulative cut points over this class.
+		off := 0
+		for u := 0; u < users; u++ {
+			take := int(props[u] * float64(len(idxs)))
+			if u == users-1 {
+				take = len(idxs) - off // remainder to the last user
+			}
+			if take > len(idxs)-off {
+				take = len(idxs) - off
+			}
+			p.UserIndices[u] = append(p.UserIndices[u], idxs[off:off+take]...)
+			off += take
+		}
+	}
+
+	// Repair empty users by stealing from the largest.
+	for u := range p.UserIndices {
+		if len(p.UserIndices[u]) > 0 {
+			continue
+		}
+		big := 0
+		for v := range p.UserIndices {
+			if len(p.UserIndices[v]) > len(p.UserIndices[big]) {
+				big = v
+			}
+		}
+		n := len(p.UserIndices[big])
+		if n < 2 {
+			panic("dataset: cannot repair empty user")
+		}
+		p.UserIndices[u] = append(p.UserIndices[u], p.UserIndices[big][n-1])
+		p.UserIndices[big] = p.UserIndices[big][:n-1]
+	}
+	return p
+}
+
+// dirichlet draws a Dirichlet(α,…,α) sample of dimension k via normalized
+// Gamma(α, 1) variates.
+func dirichlet(rng *rand.Rand, alpha float64, k int) []float64 {
+	out := make([]float64, k)
+	sum := 0.0
+	for i := range out {
+		out[i] = gammaSample(rng, alpha)
+		sum += out[i]
+	}
+	if sum == 0 {
+		// Pathologically tiny alpha: fall back to a one-hot draw.
+		out[rng.Intn(k)] = 1
+		return out
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// gammaSample draws Gamma(shape, 1) via Marsaglia–Tsang, with the Johnk
+// boost for shape < 1.
+func gammaSample(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		// Gamma(a) = Gamma(a+1) · U^{1/a}.
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return gammaSample(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / (3 * math.Sqrt(d))
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package dataset_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"helcfl/internal/dataset"
+)
+
+// The paper's Non-IID setting: sort by label, cut into Users×ShardsPerUser
+// shards, deal ShardsPerUser to each user — so every user sees only a few
+// labels.
+func ExamplePartitionNonIID() {
+	synth := dataset.GenerateSynth(dataset.SynthConfig{
+		Classes: 10, TrainN: 4000, TestN: 100, Seed: 1,
+	})
+	part := dataset.PartitionNonIID(synth.Train, 100, 400, 4, rand.New(rand.NewSource(2)))
+	users := dataset.UserDatasets(synth.Train, part)
+	fmt.Printf("user 0 holds %d samples spanning %d of 10 labels\n",
+		users[0].N(), users[0].DistinctLabels(10))
+	fmt.Printf("fleet mean: %.1f labels/user\n", dataset.MeanDistinctLabels(users, 10))
+	// Output:
+	// user 0 holds 40 samples spanning 3 of 10 labels
+	// fleet mean: 3.5 labels/user
+}

@@ -1,0 +1,106 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Binary dataset serialization, so deployments can ship identical data to
+// nodes instead of relying on shared generation seeds. Wire format:
+// magic, geometry header, labels as uint32, pixels as float32.
+
+const datasetMagic = uint32(0x48454C44) // "HELD"
+
+// Write serializes the dataset.
+func (d *Dataset) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	hdr := []uint32{
+		datasetMagic,
+		uint32(d.N()),
+		uint32(d.Channels()),
+		uint32(d.Height()),
+		uint32(d.Width()),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("dataset: write header: %w", err)
+		}
+	}
+	for _, l := range d.Labels {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(l)); err != nil {
+			return fmt.Errorf("dataset: write labels: %w", err)
+		}
+	}
+	buf := make([]byte, 4)
+	for _, v := range d.X.Data() {
+		binary.LittleEndian.PutUint32(buf, math.Float32bits(float32(v)))
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("dataset: write pixels: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a dataset written by Write.
+func Read(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	var hdr [5]uint32
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("dataset: read header: %w", err)
+		}
+	}
+	if hdr[0] != datasetMagic {
+		return nil, fmt.Errorf("dataset: bad magic %#x", hdr[0])
+	}
+	n, c, h, w := int(hdr[1]), int(hdr[2]), int(hdr[3]), int(hdr[4])
+	if n <= 0 || c <= 0 || h <= 0 || w <= 0 {
+		return nil, fmt.Errorf("dataset: invalid geometry %dx%dx%dx%d", n, c, h, w)
+	}
+	const maxElems = 1 << 28 // 1 GiB of float32 pixels
+	if int64(n)*int64(c)*int64(h)*int64(w) > maxElems {
+		return nil, fmt.Errorf("dataset: geometry too large")
+	}
+	d := &Dataset{Labels: make([]int, n)}
+	for i := range d.Labels {
+		var l uint32
+		if err := binary.Read(br, binary.LittleEndian, &l); err != nil {
+			return nil, fmt.Errorf("dataset: read labels: %w", err)
+		}
+		d.Labels[i] = int(l)
+	}
+	x := make([]float64, n*c*h*w)
+	buf := make([]byte, 4)
+	for i := range x {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("dataset: read pixels: %w", err)
+		}
+		x[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf)))
+	}
+	d.X = newTensor4(x, n, c, h, w)
+	return d, nil
+}
+
+// SaveFile writes the dataset to a file.
+func (d *Dataset) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return d.Write(f)
+}
+
+// LoadFile reads a dataset file.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

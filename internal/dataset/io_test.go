@@ -1,0 +1,70 @@
+package dataset
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDatasetWriteReadRoundTrip(t *testing.T) {
+	s := small()
+	var buf bytes.Buffer
+	if err := s.Train.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != s.Train.N() || got.Channels() != 2 || got.Height() != 4 || got.Width() != 4 {
+		t.Fatalf("geometry changed: %d %d %d %d", got.N(), got.Channels(), got.Height(), got.Width())
+	}
+	for i, l := range s.Train.Labels {
+		if got.Labels[i] != l {
+			t.Fatalf("label %d changed", i)
+		}
+	}
+	// float32 wire precision bounds the pixel error.
+	a, b := s.Train.X.Data(), got.X.Data()
+	for i := range a {
+		d := a[i] - b[i]
+		if d > 1e-5 || d < -1e-5 {
+			t.Fatalf("pixel %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDatasetFileRoundTrip(t *testing.T) {
+	s := small()
+	path := filepath.Join(t.TempDir(), "d.held")
+	if err := s.Test.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != s.Test.N() {
+		t.Fatalf("N = %d, want %d", got.N(), s.Test.N())
+	}
+}
+
+func TestDatasetReadRejectsCorrupt(t *testing.T) {
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Fatal("empty stream must error")
+	}
+	if _, err := Read(strings.NewReader("garbage garbage garbage!")); err == nil {
+		t.Fatal("bad magic must error")
+	}
+	// Truncated pixels.
+	s := small()
+	var buf bytes.Buffer
+	if err := s.Train.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-10]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated stream must error")
+	}
+}

@@ -1,0 +1,214 @@
+package deploy
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"helcfl/internal/dataset"
+	"helcfl/internal/nn"
+)
+
+// newSeededRand is a tiny helper shared with the server.
+func newSeededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// ClientConfig configures one device client.
+type ClientConfig struct {
+	// BaseURL points at the FLCC server.
+	BaseURL string
+	// Info is the resource report sent at registration.
+	Info RegisterRequest
+	// Data is the local dataset D_q.
+	Data *dataset.Dataset
+	// Spec matches the server's model architecture.
+	Spec nn.ModelSpec
+	// LR and LocalSteps parameterize the local GD update (Eq. 3).
+	LR         float64
+	LocalSteps int
+	// PollInterval is the wait between polls (keep small in tests).
+	PollInterval time.Duration
+	// TimeScale, when positive, makes the client act out its DVFS compute
+	// delay in real time: after training it sleeps
+	// TimeScale × CyclesPerUpdate / f_assigned seconds, so the server-side
+	// round timing reflects Algorithm 3's frequency plan. 0 disables.
+	TimeScale float64
+	// CyclesPerUpdate is the device's per-update CPU cost used with
+	// TimeScale.
+	CyclesPerUpdate float64
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// Client is a polling FL device.
+type Client struct {
+	cfg   ClientConfig
+	model *nn.Sequential
+	loss  *nn.SoftmaxCrossEntropy
+	// RoundsTrained counts local updates performed.
+	RoundsTrained int
+}
+
+// NewClient validates the configuration.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	switch {
+	case cfg.BaseURL == "":
+		return nil, fmt.Errorf("deploy: no server URL")
+	case cfg.Data == nil || cfg.Data.N() == 0:
+		return nil, fmt.Errorf("deploy: client %d has no data", cfg.Info.User)
+	case cfg.LR <= 0 || cfg.LocalSteps <= 0:
+		return nil, fmt.Errorf("deploy: bad training parameters")
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = http.DefaultClient
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 5 * time.Millisecond
+	}
+	return &Client{
+		cfg:   cfg,
+		model: cfg.Spec.Build(newSeededRand(int64(cfg.Info.User) + 1)),
+		loss:  nn.NewSoftmaxCrossEntropy(),
+	}, nil
+}
+
+// Run registers and participates until the server reports PhaseDone.
+func (c *Client) Run() error {
+	if err := c.register(); err != nil {
+		return err
+	}
+	for {
+		poll, err := c.poll()
+		if err != nil {
+			return err
+		}
+		switch poll.Phase {
+		case PhaseDone:
+			return nil
+		case PhaseTraining:
+			if poll.Selected {
+				if err := c.trainRound(poll.Round, poll.FreqHz); err != nil {
+					// Conflicts are benign races (the round advanced while
+					// we trained); everything else is fatal.
+					if !isConflict(err) {
+						return err
+					}
+				}
+				continue // poll again immediately
+			}
+		}
+		time.Sleep(c.cfg.PollInterval)
+	}
+}
+
+// conflictError marks HTTP 409/403 responses.
+type conflictError struct{ msg string }
+
+func (e conflictError) Error() string { return e.msg }
+
+func isConflict(err error) bool {
+	_, ok := err.(conflictError)
+	return ok
+}
+
+func (c *Client) register() error {
+	body, _ := json.Marshal(c.cfg.Info)
+	resp, err := c.cfg.HTTPClient.Post(c.cfg.BaseURL+"/register", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("deploy: register failed: %s: %s", resp.Status, msg)
+	}
+	return nil
+}
+
+func (c *Client) poll() (*PollResponse, error) {
+	resp, err := c.cfg.HTTPClient.Get(fmt.Sprintf("%s/poll?user=%d", c.cfg.BaseURL, c.cfg.Info.User))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("deploy: poll failed: %s", resp.Status)
+	}
+	var out PollResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// trainRound downloads the round's global model, runs the local update,
+// and uploads the result. freqHz is the FLCC-assigned DVFS frequency.
+func (c *Client) trainRound(round int, freqHz float64) error {
+	resp, err := c.cfg.HTTPClient.Get(fmt.Sprintf("%s/model?round=%d", c.cfg.BaseURL, round))
+	if err != nil {
+		return err
+	}
+	payload, readErr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusConflict {
+		return conflictError{"stale model fetch"}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("deploy: model fetch failed: %s", resp.Status)
+	}
+	if readErr != nil {
+		return readErr
+	}
+	if err := nn.LoadParamBytes(c.model, payload); err != nil {
+		return err
+	}
+
+	// Local update, Eq. (3).
+	var x = c.cfg.Data.X
+	if c.cfg.Spec.FlattensInput() {
+		x = c.cfg.Data.FlatX()
+	}
+	for s := 0; s < c.cfg.LocalSteps; s++ {
+		c.model.ZeroGrads()
+		logits := c.model.Forward(x, true)
+		c.loss.Forward(logits, c.cfg.Data.Labels)
+		c.model.Backward(c.loss.Backward())
+		params, grads := c.model.Params(), c.model.Grads()
+		for i, p := range params {
+			p.AXPY(-c.cfg.LR, grads[i])
+		}
+	}
+	// Act out the DVFS compute delay, so slower assigned frequencies make
+	// this device visibly later on the server's timeline.
+	if c.cfg.TimeScale > 0 && c.cfg.CyclesPerUpdate > 0 && freqHz > 0 {
+		delay := c.cfg.TimeScale * c.cfg.CyclesPerUpdate / freqHz
+		time.Sleep(time.Duration(delay * float64(time.Second)))
+	}
+
+	up, err := http.NewRequest(http.MethodPost,
+		fmt.Sprintf("%s/upload?user=%d&round=%d", c.cfg.BaseURL, c.cfg.Info.User, round),
+		bytes.NewReader(nn.ParamBytes(c.model)))
+	if err != nil {
+		return err
+	}
+	up.Header.Set("Content-Type", "application/octet-stream")
+	upResp, err := c.cfg.HTTPClient.Do(up)
+	if err != nil {
+		return err
+	}
+	defer upResp.Body.Close()
+	switch upResp.StatusCode {
+	case http.StatusNoContent:
+		c.RoundsTrained++
+		return nil
+	case http.StatusConflict, http.StatusForbidden:
+		msg, _ := io.ReadAll(upResp.Body)
+		return conflictError{string(msg)}
+	default:
+		msg, _ := io.ReadAll(upResp.Body)
+		return fmt.Errorf("deploy: upload failed: %s: %s", upResp.Status, msg)
+	}
+}

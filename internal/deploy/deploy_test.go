@@ -1,0 +1,315 @@
+package deploy
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"helcfl/internal/core"
+	"helcfl/internal/dataset"
+	"helcfl/internal/device"
+	"helcfl/internal/fl"
+	"helcfl/internal/nn"
+	"helcfl/internal/selection"
+	"helcfl/internal/wireless"
+)
+
+// testDeployment spins an FLCC server plus `users` clients over real HTTP
+// and returns after every client exits.
+func testDeployment(t *testing.T, users, rounds int) (*Server, []*Client, *dataset.Synth) {
+	t.Helper()
+	synth := dataset.GenerateSynth(dataset.SynthConfig{
+		Classes: 4, C: 2, H: 4, W: 4, TrainN: 40 * users, TestN: 80, Noise: 0.7, Seed: 5,
+	})
+	rng := rand.New(rand.NewSource(6))
+	part := dataset.PartitionIID(synth.Train, users, rng)
+	userData := dataset.UserDatasets(synth.Train, part)
+	spec := nn.ModelSpec{Kind: "logistic", InC: 2, H: 4, W: 4, Classes: 4}
+
+	srv, err := NewServer(ServerConfig{
+		Spec:          spec,
+		Seed:          9,
+		ExpectedUsers: users,
+		Rounds:        rounds,
+		NewPlanner: func(devs []*device.Device) (fl.Planner, error) {
+			return selection.NewHELCFL(devs, wireless.DefaultChannel(), 1e5, core.Params{
+				Eta: 0.7, Fraction: 0.5, StepsPerRound: 1, Clamp: true,
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	clients := make([]*Client, users)
+	var wg sync.WaitGroup
+	errs := make([]error, users)
+	for q := 0; q < users; q++ {
+		c, err := NewClient(ClientConfig{
+			BaseURL: ts.URL,
+			Info: RegisterRequest{
+				User:        q,
+				NumSamples:  userData[q].N(),
+				FMin:        0.3e9,
+				FMax:        0.5e9 + float64(q)*0.1e9,
+				TxPower:     0.2,
+				ChannelGain: 1.0,
+			},
+			Data:         userData[q],
+			Spec:         spec,
+			LR:           0.3,
+			LocalSteps:   1,
+			PollInterval: time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[q] = c
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			errs[q] = clients[q].Run()
+		}(q)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("deployment did not finish in 30s")
+	}
+	for q, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", q, err)
+		}
+	}
+	return srv, clients, synth
+}
+
+func TestDeploymentEndToEnd(t *testing.T) {
+	srv, clients, synth := testDeployment(t, 6, 8)
+
+	// The server finished its budget.
+	if srv.phase != PhaseDone {
+		t.Fatalf("server phase = %s", srv.phase)
+	}
+	// Every round trained ⌈Q·C⌉ users; across 8 rounds with C=0.5 that is
+	// 24 local updates total.
+	total := 0
+	for _, c := range clients {
+		total += c.RoundsTrained
+	}
+	if total != 8*3 {
+		t.Fatalf("total local updates = %d, want 24", total)
+	}
+	// The aggregated global model beats chance on held-out data.
+	global := srv.Global()
+	if global == nil {
+		t.Fatal("no global model")
+	}
+	_, acc := fl.Evaluate(global, synth.Test, true)
+	if acc < 0.5 {
+		t.Fatalf("deployed FL accuracy %g, want > 0.5", acc)
+	}
+	// Byte accounting is consistent: each upload and each download is one
+	// full model payload.
+	bits := nn.ModelBits(global)
+	if srv.bytesUp != int64(bits/8)*24 {
+		t.Fatalf("bytes up = %d, want %d", srv.bytesUp, int64(bits/8)*24)
+	}
+	if srv.bytesDown < srv.bytesUp {
+		t.Fatalf("downloads (%d) should be at least uploads (%d)", srv.bytesDown, srv.bytesUp)
+	}
+}
+
+func TestServerRejectsBadRequests(t *testing.T) {
+	spec := nn.ModelSpec{Kind: "logistic", InC: 1, H: 2, W: 2, Classes: 2}
+	srv, err := NewServer(ServerConfig{
+		Spec: spec, Seed: 1, ExpectedUsers: 2, Rounds: 1,
+		NewPlanner: func(devs []*device.Device) (fl.Planner, error) {
+			return selection.NewHELCFL(devs, wireless.DefaultChannel(), 1e4, core.DefaultParams())
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Out-of-range user.
+	body, _ := json.Marshal(RegisterRequest{User: 5, NumSamples: 3, FMin: 1, FMax: 2, TxPower: 1, ChannelGain: 1})
+	resp, err := http.Post(ts.URL+"/register", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad user register = %s", resp.Status)
+	}
+	// Invalid device parameters.
+	body, _ = json.Marshal(RegisterRequest{User: 0, NumSamples: 3, FMin: 2, FMax: 1, TxPower: 1, ChannelGain: 1})
+	resp, err = http.Post(ts.URL+"/register", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid device register = %s", resp.Status)
+	}
+	// Model fetch before training.
+	resp, err = http.Get(ts.URL + "/model?round=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("early model fetch = %s", resp.Status)
+	}
+	// Upload before training.
+	resp, err = http.Post(ts.URL+"/upload?user=0&round=0", "application/octet-stream", bytes.NewReader([]byte{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("early upload = %s", resp.Status)
+	}
+	// Status always answers.
+	resp, err = http.Get(ts.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Phase != PhaseRegistering || st.Rounds != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestServerRejectsRogueUploads(t *testing.T) {
+	users := 3
+	synth := dataset.GenerateSynth(dataset.SynthConfig{
+		Classes: 2, C: 1, H: 2, W: 2, TrainN: 12, TestN: 8, Noise: 0.5, Seed: 1,
+	})
+	part := dataset.PartitionIID(synth.Train, users, rand.New(rand.NewSource(1)))
+	userData := dataset.UserDatasets(synth.Train, part)
+	spec := nn.ModelSpec{Kind: "logistic", InC: 1, H: 2, W: 2, Classes: 2}
+	srv, err := NewServer(ServerConfig{
+		Spec: spec, Seed: 2, ExpectedUsers: users, Rounds: 3,
+		NewPlanner: func(devs []*device.Device) (fl.Planner, error) {
+			// Select exactly one user per round so the others are rogue.
+			return selection.NewHELCFL(devs, wireless.DefaultChannel(), 1e4, core.Params{
+				Eta: 0.7, Fraction: 0.01, StepsPerRound: 1, Clamp: true,
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	for q := 0; q < users; q++ {
+		body, _ := json.Marshal(RegisterRequest{
+			User: q, NumSamples: userData[q].N(),
+			FMin: 0.3e9, FMax: 1e9, TxPower: 0.2, ChannelGain: 1,
+		})
+		resp, err := http.Post(ts.URL+"/register", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	// Find the selected user and a rogue user.
+	selectedUser := -1
+	for q := 0; q < users; q++ {
+		resp, err := http.Get(fmt.Sprintf("%s/poll?user=%d", ts.URL, q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pr PollResponse
+		_ = json.NewDecoder(resp.Body).Decode(&pr)
+		resp.Body.Close()
+		if pr.Selected {
+			selectedUser = q
+		}
+	}
+	if selectedUser == -1 {
+		t.Fatal("no user selected")
+	}
+	rogue := (selectedUser + 1) % users
+
+	// A valid payload from the wrong user must be rejected.
+	payload := nn.ParamBytes(spec.Build(rand.New(rand.NewSource(3))))
+	resp, err := http.Post(fmt.Sprintf("%s/upload?user=%d&round=0", ts.URL, rogue),
+		"application/octet-stream", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("rogue upload = %s, want 403", resp.Status)
+	}
+	// A garbage payload from the right user must be rejected.
+	resp, err = http.Post(fmt.Sprintf("%s/upload?user=%d&round=0", ts.URL, selectedUser),
+		"application/octet-stream", bytes.NewReader([]byte("junk")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage upload = %s, want 400", resp.Status)
+	}
+	// A correct upload advances the round; a duplicate for the old round
+	// then conflicts.
+	resp, err = http.Post(fmt.Sprintf("%s/upload?user=%d&round=0", ts.URL, selectedUser),
+		"application/octet-stream", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("valid upload = %s, want 204", resp.Status)
+	}
+	resp, err = http.Post(fmt.Sprintf("%s/upload?user=%d&round=0", ts.URL, selectedUser),
+		"application/octet-stream", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("stale upload = %s, want 409", resp.Status)
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	spec := nn.ModelSpec{Kind: "logistic", InC: 1, H: 2, W: 2, Classes: 2}
+	factory := func(devs []*device.Device) (fl.Planner, error) { return nil, nil }
+	if _, err := NewServer(ServerConfig{Spec: spec, ExpectedUsers: 0, Rounds: 1, NewPlanner: factory}); err == nil {
+		t.Fatal("zero users must fail")
+	}
+	if _, err := NewServer(ServerConfig{Spec: spec, ExpectedUsers: 1, Rounds: 0, NewPlanner: factory}); err == nil {
+		t.Fatal("zero rounds must fail")
+	}
+	if _, err := NewServer(ServerConfig{Spec: spec, ExpectedUsers: 1, Rounds: 1}); err == nil {
+		t.Fatal("nil factory must fail")
+	}
+}
+
+func TestNewClientValidation(t *testing.T) {
+	if _, err := NewClient(ClientConfig{}); err == nil {
+		t.Fatal("empty config must fail")
+	}
+}

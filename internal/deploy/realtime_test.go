@@ -1,0 +1,79 @@
+package deploy
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"helcfl/internal/core"
+	"helcfl/internal/dataset"
+	"helcfl/internal/device"
+	"helcfl/internal/fl"
+	"helcfl/internal/nn"
+	"helcfl/internal/selection"
+	"helcfl/internal/wireless"
+)
+
+// runTimedDeployment runs a 3-round deployment and returns its wall time.
+func runTimedDeployment(t *testing.T, timeScale float64) time.Duration {
+	t.Helper()
+	const users = 3
+	synth := dataset.GenerateSynth(dataset.SynthConfig{
+		Classes: 2, C: 1, H: 2, W: 2, TrainN: 12, TestN: 8, Noise: 0.5, Seed: 2,
+	})
+	part := dataset.PartitionIID(synth.Train, users, rand.New(rand.NewSource(3)))
+	shards := dataset.UserDatasets(synth.Train, part)
+	spec := nn.ModelSpec{Kind: "logistic", InC: 1, H: 2, W: 2, Classes: 2}
+	srv, err := NewServer(ServerConfig{
+		Spec: spec, Seed: 4, ExpectedUsers: users, Rounds: 3,
+		NewPlanner: func(devs []*device.Device) (fl.Planner, error) {
+			return selection.NewHELCFL(devs, wireless.DefaultChannel(), 1e4, core.Params{
+				Eta: 0.7, Fraction: 1.0, StepsPerRound: 1, Clamp: true,
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for q := 0; q < users; q++ {
+		c, err := NewClient(ClientConfig{
+			BaseURL: ts.URL,
+			Info: RegisterRequest{
+				User: q, NumSamples: shards[q].N(),
+				FMin: 0.3e9, FMax: 1e9 + float64(q)*0.4e9,
+				TxPower: 0.2, ChannelGain: 1,
+			},
+			Data: shards[q], Spec: spec,
+			LR: 0.2, LocalSteps: 1,
+			PollInterval:    time.Millisecond,
+			TimeScale:       timeScale,
+			CyclesPerUpdate: 1e9, // 1 s at 1 GHz before scaling
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = c.Run()
+		}()
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+func TestRealtimeDVFSSlowsDeployment(t *testing.T) {
+	fast := runTimedDeployment(t, 0)
+	// 3 rounds × ~1 s of simulated compute × scale 0.03 ≈ ≥90 ms extra.
+	slow := runTimedDeployment(t, 0.03)
+	if slow < fast+50*time.Millisecond {
+		t.Fatalf("realtime DVFS had no effect: %v vs %v", slow, fast)
+	}
+}

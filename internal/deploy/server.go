@@ -1,0 +1,303 @@
+package deploy
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"helcfl/internal/device"
+	"helcfl/internal/fl"
+	"helcfl/internal/nn"
+)
+
+// ServerConfig configures the FLCC server.
+type ServerConfig struct {
+	// Spec is the shared model architecture; the server owns the global
+	// model.
+	Spec nn.ModelSpec
+	// Seed initializes the global model.
+	Seed int64
+	// ExpectedUsers is the fleet size Q; training starts when all have
+	// registered.
+	ExpectedUsers int
+	// Rounds is the round budget J.
+	Rounds int
+	// NewPlanner builds the scheduling policy once the fleet's resource
+	// information is known (the devices carry what registration reported).
+	NewPlanner func(devs []*device.Device) (fl.Planner, error)
+}
+
+// Server is the FLCC: an http.Handler exposing the FL protocol.
+type Server struct {
+	cfg ServerConfig
+	mux *http.ServeMux
+
+	mu         sync.Mutex
+	phase      Phase
+	devices    []*device.Device
+	registered map[int]bool
+	planner    fl.Planner
+
+	round     int
+	selected  map[int]float64 // user → assigned frequency
+	uploads   map[int][]float64
+	global    *nn.Sequential
+	payload   []byte // serialized global model for the current round
+	bytesUp   int64
+	bytesDown int64
+	lastLoss  float64
+}
+
+// NewServer validates the configuration and returns a server ready to
+// accept registrations.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	switch {
+	case cfg.ExpectedUsers <= 0:
+		return nil, fmt.Errorf("deploy: non-positive fleet size %d", cfg.ExpectedUsers)
+	case cfg.Rounds <= 0:
+		return nil, fmt.Errorf("deploy: non-positive round budget %d", cfg.Rounds)
+	case cfg.NewPlanner == nil:
+		return nil, fmt.Errorf("deploy: no planner factory")
+	}
+	s := &Server{
+		cfg:        cfg,
+		phase:      PhaseRegistering,
+		devices:    make([]*device.Device, cfg.ExpectedUsers),
+		registered: map[int]bool{},
+		uploads:    map[int][]float64{},
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/register", s.handleRegister)
+	s.mux.HandleFunc("/poll", s.handlePoll)
+	s.mux.HandleFunc("/model", s.handleModel)
+	s.mux.HandleFunc("/upload", s.handleUpload)
+	s.mux.HandleFunc("/status", s.handleStatus)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Global returns a clone of the current global model (safe at any time).
+func (s *Server) Global() *nn.Sequential {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.global == nil {
+		return nil
+	}
+	return s.global.Clone()
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req RegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad register body: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.phase != PhaseRegistering {
+		httpError(w, http.StatusConflict, "registration closed")
+		return
+	}
+	if req.User < 0 || req.User >= s.cfg.ExpectedUsers {
+		httpError(w, http.StatusBadRequest, "user %d outside fleet of %d", req.User, s.cfg.ExpectedUsers)
+		return
+	}
+	d := &device.Device{
+		ID:              req.User,
+		FMin:            req.FMin,
+		FMax:            req.FMax,
+		CyclesPerSample: device.DefaultCyclesPerSample,
+		Kappa:           device.DefaultKappa,
+		TxPower:         req.TxPower,
+		ChannelGain:     req.ChannelGain,
+		NumSamples:      req.NumSamples,
+	}
+	if err := d.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid device: %v", err)
+		return
+	}
+	s.devices[req.User] = d
+	s.registered[req.User] = true
+	if len(s.registered) == s.cfg.ExpectedUsers {
+		if err := s.startTrainingLocked(); err != nil {
+			httpError(w, http.StatusInternalServerError, "start training: %v", err)
+			return
+		}
+	}
+	writeJSON(w, RegisterResponse{Registered: len(s.registered), Expected: s.cfg.ExpectedUsers})
+}
+
+// startTrainingLocked builds the planner and plans round 0. Caller holds mu.
+func (s *Server) startTrainingLocked() error {
+	planner, err := s.cfg.NewPlanner(s.devices)
+	if err != nil {
+		return err
+	}
+	s.planner = planner
+	s.global = s.cfg.Spec.Build(newSeededRand(s.cfg.Seed))
+	s.phase = PhaseTraining
+	s.round = 0
+	return s.planRoundLocked()
+}
+
+// planRoundLocked asks the planner for the current round's cohort and
+// serializes the broadcast payload. Caller holds mu.
+func (s *Server) planRoundLocked() error {
+	sel, freqs := s.planner.PlanRound(s.round)
+	if len(sel) == 0 {
+		return fmt.Errorf("deploy: planner selected no users in round %d", s.round)
+	}
+	s.selected = make(map[int]float64, len(sel))
+	for i, q := range sel {
+		s.selected[q] = freqs[i]
+	}
+	s.uploads = map[int][]float64{}
+	s.payload = nn.ParamBytes(s.global)
+	return nil
+}
+
+func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
+	user, err := strconv.Atoi(r.URL.Query().Get("user"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad user")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp := PollResponse{Phase: s.phase, Round: s.round}
+	if s.phase == PhaseTraining {
+		if f, ok := s.selected[user]; ok {
+			// Only users that have not uploaded yet should act.
+			if _, uploaded := s.uploads[user]; !uploaded {
+				resp.Selected = true
+				resp.FreqHz = f
+			}
+		}
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	round, err := strconv.Atoi(r.URL.Query().Get("round"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad round")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.phase != PhaseTraining {
+		httpError(w, http.StatusConflict, "not training")
+		return
+	}
+	if round != s.round {
+		httpError(w, http.StatusConflict, "round %d is over (current %d)", round, s.round)
+		return
+	}
+	s.bytesDown += int64(len(s.payload))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(s.payload)
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	q := r.URL.Query()
+	user, err1 := strconv.Atoi(q.Get("user"))
+	round, err2 := strconv.Atoi(q.Get("round"))
+	if err1 != nil || err2 != nil {
+		httpError(w, http.StatusBadRequest, "bad user/round")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.phase != PhaseTraining {
+		httpError(w, http.StatusConflict, "not training")
+		return
+	}
+	if round != s.round {
+		httpError(w, http.StatusConflict, "stale round %d (current %d)", round, s.round)
+		return
+	}
+	if _, ok := s.selected[user]; !ok {
+		httpError(w, http.StatusForbidden, "user %d not selected in round %d", user, round)
+		return
+	}
+	if _, dup := s.uploads[user]; dup {
+		httpError(w, http.StatusConflict, "duplicate upload from user %d", user)
+		return
+	}
+	// Decode the payload through a scratch model to validate its shape.
+	scratch := s.global.Clone()
+	if err := nn.LoadParamBytes(scratch, body); err != nil {
+		httpError(w, http.StatusBadRequest, "bad payload: %v", err)
+		return
+	}
+	s.uploads[user] = scratch.GetFlatParams()
+	s.bytesUp += int64(len(body))
+	if len(s.uploads) == len(s.selected) {
+		s.aggregateLocked()
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// aggregateLocked runs FedAvg over the round's uploads and advances the
+// round. Caller holds mu.
+func (s *Server) aggregateLocked() {
+	uploads := make([][]float64, 0, len(s.uploads))
+	weights := make([]int, 0, len(s.uploads))
+	for user, flat := range s.uploads {
+		uploads = append(uploads, flat)
+		weights = append(weights, s.devices[user].NumSamples)
+	}
+	s.global.SetFlatParams(fl.FedAvg(uploads, weights))
+	s.round++
+	if s.round >= s.cfg.Rounds {
+		s.phase = PhaseDone
+		s.selected = nil
+		s.uploads = nil
+		return
+	}
+	if err := s.planRoundLocked(); err != nil {
+		// A planner failure mid-run is unrecoverable; finish gracefully.
+		s.phase = PhaseDone
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	writeJSON(w, StatusResponse{
+		Phase:      s.phase,
+		Round:      s.round,
+		Rounds:     s.cfg.Rounds,
+		Registered: len(s.registered),
+		BytesUp:    s.bytesUp,
+		BytesDown:  s.bytesDown,
+		TrainLoss:  s.lastLoss,
+	})
+}

@@ -1,0 +1,41 @@
+package device_test
+
+import (
+	"fmt"
+
+	"helcfl/internal/device"
+)
+
+// The paper's cost model for one local update: Eq. (4) delay and Eq. (5)
+// energy at a chosen DVFS frequency.
+func ExampleDevice() {
+	d := &device.Device{
+		ID: 0, FMin: 0.3e9, FMax: 2.0e9,
+		CyclesPerSample: 1e7, // π
+		Kappa:           2e-28,
+		TxPower:         0.2, ChannelGain: 1.0,
+		NumSamples: 500, // |D_q|
+	}
+	fmt.Printf("T_cal at 1 GHz: %.1f s\n", d.ComputeDelay(1e9))
+	fmt.Printf("E_cal at 1 GHz: %.2f J\n", d.ComputeEnergy(1e9))
+	// Halving the frequency doubles delay and quarters energy — the
+	// trade-off Algorithm 3 exploits.
+	fmt.Printf("T_cal at 0.5 GHz: %.1f s, E_cal: %.3f J\n",
+		d.ComputeDelay(0.5e9), d.ComputeEnergy(0.5e9))
+	// Output:
+	// T_cal at 1 GHz: 5.0 s
+	// E_cal at 1 GHz: 0.50 J
+	// T_cal at 0.5 GHz: 10.0 s, E_cal: 0.125 J
+}
+
+func ExampleDevice_SnapFreq() {
+	d := &device.Device{
+		ID: 0, FMin: 0.4e9, FMax: 1.6e9,
+		CyclesPerSample: 1e7, Kappa: 2e-28,
+		TxPower: 0.2, ChannelGain: 1, NumSamples: 10,
+	}
+	d.UniformLevels(4) // {0.4, 0.8, 1.2, 1.6} GHz
+	fmt.Printf("%.1f GHz\n", d.SnapFreq(0.9e9)/1e9)
+	// Output:
+	// 1.2 GHz
+}

@@ -1,0 +1,73 @@
+package device
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSnapFreqContinuousFallback(t *testing.T) {
+	d := sample()
+	if d.SnapFreq(0.9e9) != 0.9e9 {
+		t.Fatal("no levels: SnapFreq must pass through in-range requests")
+	}
+	if d.SnapFreq(0.1e9) != d.FMin || d.SnapFreq(9e9) != d.FMax {
+		t.Fatal("no levels: SnapFreq must clamp like ClampFreq")
+	}
+}
+
+func TestSnapFreqRoundsUp(t *testing.T) {
+	d := sample() // [0.3, 1.5] GHz
+	d.Levels = []float64{0.3e9, 0.6e9, 0.9e9, 1.2e9, 1.5e9}
+	if got := d.SnapFreq(0.7e9); got != 0.9e9 {
+		t.Fatalf("SnapFreq(0.7GHz) = %g, want next level up 0.9GHz", got)
+	}
+	if got := d.SnapFreq(0.9e9); got != 0.9e9 {
+		t.Fatal("exact level must be preserved")
+	}
+	if got := d.SnapFreq(0.1e9); got != 0.3e9 {
+		t.Fatal("below range snaps to the lowest level")
+	}
+	if got := d.SnapFreq(2e9); got != 1.5e9 {
+		t.Fatal("above range snaps to the top level")
+	}
+}
+
+func TestUniformLevels(t *testing.T) {
+	d := sample()
+	d.UniformLevels(5)
+	if len(d.Levels) != 5 {
+		t.Fatalf("levels = %d", len(d.Levels))
+	}
+	if d.Levels[0] != d.FMin || d.Levels[4] != d.FMax {
+		t.Fatal("levels must span [FMin, FMax]")
+	}
+	step := d.Levels[1] - d.Levels[0]
+	for i := 1; i < len(d.Levels); i++ {
+		if math.Abs(d.Levels[i]-d.Levels[i-1]-step) > 1 {
+			t.Fatal("levels must be evenly spaced")
+		}
+	}
+}
+
+func TestUniformLevelsBadCountPanics(t *testing.T) {
+	d := sample()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.UniformLevels(1)
+}
+
+// Snapping up costs energy versus the continuous ideal but never delay:
+// the snapped frequency is ≥ the requested one.
+func TestSnapFreqNeverSlower(t *testing.T) {
+	d := sample()
+	d.UniformLevels(4)
+	for _, f := range []float64{0.31e9, 0.5e9, 0.77e9, 1.1e9, 1.49e9} {
+		snapped := d.SnapFreq(f)
+		if snapped < d.ClampFreq(f)-1e-9 {
+			t.Fatalf("SnapFreq(%g) = %g is slower than requested", f, snapped)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+
+	"helcfl/internal/core"
+	"helcfl/internal/device"
+	"helcfl/internal/fl"
+	"helcfl/internal/metrics"
+	"helcfl/internal/report"
+	"helcfl/internal/selection"
+	"helcfl/internal/sim"
+)
+
+// BatteryCampaign compares the schemes when devices carry finite energy
+// budgets — the paper's Section I motivation. Two effects emerge: DVFS
+// (Algorithm 3) stretches device lifetime, and selection policy decides
+// *which* devices die — FedCS burns out its fixed fast cohort and halts.
+type BatteryCampaign struct {
+	Setting Setting
+	// CapacityJ is the per-device battery budget.
+	CapacityJ float64
+	// Per-scheme outcomes.
+	Best       map[string]float64
+	FinalAlive map[string]int
+	RoundsDone map[string]int
+	Halted     map[string]bool
+	Fleet      int
+}
+
+// batterySchemes are compared in the campaign; HELCFL-noDVFS isolates
+// Algorithm 3's lifetime contribution.
+var batterySchemes = []string{"HELCFL", "HELCFL-noDVFS", "ClassicFL", "FedCS", "FEDL"}
+
+// EstimateSelectedUserRoundEnergy simulates one max-frequency HELCFL round
+// on the environment and returns the mean per-selected-user energy — the
+// natural unit for battery budgets.
+func EstimateSelectedUserRoundEnergy(env *Env) (float64, error) {
+	h, err := selection.NewHELCFL(env.Devices, env.Channel, env.ModelBits, core.Params{
+		Eta: env.Preset.Eta, Fraction: env.Preset.Fraction, StepsPerRound: env.Preset.LocalSteps, Clamp: true,
+	})
+	if err != nil {
+		return 0, err
+	}
+	sel, _ := h.PlanRound(0)
+	devs := make([]*device.Device, len(sel))
+	for i, q := range sel {
+		devs[i] = env.Devices[q]
+	}
+	round := sim.SimulateRound(devs, sim.MaxFrequencies(devs), env.Channel, env.ModelBits, env.Preset.LocalSteps)
+	return round.TotalEnergy / float64(len(sel)), nil
+}
+
+// RunBatteryCampaign gives every device a battery worth selectionsOfBudget
+// max-frequency selections and trains every scheme to its round budget or
+// fleet death.
+func RunBatteryCampaign(p Preset, s Setting, seed int64, selectionsOfBudget float64) (*BatteryCampaign, error) {
+	if selectionsOfBudget <= 0 {
+		return nil, fmt.Errorf("experiments: non-positive battery budget %g", selectionsOfBudget)
+	}
+	env, err := BuildEnv(p, s, seed)
+	if err != nil {
+		return nil, err
+	}
+	perSel, err := EstimateSelectedUserRoundEnergy(env)
+	if err != nil {
+		return nil, err
+	}
+	capacity := selectionsOfBudget * perSel
+	out := &BatteryCampaign{
+		Setting:    s,
+		CapacityJ:  capacity,
+		Best:       map[string]float64{},
+		FinalAlive: map[string]int{},
+		RoundsDone: map[string]int{},
+		Halted:     map[string]bool{},
+		Fleet:      len(env.Devices),
+	}
+	for _, scheme := range batterySchemes {
+		curve, res, err := RunSchemeWith(env, scheme, func(c *fl.Config) {
+			c.BatteryCapacityJ = capacity
+		})
+		if err != nil {
+			return nil, fmt.Errorf("scheme %s: %w", scheme, err)
+		}
+		out.Best[scheme] = curve.Best()
+		out.RoundsDone[scheme] = len(res.Records)
+		out.Halted[scheme] = res.HaltedByDeadFleet
+		if n := len(res.Records); n > 0 {
+			out.FinalAlive[scheme] = res.Records[n-1].AliveDevices
+		} else {
+			out.FinalAlive[scheme] = len(env.Devices)
+		}
+	}
+	return out, nil
+}
+
+// Render produces the lifetime-comparison table.
+func (b *BatteryCampaign) Render() *report.Table {
+	tb := report.NewTable(
+		fmt.Sprintf("Battery campaign (%s): %.1f J per device", b.Setting, b.CapacityJ),
+		"scheme", "rounds done", "devices alive", "halted", "best accuracy")
+	for _, scheme := range batterySchemes {
+		halted := "no"
+		if b.Halted[scheme] {
+			halted = "yes"
+		}
+		tb.AddRow(scheme,
+			fmt.Sprintf("%d", b.RoundsDone[scheme]),
+			fmt.Sprintf("%d/%d", b.FinalAlive[scheme], b.Fleet),
+			halted,
+			metrics.FormatPercent(b.Best[scheme]))
+	}
+	return tb
+}

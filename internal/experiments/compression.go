@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"helcfl/internal/compress"
+	"helcfl/internal/fl"
+	"helcfl/internal/metrics"
+	"helcfl/internal/report"
+)
+
+// CompressionAblation compares HELCFL against upload-compression variants
+// (the paper's Section I rivals): how much wall-clock the smaller C_model
+// buys and what it costs in accuracy.
+type CompressionAblation struct {
+	Setting Setting
+	// Names, Ratios, Best, TimeSec, EnergyJ align 1:1 per variant.
+	Names   []string
+	Ratios  []float64
+	Best    []float64
+	TimeSec []float64
+	EnergyJ []float64
+}
+
+// RunCompressionAblation trains HELCFL once per compressor on a shared
+// environment. Both the cost model (C_model in Eq. 7) and the training
+// (lossy reconstructed uploads) see the compression.
+func RunCompressionAblation(p Preset, s Setting, seed int64, compressors []compress.Compressor) (*CompressionAblation, error) {
+	env, err := BuildEnv(p, s, seed)
+	if err != nil {
+		return nil, err
+	}
+	numParams := env.Spec.Build(rand.New(rand.NewSource(seed + 3))).NumParams()
+	out := &CompressionAblation{Setting: s}
+	for _, c := range compressors {
+		// The planner must see the compressed upload size: it changes
+		// T_com in utility ranking, FedCS packing, and Algorithm 3 chains.
+		cenv := *env
+		cenv.ModelBits = c.BitsFor(numParams)
+		planner, err := newPlanner("HELCFL", &cenv, seed)
+		if err != nil {
+			return nil, err
+		}
+		res, err := fl.Run(fl.Config{
+			Spec:       cenv.Spec,
+			Devices:    cenv.Devices,
+			Channel:    cenv.Channel,
+			UserData:   cenv.UserData,
+			Test:       cenv.Synth.Test,
+			Planner:    planner,
+			LR:         p.LR,
+			LocalSteps: p.LocalSteps,
+			MaxRounds:  p.MaxRounds,
+			EvalEvery:  p.EvalEvery,
+			Compressor: c,
+			Seed:       seed + 100,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("compressor %s: %w", c.Name(), err)
+		}
+		curve := metrics.CurveFromRecords(c.Name(), res.Records)
+		out.Names = append(out.Names, c.Name())
+		out.Ratios = append(out.Ratios, compress.Ratio(c, numParams))
+		out.Best = append(out.Best, curve.Best())
+		out.TimeSec = append(out.TimeSec, res.TotalTime)
+		out.EnergyJ = append(out.EnergyJ, res.TotalEnergy)
+	}
+	return out, nil
+}
+
+// DefaultCompressors returns the comparison set: fp32 baseline, 10% top-k
+// sparsification, and 8-bit uniform quantization.
+func DefaultCompressors() []compress.Compressor {
+	return []compress.Compressor{
+		compress.None{},
+		compress.NewTopK(0.1),
+		compress.NewUniform(8),
+	}
+}
+
+// Render produces the comparison table.
+func (a *CompressionAblation) Render() *report.Table {
+	tb := report.NewTable(fmt.Sprintf("Ablation (%s): upload compression vs scheduling", a.Setting),
+		"scheme", "ratio", "best accuracy", "total delay", "total energy (J)")
+	for i, name := range a.Names {
+		tb.AddRow(name,
+			fmt.Sprintf("%.1fx", a.Ratios[i]),
+			metrics.FormatPercent(a.Best[i]),
+			metrics.FormatDelay(a.TimeSec[i], true),
+			fmt.Sprintf("%.1f", a.EnergyJ[i]))
+	}
+	return tb
+}

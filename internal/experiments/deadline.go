@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"helcfl/internal/fl"
+	"helcfl/internal/metrics"
+	"helcfl/internal/report"
+)
+
+// DeadlineBudget instantiates the paper's problem definition directly:
+// constraint (14) caps total training delay, and the objective is the best
+// accuracy achievable within that budget. Every scheme trains under the
+// same wall-clock deadline.
+type DeadlineBudget struct {
+	Setting Setting
+	// BudgetSec is the shared training deadline.
+	BudgetSec float64
+	// Best[scheme] is the best accuracy reached before the deadline;
+	// Rounds[scheme] counts completed rounds.
+	Best   map[string]float64
+	Rounds map[string]int
+}
+
+// RunDeadlineBudget runs all five schemes under the deadline. SL uses its
+// own engine and is budgeted by truncating its trajectory at the deadline.
+func RunDeadlineBudget(p Preset, s Setting, seed int64, budgetSec float64) (*DeadlineBudget, error) {
+	if budgetSec <= 0 {
+		return nil, fmt.Errorf("experiments: non-positive budget %g", budgetSec)
+	}
+	env, err := BuildEnv(p, s, seed)
+	if err != nil {
+		return nil, err
+	}
+	out := &DeadlineBudget{
+		Setting:   s,
+		BudgetSec: budgetSec,
+		Best:      map[string]float64{},
+		Rounds:    map[string]int{},
+	}
+	for _, scheme := range []string{"HELCFL", "ClassicFL", "FedCS", "FEDL"} {
+		curve, res, err := RunSchemeWith(env, scheme, func(c *fl.Config) {
+			c.DeadlineSec = budgetSec
+			// A generous round cap; the deadline is the binding constraint.
+			c.MaxRounds = p.MaxRounds * 10
+		})
+		if err != nil {
+			return nil, fmt.Errorf("scheme %s: %w", scheme, err)
+		}
+		out.Best[scheme] = curve.Best()
+		out.Rounds[scheme] = len(res.Records)
+	}
+	// SL: reuse the standard run and truncate at the budget.
+	slCurve, err := runSL(env)
+	if err != nil {
+		return nil, err
+	}
+	best := 0.0
+	rounds := 0
+	for _, pt := range slCurve.Points {
+		if pt.Time > budgetSec {
+			break
+		}
+		rounds = pt.Round + 1
+		if pt.Accuracy > best {
+			best = pt.Accuracy
+		}
+	}
+	out.Best["SL"] = best
+	out.Rounds["SL"] = rounds
+	return out, nil
+}
+
+// Render produces the budget-comparison table.
+func (d *DeadlineBudget) Render() *report.Table {
+	tb := report.NewTable(
+		fmt.Sprintf("Deadline budget (%s): best accuracy within %.1f min (constraint 14)",
+			d.Setting, d.BudgetSec/60),
+		"scheme", "rounds completed", "best accuracy")
+	for _, scheme := range SchemeOrder {
+		tb.AddRow(scheme,
+			fmt.Sprintf("%d", d.Rounds[scheme]),
+			metrics.FormatPercent(d.Best[scheme]))
+	}
+	return tb
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+
+	"helcfl/internal/report"
+)
+
+// DVFSLevelsAblation measures how much of Algorithm 3's energy saving
+// survives when devices expose only a few discrete DVFS operating points
+// (requests snap UP to the next level, preserving the chain deadline but
+// burning more energy than the continuous ideal).
+type DVFSLevelsAblation struct {
+	Setting Setting
+	// Labels names each variant ("continuous", "8 levels", …).
+	Labels []string
+	// ReductionPct is the Fig. 3 energy reduction at the setting's first
+	// target for each variant; Reached marks measurable entries.
+	ReductionPct []float64
+	Reached      []bool
+}
+
+// RunDVFSLevelsAblation runs the Fig. 3 comparison once per level count
+// (0 = continuous).
+func RunDVFSLevelsAblation(p Preset, s Setting, seed int64, levelCounts []int) (*DVFSLevelsAblation, error) {
+	out := &DVFSLevelsAblation{Setting: s}
+	for _, n := range levelCounts {
+		env, err := BuildEnv(p, s, seed)
+		if err != nil {
+			return nil, err
+		}
+		label := "continuous"
+		if n > 0 {
+			if n < 2 {
+				return nil, fmt.Errorf("experiments: need ≥2 DVFS levels, got %d", n)
+			}
+			label = fmt.Sprintf("%d levels", n)
+			for _, d := range env.Devices {
+				d.UniformLevels(n)
+			}
+		}
+		f3, err := RunFig3Env(env)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", label, err)
+		}
+		out.Labels = append(out.Labels, label)
+		if len(f3.Targets) > 0 && f3.Reached[0] {
+			out.ReductionPct = append(out.ReductionPct, f3.ReductionPct[0])
+			out.Reached = append(out.Reached, true)
+		} else {
+			out.ReductionPct = append(out.ReductionPct, 0)
+			out.Reached = append(out.Reached, false)
+		}
+	}
+	return out, nil
+}
+
+// Render produces the level-count table.
+func (a *DVFSLevelsAblation) Render() *report.Table {
+	tb := report.NewTable(
+		fmt.Sprintf("Ablation (%s): discrete DVFS levels vs Algorithm 3 savings", a.Setting),
+		"operating points", "energy reduction at first target")
+	for i, l := range a.Labels {
+		v := "✗"
+		if a.Reached[i] {
+			v = fmt.Sprintf("%.1f%%", a.ReductionPct[i])
+		}
+		tb.AddRow(l, v)
+	}
+	return tb
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"helcfl/internal/dataset"
+	"helcfl/internal/device"
+	"helcfl/internal/nn"
+	"helcfl/internal/wireless"
+)
+
+// Env is a fully instantiated experiment environment: data, fleet, channel,
+// and model geometry. Every scheme in a comparison shares one Env so that
+// differences come only from scheduling.
+type Env struct {
+	Preset  Preset
+	Setting Setting
+	Seed    int64
+
+	Synth    *dataset.Synth
+	UserData []*dataset.Dataset
+	Devices  []*device.Device
+	Channel  wireless.Channel
+	Spec     nn.ModelSpec
+	// ModelBits is C_model, computed from the actual serialized parameters
+	// of the preset's architecture.
+	ModelBits float64
+}
+
+// BuildEnv generates the environment for a preset, setting, and seed. Data,
+// partition, and fleet derive deterministically from the seed.
+func BuildEnv(p Preset, s Setting, seed int64) (*Env, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	synth := dataset.GenerateSynth(dataset.SynthConfig{
+		Classes: p.Classes,
+		C:       3, H: 8, W: 8,
+		TrainN: p.TrainN,
+		TestN:  p.TestN,
+		Noise:  p.Noise,
+		Seed:   seed,
+	})
+	rng := rand.New(rand.NewSource(seed + 1))
+	var part *dataset.Partition
+	switch {
+	case s == IID:
+		part = dataset.PartitionIID(synth.Train, p.Users, rng)
+	case p.DirichletAlpha > 0:
+		part = dataset.PartitionDirichlet(synth.Train, p.Users, p.Classes, p.DirichletAlpha, rng)
+	default:
+		part = dataset.PartitionNonIID(synth.Train, p.Users, p.Users*p.ShardsPerUser, p.ShardsPerUser, rng)
+	}
+	userData := dataset.UserDatasets(synth.Train, part)
+
+	devCfg := device.DefaultCatalogConfig()
+	devCfg.Q = p.Users
+	// The paper's users hold ~500 CIFAR samples each, so one local update
+	// costs π·500 = 5×10⁹ cycles (Preset.CyclesPerUpdate). Our synthetic
+	// users hold fewer samples; scale π so the per-user update keeps that
+	// cycle count (and hence the paper's 2.5–16.7 s compute-delay spread
+	// across the 0.3–2.0 GHz fleet). See DESIGN.md §2.
+	samplesPerUser := float64(p.TrainN) / float64(p.Users)
+	devCfg.CyclesPerSample = p.CyclesPerUpdate / samplesPerUser
+	devs := device.NewCatalog(devCfg, rand.New(rand.NewSource(seed+2)))
+	for q, d := range devs {
+		d.NumSamples = userData[q].N()
+	}
+
+	spec := p.Spec()
+	bits := nn.ModelBits(spec.Build(rand.New(rand.NewSource(seed + 3))))
+
+	ch := wireless.DefaultChannel()
+	if p.ChannelNoise > 0 {
+		ch.NoisePower = p.ChannelNoise
+	}
+
+	return &Env{
+		Preset:    p,
+		Setting:   s,
+		Seed:      seed,
+		Synth:     synth,
+		UserData:  userData,
+		Devices:   devs,
+		Channel:   ch,
+		Spec:      spec,
+		ModelBits: bits,
+	}, nil
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+
+	"helcfl/internal/core"
+	"helcfl/internal/fl"
+	"helcfl/internal/metrics"
+	"helcfl/internal/report"
+	"helcfl/internal/selection"
+)
+
+// LossAwareExtension compares baseline HELCFL against the loss-aware
+// variant (Oort-style statistical utility, core.LossAwareScheduler) —
+// a future-work direction beyond the paper.
+type LossAwareExtension struct {
+	Setting Setting
+	Lambdas []float64
+	// Best[i] and RoundsToTop[i] correspond to Lambdas[i]; index 0 is the
+	// λ=0 baseline (exactly the paper's scheduler).
+	Best        []float64
+	RoundsToTop []int
+}
+
+// RunLossAwareExtension trains HELCFL once per λ (λ=0 is prepended as the
+// baseline if missing).
+func RunLossAwareExtension(p Preset, s Setting, seed int64, lambdas []float64) (*LossAwareExtension, error) {
+	if len(lambdas) == 0 || lambdas[0] != 0 {
+		lambdas = append([]float64{0}, lambdas...)
+	}
+	topTarget := p.Targets(s)[len(p.Targets(s))-1]
+	out := &LossAwareExtension{Setting: s, Lambdas: lambdas}
+	for _, lambda := range lambdas {
+		env, err := BuildEnv(p, s, seed)
+		if err != nil {
+			return nil, err
+		}
+		planner, err := selection.NewHELCFLLossAware(env.Devices, env.Channel, env.ModelBits, core.Params{
+			Eta: p.Eta, Fraction: p.Fraction, StepsPerRound: p.LocalSteps, Clamp: true,
+		}, lambda)
+		if err != nil {
+			return nil, err
+		}
+		res, err := fl.Run(fl.Config{
+			Spec:       env.Spec,
+			Devices:    env.Devices,
+			Channel:    env.Channel,
+			UserData:   env.UserData,
+			Test:       env.Synth.Test,
+			Planner:    planner,
+			LR:         p.LR,
+			LocalSteps: p.LocalSteps,
+			MaxRounds:  p.MaxRounds,
+			EvalEvery:  p.EvalEvery,
+			Seed:       seed + 100,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("lambda %g: %w", lambda, err)
+		}
+		curve := metrics.CurveFromRecords(planner.Name(), res.Records)
+		rounds := -1
+		if r, ok := curve.RoundsToAccuracy(topTarget); ok {
+			rounds = r
+		}
+		out.Best = append(out.Best, curve.Best())
+		out.RoundsToTop = append(out.RoundsToTop, rounds)
+	}
+	return out, nil
+}
+
+// Render produces the λ-sweep table.
+func (e *LossAwareExtension) Render() *report.Table {
+	tb := report.NewTable(
+		fmt.Sprintf("Extension (%s): Oort-style loss-aware utility (λ=0 is the paper's scheduler)", e.Setting),
+		"λ", "best accuracy", "rounds to top target")
+	for i, l := range e.Lambdas {
+		rt := "✗"
+		if e.RoundsToTop[i] >= 0 {
+			rt = fmt.Sprintf("%d", e.RoundsToTop[i])
+		}
+		tb.AddRow(fmt.Sprintf("%.1f", l), metrics.FormatPercent(e.Best[i]), rt)
+	}
+	return tb
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"helcfl/internal/fl"
+	"helcfl/internal/report"
+	"helcfl/internal/selection"
+	"helcfl/internal/stats"
+)
+
+// FairnessStudy quantifies how evenly each selection policy spreads
+// participation across the fleet: Jain's fairness index over per-user
+// selection counts, and fleet coverage. Even spread matters twice — Eq. 19
+// (all data enters training) and battery lifetime (drain is proportional
+// to participation).
+type FairnessStudy struct {
+	Rounds   int
+	Schemes  []string
+	Jain     []float64
+	Coverage []float64 // fraction of users ever selected
+}
+
+// RunFairnessStudy replays `rounds` scheduling decisions per scheme (no
+// training — selection only).
+func RunFairnessStudy(p Preset, seed int64, rounds int) (*FairnessStudy, error) {
+	if rounds <= 0 {
+		return nil, fmt.Errorf("experiments: non-positive rounds %d", rounds)
+	}
+	env, err := BuildEnv(p, IID, seed)
+	if err != nil {
+		return nil, err
+	}
+	planners := map[string]fl.Planner{}
+	h, err := newPlanner("HELCFL", env, seed)
+	if err != nil {
+		return nil, err
+	}
+	planners["HELCFL"] = h
+	planners["ClassicFL"] = selection.NewClassicFL(env.Devices, p.Fraction, rand.New(rand.NewSource(seed+11)))
+	planners["FedCS"] = selection.NewFedCS(env.Devices, env.Channel, env.ModelBits, p.FedCSDeadlineSec, p.LocalSteps)
+
+	out := &FairnessStudy{Rounds: rounds}
+	for _, scheme := range []string{"HELCFL", "ClassicFL", "FedCS"} {
+		counts := make([]float64, len(env.Devices))
+		for j := 0; j < rounds; j++ {
+			sel, _ := planners[scheme].PlanRound(j)
+			for _, q := range sel {
+				counts[q]++
+			}
+		}
+		covered := 0
+		for _, c := range counts {
+			if c > 0 {
+				covered++
+			}
+		}
+		out.Schemes = append(out.Schemes, scheme)
+		out.Jain = append(out.Jain, stats.JainIndex(counts))
+		out.Coverage = append(out.Coverage, float64(covered)/float64(len(env.Devices)))
+	}
+	return out, nil
+}
+
+// Render produces the fairness table.
+func (f *FairnessStudy) Render() *report.Table {
+	tb := report.NewTable(
+		fmt.Sprintf("Selection fairness over %d rounds (Jain index; 1 = uniform)", f.Rounds),
+		"scheme", "Jain index", "fleet coverage")
+	for i, s := range f.Schemes {
+		tb.AddRow(s,
+			fmt.Sprintf("%.3f", f.Jain[i]),
+			fmt.Sprintf("%.0f%%", f.Coverage[i]*100))
+	}
+	return tb
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"helcfl/internal/core"
+	"helcfl/internal/fl"
+	"helcfl/internal/metrics"
+	"helcfl/internal/selection"
+)
+
+// SchemeOrder is the display order of Fig. 2's five curves.
+var SchemeOrder = []string{"HELCFL", "ClassicFL", "FedCS", "FEDL", "SL"}
+
+// Fig2Result holds one setting's accuracy-vs-iteration comparison.
+type Fig2Result struct {
+	Setting Setting
+	// Curves maps scheme name → evaluated trajectory.
+	Curves map[string]metrics.Curve
+}
+
+// Curve returns a scheme's curve, panicking on unknown names to catch
+// typos in report code.
+func (r *Fig2Result) Curve(scheme string) metrics.Curve {
+	c, ok := r.Curves[scheme]
+	if !ok {
+		panic(fmt.Sprintf("experiments: no curve for scheme %q", scheme))
+	}
+	return c
+}
+
+// newPlanner builds the planner for a named scheme over the environment.
+// Each scheme gets an independent, deterministically seeded RNG.
+func newPlanner(name string, env *Env, seed int64) (fl.Planner, error) {
+	p := env.Preset
+	switch name {
+	case "HELCFL":
+		return selection.NewHELCFL(env.Devices, env.Channel, env.ModelBits, core.Params{
+			Eta: p.Eta, Fraction: p.Fraction, StepsPerRound: p.LocalSteps, Clamp: true,
+		})
+	case "HELCFL-noDVFS":
+		h, err := selection.NewHELCFL(env.Devices, env.Channel, env.ModelBits, core.Params{
+			Eta: p.Eta, Fraction: p.Fraction, StepsPerRound: p.LocalSteps, Clamp: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		h.DisableDVFS = true
+		return h, nil
+	case "ClassicFL":
+		return selection.NewClassicFL(env.Devices, p.Fraction, rand.New(rand.NewSource(seed+11))), nil
+	case "FedCS":
+		return selection.NewFedCS(env.Devices, env.Channel, env.ModelBits, p.FedCSDeadlineSec, p.LocalSteps), nil
+	case "FEDL":
+		return selection.NewFEDL(env.Devices, p.Fraction, p.FEDLK, rand.New(rand.NewSource(seed+13))), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown scheme %q", name)
+	}
+}
+
+// RunScheme executes one FL scheme on the environment and returns its curve.
+func RunScheme(env *Env, scheme string) (metrics.Curve, *fl.Result, error) {
+	return RunSchemeWith(env, scheme, nil)
+}
+
+// RunSchemeWith is RunScheme with extra engine configuration applied by
+// mutate before the run (deadline, fault injection, fading, compression).
+func RunSchemeWith(env *Env, scheme string, mutate func(*fl.Config)) (metrics.Curve, *fl.Result, error) {
+	planner, err := newPlanner(scheme, env, env.Seed)
+	if err != nil {
+		return metrics.Curve{}, nil, err
+	}
+	cfg := fl.Config{
+		Spec:       env.Spec,
+		Devices:    env.Devices,
+		Channel:    env.Channel,
+		UserData:   env.UserData,
+		Test:       env.Synth.Test,
+		Planner:    planner,
+		LR:         env.Preset.LR,
+		LocalSteps: env.Preset.LocalSteps,
+		MaxRounds:  env.Preset.MaxRounds,
+		EvalEvery:  env.Preset.EvalEvery,
+		Seed:       env.Seed + 100, // model init shared by all schemes
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	res, err := fl.Run(cfg)
+	if err != nil {
+		return metrics.Curve{}, nil, err
+	}
+	return metrics.CurveFromRecords(scheme, res.Records), res, nil
+}
+
+// runSL executes the separated-learning baseline and adapts it to a curve.
+func runSL(env *Env) (metrics.Curve, error) {
+	p := env.Preset
+	res, err := fl.RunSL(fl.SLConfig{
+		Spec:       env.Spec,
+		Devices:    env.Devices,
+		Channel:    env.Channel,
+		UserData:   env.UserData,
+		Test:       env.Synth.Test,
+		Fraction:   p.Fraction,
+		LR:         p.LR,
+		LocalSteps: p.LocalSteps,
+		MaxRounds:  p.MaxRounds,
+		EvalEvery:  p.EvalEvery,
+		EvalUsers:  p.SLEvalUsers,
+		Seed:       env.Seed + 100,
+	})
+	if err != nil {
+		return metrics.Curve{}, err
+	}
+	return metrics.CurveFromRecords("SL", res.Records), nil
+}
+
+// RunFig2 reproduces one panel of Fig. 2: all five schemes trained on the
+// same environment, reporting accuracy vs training iteration.
+func RunFig2(p Preset, s Setting, seed int64) (*Fig2Result, error) {
+	env, err := BuildEnv(p, s, seed)
+	if err != nil {
+		return nil, err
+	}
+	return RunFig2Env(env)
+}
+
+// RunFig2Env is RunFig2 over a pre-built environment (so Table I can reuse
+// the same runs).
+func RunFig2Env(env *Env) (*Fig2Result, error) {
+	out := &Fig2Result{Setting: env.Setting, Curves: map[string]metrics.Curve{}}
+	for _, scheme := range []string{"HELCFL", "ClassicFL", "FedCS", "FEDL"} {
+		curve, _, err := RunScheme(env, scheme)
+		if err != nil {
+			return nil, fmt.Errorf("scheme %s: %w", scheme, err)
+		}
+		out.Curves[scheme] = curve
+	}
+	slCurve, err := runSL(env)
+	if err != nil {
+		return nil, fmt.Errorf("scheme SL: %w", err)
+	}
+	out.Curves["SL"] = slCurve
+	return out, nil
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+
+	"helcfl/internal/metrics"
+	"helcfl/internal/report"
+)
+
+// Fig3Result reproduces Fig. 3: training energy to reach each desired
+// accuracy with and without the DVFS frequency determination (Algorithm 3),
+// and the percentage reduction it brings.
+type Fig3Result struct {
+	Setting Setting
+	Targets []float64
+	// WithDVFS and WithoutDVFS are joules to reach each target.
+	WithDVFS, WithoutDVFS []float64
+	// Reached marks targets both variants achieved.
+	Reached []bool
+	// ReductionPct is the energy saving percentage per target.
+	ReductionPct []float64
+}
+
+// RunFig3 trains HELCFL twice on the same environment — once with
+// Algorithm 3 and once pinned to maximum frequencies — and compares the
+// energy needed to reach each desired accuracy. Selection is deterministic
+// (greedy-decay has no randomness), so both runs see identical selection
+// sequences and accuracy curves; only energy differs.
+func RunFig3(p Preset, s Setting, seed int64) (*Fig3Result, error) {
+	env, err := BuildEnv(p, s, seed)
+	if err != nil {
+		return nil, err
+	}
+	return RunFig3Env(env)
+}
+
+// RunFig3Env is RunFig3 over a pre-built environment.
+func RunFig3Env(env *Env) (*Fig3Result, error) {
+	withCurve, _, err := RunScheme(env, "HELCFL")
+	if err != nil {
+		return nil, fmt.Errorf("HELCFL: %w", err)
+	}
+	withoutCurve, _, err := RunScheme(env, "HELCFL-noDVFS")
+	if err != nil {
+		return nil, fmt.Errorf("HELCFL-noDVFS: %w", err)
+	}
+	targets := env.Preset.Targets(env.Setting)
+	out := &Fig3Result{
+		Setting:      env.Setting,
+		Targets:      targets,
+		WithDVFS:     make([]float64, len(targets)),
+		WithoutDVFS:  make([]float64, len(targets)),
+		Reached:      make([]bool, len(targets)),
+		ReductionPct: make([]float64, len(targets)),
+	}
+	for i, target := range targets {
+		ew, okW := withCurve.EnergyToAccuracy(target)
+		eo, okO := withoutCurve.EnergyToAccuracy(target)
+		out.WithDVFS[i], out.WithoutDVFS[i] = ew, eo
+		out.Reached[i] = okW && okO
+		if out.Reached[i] && eo > 0 {
+			out.ReductionPct[i] = (1 - ew/eo) * 100
+		}
+	}
+	return out, nil
+}
+
+// Render produces the Fig. 3 bar chart and companion table.
+func (f *Fig3Result) Render() (*report.BarChart, *report.Table) {
+	bc := report.NewBarChart(fmt.Sprintf("Fig. 3 (%s): training energy to desired accuracy", f.Setting), " J")
+	tb := report.NewTable(fmt.Sprintf("Fig. 3 (%s): DVFS energy reduction", f.Setting),
+		"target", "with DVFS (J)", "without DVFS (J)", "reduction")
+	for i, t := range f.Targets {
+		label := metrics.FormatPercent(t)
+		if !f.Reached[i] {
+			tb.AddRow(label, "✗", "✗", "—")
+			continue
+		}
+		bc.Add(label+" with DVFS", f.WithDVFS[i])
+		bc.Add(label+" w/o DVFS", f.WithoutDVFS[i])
+		tb.AddRow(label,
+			fmt.Sprintf("%.2f", f.WithDVFS[i]),
+			fmt.Sprintf("%.2f", f.WithoutDVFS[i]),
+			fmt.Sprintf("%.2f%%", f.ReductionPct[i]))
+	}
+	return bc, tb
+}

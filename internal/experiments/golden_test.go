@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Golden pipeline test: the entire stack (data generation → partition →
+// scheduling → training → evaluation → cost accounting) is deterministic,
+// so a fixed (preset, setting, seed) run must reproduce these values
+// exactly. A mismatch means some component's behaviour changed — bump the
+// goldens only for deliberate changes.
+func TestGoldenTinyCampaign(t *testing.T) {
+	env, err := BuildEnv(Tiny(), IID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, res, err := RunScheme(env, "HELCFL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fmt.Sprintf("best=%.6f final=%.6f time=%.4f energy=%.4f rounds=%d bits=%.0f",
+		curve.Best(), curve.Final(), res.TotalTime, res.TotalEnergy, len(res.Records), res.ModelBits)
+	const want = "best=0.762500 final=0.762500 time=392.4323 energy=249.9564 rounds=60 bits=208256"
+	if got != want {
+		t.Fatalf("golden campaign changed:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// The same golden must be independent of GOMAXPROCS: parallel client
+// training assigns results by index.
+func TestGoldenStableAcrossReruns(t *testing.T) {
+	run := func() string {
+		env, err := BuildEnv(Tiny(), IID, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, res, err := RunScheme(env, "HELCFL")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%.12f/%.12f", res.FinalAccuracy, res.TotalEnergy)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("rerun diverged: %s vs %s", a, b)
+	}
+}

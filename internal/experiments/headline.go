@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"helcfl/internal/report"
+)
+
+// Headline summarizes the paper's abstract-level claims from a full
+// campaign: the largest accuracy enhancement, the largest training speedup,
+// and the largest DVFS energy saving across both settings.
+type Headline struct {
+	// BestAccuracyGainPct is the max percentage-point gap between HELCFL's
+	// best accuracy and any baseline's (paper: up to 43.45%, vs SL).
+	BestAccuracyGainPct float64
+	BestAccuracyGainVs  string
+	// BestSpeedupPct is the max time-to-accuracy speedup over any baseline
+	// at any target both schemes reach (paper: up to 275.03%, vs FedCS).
+	BestSpeedupPct float64
+	BestSpeedupVs  string
+	// BestEnergySavingPct is the max Fig. 3 reduction (paper: up to 58.25%).
+	BestEnergySavingPct float64
+}
+
+// BuildHeadline scans the campaign results for the extreme claims.
+func BuildHeadline(figs map[Setting]*Fig2Result, table *TableIResult, fig3s map[Setting]*Fig3Result) *Headline {
+	h := &Headline{}
+	for _, fig := range figs {
+		ours := fig.Curve("HELCFL")
+		for _, scheme := range SchemeOrder {
+			if scheme == "HELCFL" {
+				continue
+			}
+			gain := (ours.Best() - fig.Curve(scheme).Best()) * 100
+			if gain > h.BestAccuracyGainPct {
+				h.BestAccuracyGainPct = gain
+				h.BestAccuracyGainVs = fmt.Sprintf("%s (%s)", scheme, fig.Setting)
+			}
+		}
+	}
+	if table != nil {
+		for _, blk := range table.Settings {
+			for i := range blk.Targets {
+				for scheme, sp := range blk.Speedups(i) {
+					if sp > h.BestSpeedupPct {
+						h.BestSpeedupPct = sp
+						h.BestSpeedupVs = fmt.Sprintf("%s (%s @ %.0f%%)", scheme, blk.Setting, blk.Targets[i]*100)
+					}
+				}
+			}
+		}
+	}
+	for _, f3 := range fig3s {
+		for i, ok := range f3.Reached {
+			if ok && f3.ReductionPct[i] > h.BestEnergySavingPct {
+				h.BestEnergySavingPct = f3.ReductionPct[i]
+			}
+		}
+	}
+	return h
+}
+
+// Render produces the headline table, mirroring the abstract's three
+// claims.
+func (h *Headline) Render() *report.Table {
+	tb := report.NewTable("Headline claims (paper → measured)",
+		"claim", "paper", "measured")
+	tb.AddRow("highest-accuracy enhancement",
+		"up to 43.45%",
+		fmt.Sprintf("%.2f%% vs %s", h.BestAccuracyGainPct, h.BestAccuracyGainVs))
+	tb.AddRow("training speedup",
+		"up to 275.03%",
+		fmt.Sprintf("%.2f%% vs %s", h.BestSpeedupPct, h.BestSpeedupVs))
+	tb.AddRow("training energy saving",
+		"up to 58.25%",
+		fmt.Sprintf("%.2f%%", h.BestEnergySavingPct))
+	return tb
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"helcfl/internal/metrics"
+	"helcfl/internal/nn"
+	"helcfl/internal/report"
+)
+
+// ModelAblation trains HELCFL with different model architectures on the
+// same data and fleet. Because C_model is derived from the actual
+// serialized parameters (Eq. 7), swapping architectures moves upload
+// delay/energy as well as accuracy — the coupling this study exposes.
+type ModelAblation struct {
+	Setting Setting
+	Kinds   []string
+	// Params, Bits, Best, TimeSec align 1:1 with Kinds.
+	Params  []int
+	Bits    []float64
+	Best    []float64
+	TimeSec []float64
+}
+
+// RunModelAblation trains HELCFL once per architecture. Supported kinds
+// are those of nn.ModelSpec: "logistic", "mlp", "squeezenet-mini".
+func RunModelAblation(p Preset, s Setting, seed int64, kinds []string) (*ModelAblation, error) {
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("experiments: no model kinds")
+	}
+	out := &ModelAblation{Setting: s, Kinds: kinds}
+	for _, kind := range kinds {
+		pp := p
+		pp.ModelKind = kind
+		env, err := BuildEnv(pp, s, seed)
+		if err != nil {
+			return nil, err
+		}
+		model := env.Spec.Build(rand.New(rand.NewSource(seed + 3)))
+		curve, res, err := RunScheme(env, "HELCFL")
+		if err != nil {
+			return nil, fmt.Errorf("model %s: %w", kind, err)
+		}
+		out.Params = append(out.Params, model.NumParams())
+		out.Bits = append(out.Bits, nn.ModelBits(model))
+		out.Best = append(out.Best, curve.Best())
+		out.TimeSec = append(out.TimeSec, res.TotalTime)
+	}
+	return out, nil
+}
+
+// Render produces the architecture-comparison table.
+func (a *ModelAblation) Render() *report.Table {
+	tb := report.NewTable(
+		fmt.Sprintf("Ablation (%s): model architecture (C_model follows the real parameter bytes)", a.Setting),
+		"model", "params", "C_model (kbit)", "best accuracy", "total delay")
+	for i, kind := range a.Kinds {
+		tb.AddRow(kind,
+			fmt.Sprintf("%d", a.Params[i]),
+			fmt.Sprintf("%.0f", a.Bits[i]/1e3),
+			metrics.FormatPercent(a.Best[i]),
+			metrics.FormatDelay(a.TimeSec[i], true))
+	}
+	return tb
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"helcfl/internal/report"
+	"helcfl/internal/stats"
+)
+
+// MultiSeed aggregates a Fig. 2 campaign across several seeds, reporting
+// mean ± std of each scheme's best accuracy and total training delay, plus
+// the per-seed win rate of HELCFL over each baseline. Single-seed runs are
+// what the paper plots; this is the robustness check behind the orderings.
+type MultiSeed struct {
+	Setting Setting
+	Seeds   []int64
+	// Best and TimeSec map scheme → per-seed observations, seed order.
+	Best, TimeSec map[string][]float64
+}
+
+// RunMultiSeed executes RunFig2 once per seed.
+func RunMultiSeed(p Preset, s Setting, seeds []int64) (*MultiSeed, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiments: no seeds")
+	}
+	out := &MultiSeed{
+		Setting: s,
+		Seeds:   seeds,
+		Best:    map[string][]float64{},
+		TimeSec: map[string][]float64{},
+	}
+	for _, seed := range seeds {
+		fig, err := RunFig2(p, s, seed)
+		if err != nil {
+			return nil, fmt.Errorf("seed %d: %w", seed, err)
+		}
+		for _, scheme := range SchemeOrder {
+			c := fig.Curve(scheme)
+			out.Best[scheme] = append(out.Best[scheme], c.Best())
+			last := c.Points[len(c.Points)-1]
+			out.TimeSec[scheme] = append(out.TimeSec[scheme], last.Time)
+		}
+	}
+	return out, nil
+}
+
+// AccuracySummary returns the best-accuracy summary for a scheme.
+func (m *MultiSeed) AccuracySummary(scheme string) stats.Summary {
+	return stats.Summarize(m.Best[scheme])
+}
+
+// WinRateOverBaseline returns the fraction of seeds where HELCFL's best
+// accuracy beats the baseline's.
+func (m *MultiSeed) WinRateOverBaseline(baseline string) float64 {
+	return stats.WinRate(m.Best["HELCFL"], m.Best[baseline], false)
+}
+
+// Render produces the robustness table.
+func (m *MultiSeed) Render() *report.Table {
+	tb := report.NewTable(
+		fmt.Sprintf("Multi-seed robustness (%s, %d seeds)", m.Setting, len(m.Seeds)),
+		"scheme", "best accuracy (mean ± std)", "total delay (mean ± std)", "HELCFL win rate")
+	for _, scheme := range SchemeOrder {
+		acc := stats.Summarize(m.Best[scheme])
+		tt := stats.Summarize(m.TimeSec[scheme])
+		win := "—"
+		if scheme != "HELCFL" {
+			win = fmt.Sprintf("%.0f%%", m.WinRateOverBaseline(scheme)*100)
+		}
+		tb.AddRow(scheme,
+			fmt.Sprintf("%.2f%% ± %.2f", acc.Mean*100, acc.Std*100),
+			fmt.Sprintf("%.1fmin ± %.1f", tt.Mean/60, tt.Std/60),
+			win)
+	}
+	return tb
+}

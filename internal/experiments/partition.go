@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+
+	"helcfl/internal/dataset"
+	"helcfl/internal/metrics"
+	"helcfl/internal/report"
+)
+
+// PartitionAblation compares HELCFL under different Non-IID partition
+// families: the paper's sort-and-shard split and Dirichlet(α) splits of
+// varying severity.
+type PartitionAblation struct {
+	Labels []string
+	// MeanLabels is the average distinct labels per user under each split.
+	MeanLabels []float64
+	Best       []float64
+	// RoundsToLow is the first round reaching the lowest Non-IID target.
+	RoundsToLow []int
+}
+
+// RunPartitionAblation trains HELCFL once per partition family.
+func RunPartitionAblation(p Preset, seed int64, alphas []float64) (*PartitionAblation, error) {
+	out := &PartitionAblation{}
+	target := p.Targets(NonIID)[0]
+	run := func(label string, pp Preset) error {
+		env, err := BuildEnv(pp, NonIID, seed)
+		if err != nil {
+			return err
+		}
+		curve, _, err := RunScheme(env, "HELCFL")
+		if err != nil {
+			return fmt.Errorf("%s: %w", label, err)
+		}
+		rounds := -1
+		if r, ok := curve.RoundsToAccuracy(target); ok {
+			rounds = r
+		}
+		out.Labels = append(out.Labels, label)
+		out.MeanLabels = append(out.MeanLabels, dataset.MeanDistinctLabels(env.UserData, pp.Classes))
+		out.Best = append(out.Best, curve.Best())
+		out.RoundsToLow = append(out.RoundsToLow, rounds)
+		return nil
+	}
+	if err := run(fmt.Sprintf("shards (%d/user)", p.ShardsPerUser), p); err != nil {
+		return nil, err
+	}
+	for _, a := range alphas {
+		pp := p
+		pp.DirichletAlpha = a
+		if err := run(fmt.Sprintf("dirichlet α=%.2f", a), pp); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Render produces the partition-family table.
+func (a *PartitionAblation) Render() *report.Table {
+	tb := report.NewTable("Ablation (Non-IID): partition family",
+		"partition", "labels/user", "best accuracy", "rounds to first target")
+	for i, l := range a.Labels {
+		rt := "✗"
+		if a.RoundsToLow[i] >= 0 {
+			rt = fmt.Sprintf("%d", a.RoundsToLow[i])
+		}
+		tb.AddRow(l,
+			fmt.Sprintf("%.1f", a.MeanLabels[i]),
+			metrics.FormatPercent(a.Best[i]),
+			rt)
+	}
+	return tb
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"helcfl/internal/core"
+	"helcfl/internal/report"
+	"helcfl/internal/selection"
+	"helcfl/internal/stats"
+	"helcfl/internal/wireless"
+)
+
+// RBAblation contrasts the two readings of the paper's "available Z RBs":
+// one full-rate TDMA channel (the base system's Fig. 1 discipline) versus
+// splitting Z into k equal sub-channels used in parallel, where each upload
+// runs k× longer but k proceed at once. It replays HELCFL's selected
+// cohorts at maximum frequency and measures the round makespan under each
+// interpretation.
+type RBAblation struct {
+	Rounds int
+	Ks     []int
+	// Makespan[i] summarizes per-round makespans for Ks[i] sub-channels
+	// (k = 1 is the serial TDMA baseline).
+	Makespan []stats.Summary
+}
+
+// RunRBAblation replays `rounds` HELCFL selections on a fresh environment.
+func RunRBAblation(p Preset, seed int64, rounds int, ks []int) (*RBAblation, error) {
+	if rounds <= 0 || len(ks) == 0 {
+		return nil, fmt.Errorf("experiments: RB ablation needs rounds and channel counts")
+	}
+	env, err := BuildEnv(p, IID, seed)
+	if err != nil {
+		return nil, err
+	}
+	h, err := selection.NewHELCFL(env.Devices, env.Channel, env.ModelBits, core.Params{
+		Eta: p.Eta, Fraction: p.Fraction, StepsPerRound: p.LocalSteps, Clamp: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	perK := make([][]float64, len(ks))
+	for j := 0; j < rounds; j++ {
+		sel, _ := h.PlanRound(j)
+		baseReqs := make([]wireless.UploadRequest, len(sel))
+		for i, q := range sel {
+			d := env.Devices[q]
+			baseReqs[i] = wireless.UploadRequest{
+				User:        q,
+				ComputeDone: float64(p.LocalSteps) * d.ComputeDelayAtMax(),
+				Duration:    env.Channel.UploadDelay(env.ModelBits, d.TxPower, d.ChannelGain),
+			}
+		}
+		for ki, k := range ks {
+			var mk float64
+			if k == 1 {
+				_, mk = wireless.ScheduleTDMA(baseReqs)
+			} else {
+				scaled := make([]wireless.UploadRequest, len(baseReqs))
+				for i, r := range baseReqs {
+					scaled[i] = wireless.UploadRequest{User: r.User, ComputeDone: r.ComputeDone, Duration: r.Duration * float64(k)}
+				}
+				_, mk = wireless.ScheduleParallel(scaled, k)
+			}
+			perK[ki] = append(perK[ki], mk)
+		}
+	}
+	out := &RBAblation{Rounds: rounds, Ks: ks}
+	for _, ms := range perK {
+		out.Makespan = append(out.Makespan, stats.Summarize(ms))
+	}
+	return out, nil
+}
+
+// Render produces the comparison table.
+func (a *RBAblation) Render() *report.Table {
+	tb := report.NewTable(
+		fmt.Sprintf("Ablation: RB interpretation — serial TDMA vs k parallel sub-channels (%d rounds)", a.Rounds),
+		"sub-channels", "round makespan (mean ± std)")
+	for i, k := range a.Ks {
+		label := fmt.Sprintf("%d (parallel)", k)
+		if k == 1 {
+			label = "1 (serial TDMA)"
+		}
+		tb.AddRow(label, fmt.Sprintf("%.2fs ± %.2f", a.Makespan[i].Mean, a.Makespan[i].Std))
+	}
+	return tb
+}

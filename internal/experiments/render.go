@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+
+	"helcfl/internal/report"
+)
+
+// RenderFig2 draws one Fig. 2 panel as an ASCII line chart plus the final
+// and best accuracies per scheme.
+func RenderFig2(f *Fig2Result) (*report.LineChart, *report.Table) {
+	chart := report.NewLineChart(
+		fmt.Sprintf("Fig. 2 (%s): test accuracy vs training iteration", f.Setting),
+		"iteration", "accuracy")
+	for _, scheme := range SchemeOrder {
+		c := f.Curve(scheme)
+		xs := make([]float64, len(c.Points))
+		ys := make([]float64, len(c.Points))
+		for i, p := range c.Points {
+			xs[i] = float64(p.Round)
+			ys[i] = p.Accuracy
+		}
+		if len(xs) > 0 {
+			chart.Add(report.Series{Name: scheme, X: xs, Y: ys})
+		}
+	}
+	tb := report.NewTable(fmt.Sprintf("Fig. 2 (%s): accuracy summary", f.Setting),
+		"scheme", "best accuracy", "final accuracy")
+	for _, scheme := range SchemeOrder {
+		c := f.Curve(scheme)
+		tb.AddRow(scheme,
+			fmt.Sprintf("%.2f%%", c.Best()*100),
+			fmt.Sprintf("%.2f%%", c.Final()*100))
+	}
+	return chart, tb
+}
+
+// Fig2CSV renders a Fig. 2 panel as CSV with one row per (scheme, round).
+func Fig2CSV(f *Fig2Result) string {
+	tb := report.NewTable("", "setting", "scheme", "round", "time_s", "energy_j", "accuracy")
+	for _, scheme := range SchemeOrder {
+		for _, p := range f.Curve(scheme).Points {
+			tb.AddRow(string(f.Setting), scheme,
+				fmt.Sprintf("%d", p.Round),
+				fmt.Sprintf("%.4f", p.Time),
+				fmt.Sprintf("%.4f", p.Energy),
+				fmt.Sprintf("%.4f", p.Accuracy))
+		}
+	}
+	return tb.CSV()
+}

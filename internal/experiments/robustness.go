@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+
+	"helcfl/internal/fl"
+	"helcfl/internal/metrics"
+	"helcfl/internal/report"
+	"helcfl/internal/wireless"
+)
+
+// runHELCFLWith trains HELCFL on env with extra engine configuration
+// applied by mutate (fault injection, fading, compression).
+func runHELCFLWith(env *Env, mutate func(*fl.Config)) (metrics.Curve, *fl.Result, error) {
+	return RunSchemeWith(env, "HELCFL", mutate)
+}
+
+// DropoutAblation sweeps the per-round upload-failure probability — the
+// battery/radio faults motivating the paper's energy optimization — and
+// reports how gracefully training degrades.
+type DropoutAblation struct {
+	Setting  Setting
+	Dropouts []float64
+	Best     []float64
+	// RoundsToTarget is the first round reaching the setting's lowest
+	// desired accuracy, or -1 when unreached.
+	RoundsToTarget []int
+	// FailedUploads counts lost uploads across the run.
+	FailedUploads []int
+}
+
+// RunDropoutAblation trains HELCFL once per dropout probability.
+func RunDropoutAblation(p Preset, s Setting, seed int64, dropouts []float64) (*DropoutAblation, error) {
+	out := &DropoutAblation{Setting: s, Dropouts: dropouts}
+	target := p.Targets(s)[0]
+	for _, d := range dropouts {
+		env, err := BuildEnv(p, s, seed)
+		if err != nil {
+			return nil, err
+		}
+		prob := d
+		curve, res, err := runHELCFLWith(env, func(c *fl.Config) { c.DropoutProb = prob })
+		if err != nil {
+			return nil, fmt.Errorf("dropout %g: %w", d, err)
+		}
+		failed := 0
+		for _, r := range res.Records {
+			failed += r.Failed
+		}
+		rounds := -1
+		if r, ok := curve.RoundsToAccuracy(target); ok {
+			rounds = r
+		}
+		out.Best = append(out.Best, curve.Best())
+		out.RoundsToTarget = append(out.RoundsToTarget, rounds)
+		out.FailedUploads = append(out.FailedUploads, failed)
+	}
+	return out, nil
+}
+
+// Render produces the dropout-sweep table.
+func (a *DropoutAblation) Render() *report.Table {
+	tb := report.NewTable(fmt.Sprintf("Robustness (%s): upload-failure injection", a.Setting),
+		"dropout", "lost uploads", "best accuracy", "rounds to first target")
+	for i, d := range a.Dropouts {
+		rt := "✗"
+		if a.RoundsToTarget[i] >= 0 {
+			rt = fmt.Sprintf("%d", a.RoundsToTarget[i])
+		}
+		tb.AddRow(fmt.Sprintf("%.0f%%", d*100),
+			fmt.Sprintf("%d", a.FailedUploads[i]),
+			metrics.FormatPercent(a.Best[i]),
+			rt)
+	}
+	return tb
+}
+
+// FadingAblation sweeps block-fading severity: the scheduler plans on
+// stale initialization-phase channel measurements while the realized
+// uplink drifts, so round delays diverge from the plan.
+type FadingAblation struct {
+	Setting Setting
+	Sigmas  []float64
+	Best    []float64
+	TimeSec []float64
+	EnergyJ []float64
+}
+
+// RunFadingAblation trains HELCFL once per fading σ.
+func RunFadingAblation(p Preset, s Setting, seed int64, sigmas []float64) (*FadingAblation, error) {
+	out := &FadingAblation{Setting: s, Sigmas: sigmas}
+	for _, sg := range sigmas {
+		env, err := BuildEnv(p, s, seed)
+		if err != nil {
+			return nil, err
+		}
+		sigma := sg
+		curve, res, err := runHELCFLWith(env, func(c *fl.Config) {
+			if sigma > 0 {
+				c.Gains = wireless.NewBlockFading(sigma, seed+7)
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sigma %g: %w", sg, err)
+		}
+		out.Best = append(out.Best, curve.Best())
+		out.TimeSec = append(out.TimeSec, res.TotalTime)
+		out.EnergyJ = append(out.EnergyJ, res.TotalEnergy)
+	}
+	return out, nil
+}
+
+// Render produces the fading-sweep table.
+func (a *FadingAblation) Render() *report.Table {
+	tb := report.NewTable(fmt.Sprintf("Robustness (%s): block-fading channel", a.Setting),
+		"σ", "best accuracy", "total delay", "total energy (J)")
+	for i, sg := range a.Sigmas {
+		tb.AddRow(fmt.Sprintf("%.2f", sg),
+			metrics.FormatPercent(a.Best[i]),
+			metrics.FormatDelay(a.TimeSec[i], true),
+			fmt.Sprintf("%.1f", a.EnergyJ[i]))
+	}
+	return tb
+}

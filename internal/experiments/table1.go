@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+
+	"helcfl/internal/metrics"
+	"helcfl/internal/report"
+)
+
+// TableIResult is the reproduction of Table I: training delay to reach each
+// desired accuracy, per scheme, per setting.
+type TableIResult struct {
+	// Settings holds one block per data setting (IID, Non-IID).
+	Settings []TableIBlock
+}
+
+// TableIBlock is one setting's sub-table.
+type TableIBlock struct {
+	Setting Setting
+	// Targets are the desired accuracies.
+	Targets []float64
+	// DelaySec[scheme][i] is the delay to reach Targets[i]; Reached tells
+	// whether it was reached (false ⇒ the paper's ✗).
+	DelaySec map[string][]float64
+	Reached  map[string][]bool
+}
+
+// BuildTableI derives Table I from already-computed Fig. 2 runs (the paper
+// does the same: both artifacts come from one training campaign).
+func BuildTableI(p Preset, figs map[Setting]*Fig2Result) *TableIResult {
+	out := &TableIResult{}
+	for _, s := range []Setting{IID, NonIID} {
+		fig, ok := figs[s]
+		if !ok {
+			continue
+		}
+		blk := TableIBlock{
+			Setting:  s,
+			Targets:  p.Targets(s),
+			DelaySec: map[string][]float64{},
+			Reached:  map[string][]bool{},
+		}
+		for _, scheme := range SchemeOrder {
+			curve := fig.Curve(scheme)
+			ds := make([]float64, len(blk.Targets))
+			rs := make([]bool, len(blk.Targets))
+			for i, target := range blk.Targets {
+				ds[i], rs[i] = curve.TimeToAccuracy(target)
+			}
+			blk.DelaySec[scheme] = ds
+			blk.Reached[scheme] = rs
+		}
+		out.Settings = append(out.Settings, blk)
+	}
+	return out
+}
+
+// Render produces the Table I text table for one block.
+func (b TableIBlock) Render() *report.Table {
+	headers := []string{fmt.Sprintf("%s scheme", b.Setting)}
+	for _, t := range b.Targets {
+		headers = append(headers, metrics.FormatPercent(t))
+	}
+	tb := report.NewTable(fmt.Sprintf("Table I (%s): training delay to desired accuracy", b.Setting), headers...)
+	for _, scheme := range SchemeOrder {
+		row := []string{scheme}
+		for i := range b.Targets {
+			row = append(row, metrics.FormatDelay(b.DelaySec[scheme][i], b.Reached[scheme][i]))
+		}
+		tb.AddRow(row...)
+	}
+	return tb
+}
+
+// Speedups returns HELCFL's speedup percentages over every other scheme for
+// one target accuracy (only schemes that reach the target are included).
+func (b TableIBlock) Speedups(targetIdx int) map[string]float64 {
+	out := map[string]float64{}
+	h := b.DelaySec["HELCFL"][targetIdx]
+	if !b.Reached["HELCFL"][targetIdx] {
+		return out
+	}
+	for _, scheme := range SchemeOrder {
+		if scheme == "HELCFL" || !b.Reached[scheme][targetIdx] {
+			continue
+		}
+		out[scheme] = (b.DelaySec[scheme][targetIdx]/h - 1) * 100
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package fl
+
+import (
+	"testing"
+)
+
+func TestBatteryDisabledKeepsFleetAlive(t *testing.T) {
+	env := newTestEnv(t, 40, 6)
+	cfg := baseConfig(env, allUsersPlanner(env.devs))
+	cfg.MaxRounds = 10
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Records {
+		if r.AliveDevices != len(env.devs) {
+			t.Fatalf("round %d: alive = %d without batteries", r.Round, r.AliveDevices)
+		}
+	}
+}
+
+func TestBatteryDepletionKillsDevices(t *testing.T) {
+	env := newTestEnv(t, 41, 6)
+	// First measure the per-round energy of the full-participation planner,
+	// then give devices roughly three rounds of budget.
+	probe := baseConfig(env, allUsersPlanner(env.devs))
+	probe.MaxRounds = 1
+	one, err := Run(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perUser := one.Records[0].Energy / float64(len(env.devs))
+
+	env2 := newTestEnv(t, 41, 6)
+	cfg := baseConfig(env2, allUsersPlanner(env2.devs))
+	cfg.MaxRounds = 50
+	cfg.BatteryCapacityJ = 3 * perUser
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HaltedByDeadFleet {
+		t.Fatal("full-participation fleet must eventually die and halt")
+	}
+	if len(res.Records) >= 50 {
+		t.Fatal("run did not halt early")
+	}
+	last := res.Records[len(res.Records)-1]
+	if last.AliveDevices >= len(env2.devs) {
+		t.Fatalf("no devices died: alive = %d", last.AliveDevices)
+	}
+	// Alive count is non-increasing.
+	prev := len(env2.devs)
+	for _, r := range res.Records {
+		if r.AliveDevices > prev {
+			t.Fatalf("round %d: alive count increased %d → %d", r.Round, prev, r.AliveDevices)
+		}
+		prev = r.AliveDevices
+	}
+}
+
+func TestBatteryDeadUsersExcludedFromRounds(t *testing.T) {
+	env := newTestEnv(t, 42, 8)
+	probe := baseConfig(env, allUsersPlanner(env.devs))
+	probe.MaxRounds = 1
+	one, err := Run(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perUser := one.Records[0].Energy / float64(len(env.devs))
+
+	env2 := newTestEnv(t, 42, 8)
+	cfg := baseConfig(env2, allUsersPlanner(env2.devs))
+	cfg.MaxRounds = 30
+	cfg.BatteryCapacityJ = 2.5 * perUser
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Once devices start dying, round cohorts shrink below the full fleet.
+	shrunk := false
+	for _, r := range res.Records {
+		if len(r.Selected) < len(env2.devs) {
+			shrunk = true
+		}
+	}
+	if !shrunk {
+		t.Fatal("dead devices were never excluded from a round")
+	}
+}

@@ -1,0 +1,107 @@
+package fl
+
+import (
+	"fmt"
+
+	"helcfl/internal/dataset"
+	"helcfl/internal/nn"
+	"helcfl/internal/tensor"
+)
+
+// Client is one user device's training-side state. The same scratch model
+// is reused across rounds; parameters are overwritten from the global model
+// before each local update, mirroring the broadcast in Algorithm 1, line 5.
+type Client struct {
+	// User is the device index.
+	User int
+	// Data is the local dataset D_q.
+	Data *dataset.Dataset
+
+	model   *nn.Sequential
+	flatten bool
+	x       *tensor.Tensor
+	loss    *nn.SoftmaxCrossEntropy
+}
+
+// NewClient builds a client around a model instance structurally identical
+// to the global model.
+func NewClient(user int, data *dataset.Dataset, model *nn.Sequential, flattenInput bool) *Client {
+	if data == nil || data.N() == 0 {
+		panic(fmt.Sprintf("fl: client %d has no data", user))
+	}
+	c := &Client{User: user, Data: data, model: model, flatten: flattenInput, loss: nn.NewSoftmaxCrossEntropy()}
+	if flattenInput {
+		c.x = data.FlatX()
+	} else {
+		c.x = data.X
+	}
+	return c
+}
+
+// LocalUpdate implements Eq. (3): starting from the broadcast global
+// parameters, run `steps` full-batch gradient-descent passes over the local
+// dataset at learning rate lr, and return the updated flat parameter vector
+// (the upload payload) along with the final local training loss.
+func (c *Client) LocalUpdate(globalFlat []float64, lr float64, steps int) ([]float64, float64) {
+	return c.LocalUpdateProx(globalFlat, lr, steps, 0)
+}
+
+// LocalUpdateProx is LocalUpdate with a FedProx proximal term (Li et al.,
+// MLSys'20): each step descends ∇[L(θ) + (μ/2)·‖θ − θ_G‖²], anchoring the
+// local trajectory to the broadcast model. μ = 0 recovers plain FedAvg /
+// Eq. (3). The proximal term exists to tame the client drift that appears
+// with multiple local steps under Non-IID data (see the Eq. 19 boundary
+// test) — an extension beyond the paper.
+func (c *Client) LocalUpdateProx(globalFlat []float64, lr float64, steps int, mu float64) ([]float64, float64) {
+	if steps <= 0 {
+		panic(fmt.Sprintf("fl: client %d: non-positive steps %d", c.User, steps))
+	}
+	if mu < 0 {
+		panic(fmt.Sprintf("fl: client %d: negative proximal weight %g", c.User, mu))
+	}
+	c.model.SetFlatParams(globalFlat)
+	lossVal := 0.0
+	for s := 0; s < steps; s++ {
+		c.model.ZeroGrads()
+		logits := c.model.Forward(c.x, true)
+		lossVal = c.loss.Forward(logits, c.Data.Labels)
+		c.model.Backward(c.loss.Backward())
+		// θ ← θ - τ·(∇L + μ(θ − θ_G)); with μ=0 this is exactly Eq. (3)
+		// (the mean over |D_q| is inside the softmax-CE loss).
+		params, grads := c.model.Params(), c.model.Grads()
+		off := 0
+		for i, p := range params {
+			g := grads[i]
+			if mu != 0 {
+				pd, gd := p.Data(), g.Data()
+				for j := range pd {
+					gd[j] += mu * (pd[j] - globalFlat[off+j])
+				}
+			}
+			p.AXPY(-lr, g)
+			off += p.Size()
+		}
+	}
+	return c.model.GetFlatParams(), lossVal
+}
+
+// Model exposes the client's scratch model (used by the SL engine, where
+// the model is persistent per user rather than overwritten each round).
+func (c *Client) Model() *nn.Sequential { return c.model }
+
+// TrainOwn runs `steps` GD passes on the client's persistent model without
+// resetting from a global model — the separated-learning update.
+func (c *Client) TrainOwn(lr float64, steps int) float64 {
+	lossVal := 0.0
+	for s := 0; s < steps; s++ {
+		c.model.ZeroGrads()
+		logits := c.model.Forward(c.x, true)
+		lossVal = c.loss.Forward(logits, c.Data.Labels)
+		c.model.Backward(c.loss.Backward())
+		params, grads := c.model.Params(), c.model.Grads()
+		for i, p := range params {
+			p.AXPY(-lr, grads[i])
+		}
+	}
+	return lossVal
+}

@@ -1,0 +1,62 @@
+package fl
+
+import (
+	"testing"
+
+	"helcfl/internal/compress"
+)
+
+func TestRunWithCompressorShrinksUploadsAndStillTrains(t *testing.T) {
+	env := newTestEnv(t, 20, 8)
+	base := baseConfig(env, allUsersPlanner(env.devs))
+	base.MaxRounds = 40
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	env2 := newTestEnv(t, 20, 8)
+	cfg := baseConfig(env2, allUsersPlanner(env2.devs))
+	cfg.MaxRounds = 40
+	cfg.Compressor = compress.NewTopK(0.2)
+	compressed, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The compressed C_model must be smaller, so rounds are shorter.
+	if compressed.ModelBits >= plain.ModelBits {
+		t.Fatalf("compressed C_model %g not below fp32 %g", compressed.ModelBits, plain.ModelBits)
+	}
+	if compressed.TotalTime >= plain.TotalTime {
+		t.Fatalf("compressed run not faster: %g vs %g", compressed.TotalTime, plain.TotalTime)
+	}
+	// Lossy deltas must still learn something well above chance (4 classes).
+	if compressed.BestAccuracy < 0.4 {
+		t.Fatalf("compressed training collapsed: %g", compressed.BestAccuracy)
+	}
+}
+
+func TestRunWithIdentityCompressorMatchesPlain(t *testing.T) {
+	env := newTestEnv(t, 21, 6)
+	base := baseConfig(env, allUsersPlanner(env.devs))
+	base.MaxRounds = 10
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env2 := newTestEnv(t, 21, 6)
+	cfg := baseConfig(env2, allUsersPlanner(env2.devs))
+	cfg.MaxRounds = 10
+	cfg.Compressor = compress.None{}
+	ident, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.FinalAccuracy != ident.FinalAccuracy {
+		t.Fatalf("identity compressor changed training: %g vs %g", plain.FinalAccuracy, ident.FinalAccuracy)
+	}
+	if plain.ModelBits != ident.ModelBits {
+		t.Fatalf("identity compressor changed C_model: %g vs %g", plain.ModelBits, ident.ModelBits)
+	}
+}

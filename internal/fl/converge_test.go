@@ -1,0 +1,61 @@
+package fl
+
+import "testing"
+
+func TestConvergenceExitFires(t *testing.T) {
+	env := newTestEnv(t, 50, 8)
+	cfg := baseConfig(env, allUsersPlanner(env.devs))
+	cfg.MaxRounds = 400
+	cfg.ConvergePatience = 5
+	cfg.ConvergeDelta = 1e-4
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("loss plateau never detected in 400 rounds")
+	}
+	if len(res.Records) >= 400 {
+		t.Fatal("run did not stop at convergence")
+	}
+	// The exit is not premature: the model is already trained well.
+	if res.BestAccuracy < 0.6 {
+		t.Fatalf("converged at accuracy %g, exit premature", res.BestAccuracy)
+	}
+}
+
+func TestConvergenceDisabledByDefault(t *testing.T) {
+	env := newTestEnv(t, 51, 6)
+	cfg := baseConfig(env, allUsersPlanner(env.devs))
+	cfg.MaxRounds = 30
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("convergence exit must be off without patience")
+	}
+	if len(res.Records) != 30 {
+		t.Fatalf("run stopped early: %d rounds", len(res.Records))
+	}
+}
+
+func TestConvergencePatienceRespectsDelta(t *testing.T) {
+	env := newTestEnv(t, 52, 6)
+	cfg := baseConfig(env, allUsersPlanner(env.devs))
+	cfg.MaxRounds = 200
+	cfg.ConvergePatience = 3
+	// A huge delta means "never improved enough": the run should stop after
+	// the first patience-many evaluations.
+	cfg.ConvergeDelta = 1e9
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("huge delta must trip patience immediately")
+	}
+	if len(res.Records) > 5 {
+		t.Fatalf("stopped after %d rounds, want ≈patience", len(res.Records))
+	}
+}

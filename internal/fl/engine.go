@@ -1,0 +1,387 @@
+package fl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"helcfl/internal/compress"
+	"helcfl/internal/dataset"
+	"helcfl/internal/device"
+	"helcfl/internal/nn"
+	"helcfl/internal/sim"
+	"helcfl/internal/wireless"
+)
+
+// Config describes one federated training run (Algorithm 1 end-to-end).
+type Config struct {
+	// Spec is the shared model architecture.
+	Spec nn.ModelSpec
+	// Devices is the fleet; Devices[q].NumSamples is set by Run from
+	// UserData.
+	Devices []*device.Device
+	// Channel is the shared TDMA uplink.
+	Channel wireless.Channel
+	// UserData aligns with Devices: D_q for each user.
+	UserData []*dataset.Dataset
+	// Test is the global held-out set the FLCC evaluates on.
+	Test *dataset.Dataset
+	// Planner makes the per-round selection + frequency decision.
+	Planner Planner
+	// LR is the gradient-descent learning rate τ.
+	LR float64
+	// LocalSteps is the number of full-batch GD passes per round (paper: 1).
+	LocalSteps int
+	// ProxMu adds a FedProx proximal term μ/2·‖θ−θ_G‖² to every local
+	// update. 0 (the default) is plain FedAvg per the paper.
+	ProxMu float64
+	// MaxRounds is J, the iteration budget.
+	MaxRounds int
+	// DeadlineSec, when positive, stops training once cumulative simulated
+	// wall-clock exceeds it (constraint (14)).
+	DeadlineSec float64
+	// TargetAccuracy, when positive, stops training at the first evaluation
+	// reaching it (the convergence exit of Algorithm 1).
+	TargetAccuracy float64
+	// ConvergePatience, when positive, stops training when the evaluated
+	// test loss has not improved by at least ConvergeDelta for that many
+	// consecutive evaluations — the other reading of Algorithm 1's "checks
+	// whether this newly created global ML model converges".
+	ConvergePatience int
+	// ConvergeDelta is the minimum loss improvement that resets patience
+	// (default 0: any improvement counts).
+	ConvergeDelta float64
+	// EvalEvery evaluates global test accuracy every k rounds (and always
+	// on the final round). 0 means every round.
+	EvalEvery int
+	// QuantizeUploads round-trips each upload through the float32 wire
+	// format, modelling the real payload of Eq. (7).
+	QuantizeUploads bool
+	// Compressor, when non-nil, lossy-compresses every upload (top-k
+	// sparsification or scalar quantization; see internal/compress) and
+	// shrinks C_model accordingly — the communication-cost alternative the
+	// paper compares its scheduling approach against.
+	Compressor compress.Compressor
+	// Gains, when non-nil, supplies per-round channel gains (block
+	// fading). The planner still decides on the static initialization-phase
+	// gains, exactly the staleness a real FLCC faces.
+	Gains wireless.GainProcess
+	// DropoutProb is the per-user, per-round probability that a selected
+	// user's upload fails (battery exhaustion or radio loss — the paper's
+	// Section I motivation). The failed user's compute and airtime costs
+	// are still paid; its model is excluded from FedAvg.
+	DropoutProb float64
+	// BatteryCapacityJ, when positive, gives every device a finite energy
+	// budget. A device whose cumulative training energy exceeds it shuts
+	// down: the FLCC drops it from future rounds (it no longer responds).
+	// This instantiates the paper's Section I motivation — "energy of user
+	// devices is quickly exhausted or even device shutdown occurs".
+	BatteryCapacityJ float64
+	// Seed drives model initialization.
+	Seed int64
+}
+
+func (c *Config) validate() error {
+	switch {
+	case len(c.Devices) == 0:
+		return fmt.Errorf("fl: no devices")
+	case len(c.UserData) != len(c.Devices):
+		return fmt.Errorf("fl: %d user datasets for %d devices", len(c.UserData), len(c.Devices))
+	case c.Test == nil || c.Test.N() == 0:
+		return fmt.Errorf("fl: no test data")
+	case c.Planner == nil:
+		return fmt.Errorf("fl: no planner")
+	case c.LR <= 0:
+		return fmt.Errorf("fl: non-positive learning rate %g", c.LR)
+	case c.LocalSteps <= 0:
+		return fmt.Errorf("fl: non-positive local steps %d", c.LocalSteps)
+	case c.MaxRounds <= 0:
+		return fmt.Errorf("fl: non-positive round budget %d", c.MaxRounds)
+	case c.DropoutProb < 0 || c.DropoutProb >= 1:
+		return fmt.Errorf("fl: dropout probability %g outside [0,1)", c.DropoutProb)
+	}
+	if err := c.Channel.Validate(); err != nil {
+		return err
+	}
+	for q, d := range c.UserData {
+		if d == nil || d.N() == 0 {
+			return fmt.Errorf("fl: user %d has no data", q)
+		}
+	}
+	return nil
+}
+
+// RoundRecord captures one executed training round.
+type RoundRecord struct {
+	// Round is the 0-based iteration index.
+	Round int
+	// Selected lists participating user indices.
+	Selected []int
+	// Freqs aligns with Selected.
+	Freqs []float64
+	// Delay is the true TDMA round makespan.
+	Delay float64
+	// Energy totals Eq. (11) for the round; ComputeEnergy and UploadEnergy
+	// are its parts; Slack is the reclaimable stop-and-wait time.
+	Energy, ComputeEnergy, UploadEnergy, Slack float64
+	// CumTime and CumEnergy accumulate Delay and Energy up to and including
+	// this round.
+	CumTime, CumEnergy float64
+	// TrainLoss is the mean final local loss across selected users.
+	TrainLoss float64
+	// Failed counts selected users whose upload was lost this round
+	// (straggler/battery fault injection).
+	Failed int
+	// AliveDevices counts devices with remaining battery after this round
+	// (equals the fleet size when batteries are disabled).
+	AliveDevices int
+	// Evaluated reports whether TestLoss/TestAccuracy were measured this
+	// round.
+	Evaluated bool
+	// TestLoss and TestAccuracy are global-model metrics (valid when
+	// Evaluated).
+	TestLoss, TestAccuracy float64
+}
+
+// Result is a completed training run.
+type Result struct {
+	// Scheme is the planner name.
+	Scheme string
+	// Records holds one entry per executed round.
+	Records []RoundRecord
+	// Model is the final global model.
+	Model *nn.Sequential
+	// ModelBits is C_model used for every upload.
+	ModelBits float64
+	// FinalAccuracy and BestAccuracy summarize test accuracy.
+	FinalAccuracy, BestAccuracy float64
+	// TotalTime and TotalEnergy are the summed round delays and energies.
+	TotalTime, TotalEnergy float64
+	// StoppedByDeadline and ReachedTarget report which exit fired.
+	StoppedByDeadline, ReachedTarget bool
+	// Converged reports the loss-plateau exit fired.
+	Converged bool
+	// HaltedByDeadFleet reports that training stopped because every user
+	// the planner selected had exhausted its battery.
+	HaltedByDeadFleet bool
+}
+
+// Run executes Algorithm 1: initialization, then iterative rounds of
+// selection, broadcast, parallel local updates, sequential TDMA uploads, and
+// FedAvg aggregation, with the deadline and convergence exits.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	global := cfg.Spec.Build(rng)
+	modelBits := nn.ModelBits(global)
+	if cfg.Compressor != nil {
+		modelBits = cfg.Compressor.BitsFor(global.NumParams())
+	}
+	flatten := cfg.Spec.FlattensInput()
+
+	// Initialization phase (Algorithm 1, lines 1–2): the FLCC learns each
+	// device's resources; here that also pins |D_q| for Eqs. (4)–(5).
+	clients := make([]*Client, len(cfg.Devices))
+	for q, d := range cfg.Devices {
+		d.NumSamples = cfg.UserData[q].N()
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
+		clients[q] = NewClient(q, cfg.UserData[q], global.Clone(), flatten)
+	}
+
+	evalEvery := cfg.EvalEvery
+	if evalEvery <= 0 {
+		evalEvery = 1
+	}
+
+	res := &Result{Scheme: cfg.Planner.Name(), ModelBits: modelBits}
+	cumTime, cumEnergy := 0.0, 0.0
+	bestLoss := math.Inf(1)
+	sinceImproved := 0
+	spentJ := make([]float64, len(cfg.Devices))
+	alive := func(q int) bool {
+		return cfg.BatteryCapacityJ <= 0 || spentJ[q] < cfg.BatteryCapacityJ
+	}
+
+	for j := 0; j < cfg.MaxRounds; j++ {
+		selected, freqs := cfg.Planner.PlanRound(j)
+		if len(selected) == 0 {
+			return nil, fmt.Errorf("fl: planner %q selected no users in round %d", cfg.Planner.Name(), j)
+		}
+		if cfg.BatteryCapacityJ > 0 {
+			// Shut-down devices no longer respond to the broadcast; the
+			// FLCC proceeds with the survivors of the selection.
+			keptSel := selected[:0:len(selected)]
+			keptFreqs := freqs[:0:len(freqs)]
+			for i, q := range selected {
+				if alive(q) {
+					keptSel = append(keptSel, q)
+					keptFreqs = append(keptFreqs, freqs[i])
+				}
+			}
+			selected, freqs = keptSel, keptFreqs
+			if len(selected) == 0 {
+				// The planner's entire cohort is dead; training halts.
+				res.HaltedByDeadFleet = true
+				break
+			}
+		}
+		selDevs := make([]*device.Device, len(selected))
+		for i, q := range selected {
+			selDevs[i] = cfg.Devices[q]
+		}
+		var gains []float64
+		if cfg.Gains != nil {
+			gains = make([]float64, len(selected))
+			for i, q := range selected {
+				gains[i] = cfg.Gains.Gain(j, q, cfg.Devices[q].ChannelGain)
+			}
+		}
+		round := sim.SimulateRoundGains(selDevs, freqs, cfg.Channel, modelBits, cfg.LocalSteps, gains)
+
+		// Parallel local updates (lines 6–9): clients are independent (own
+		// scratch model, shared read-only broadcast), so they train on a
+		// bounded worker pool. Results land at fixed indices, keeping the
+		// run bit-for-bit deterministic regardless of scheduling.
+		globalFlat := global.GetFlatParams()
+		flats := make([][]float64, len(selected))
+		lossesByUser := make([]float64, len(selected))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		for si, q := range selected {
+			wg.Add(1)
+			go func(si, q int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				flats[si], lossesByUser[si] = clients[q].LocalUpdateProx(globalFlat, cfg.LR, cfg.LocalSteps, cfg.ProxMu)
+			}(si, q)
+		}
+		wg.Wait()
+
+		// Sequential post-processing and FedAvg (line 10).
+		uploads := make([][]float64, 0, len(selected))
+		weights := make([]int, 0, len(selected))
+		lossSum := 0.0
+		failed := 0
+		for si, q := range selected {
+			flat := flats[si]
+			lossSum += lossesByUser[si]
+			if cfg.DropoutProb > 0 && rng.Float64() < cfg.DropoutProb {
+				// The user computed and transmitted, but the FLCC never
+				// receives a usable model; costs are already accounted in
+				// the round simulation.
+				failed++
+				continue
+			}
+			if cfg.Compressor != nil {
+				// Compression operates on the model update Δ = θ_q − θ_G
+				// (the standard practice for sparsification/quantization:
+				// deltas concentrate energy in few coordinates, raw weights
+				// do not). The server reconstructs θ_G + C(Δ).
+				delta := make([]float64, len(flat))
+				for j := range flat {
+					delta[j] = flat[j] - globalFlat[j]
+				}
+				delta = cfg.Compressor.Apply(delta)
+				for j := range flat {
+					flat[j] = globalFlat[j] + delta[j]
+				}
+			}
+			if cfg.QuantizeUploads {
+				flat = quantizeF32(flat)
+			}
+			uploads = append(uploads, flat)
+			weights = append(weights, cfg.UserData[q].N())
+		}
+		if len(uploads) > 0 {
+			global.SetFlatParams(FedAvg(uploads, weights))
+		}
+		if obs, ok := cfg.Planner.(Observer); ok {
+			obs.ObserveRound(j, selected, lossesByUser)
+		}
+
+		cumTime += round.Makespan
+		cumEnergy += round.TotalEnergy
+		aliveCount := len(cfg.Devices)
+		if cfg.BatteryCapacityJ > 0 {
+			for _, u := range round.Users {
+				spentJ[u.User] += u.ComputeEnergy + u.UploadEnergy
+			}
+			aliveCount = 0
+			for q := range cfg.Devices {
+				if alive(q) {
+					aliveCount++
+				}
+			}
+		}
+		rec := RoundRecord{
+			Round:         j,
+			Selected:      selected,
+			Freqs:         freqs,
+			Delay:         round.Makespan,
+			Energy:        round.TotalEnergy,
+			ComputeEnergy: round.ComputeEnergy,
+			UploadEnergy:  round.UploadEnergy,
+			Slack:         round.TotalSlack,
+			CumTime:       cumTime,
+			CumEnergy:     cumEnergy,
+			TrainLoss:     lossSum / float64(len(selected)),
+			Failed:        failed,
+			AliveDevices:  aliveCount,
+		}
+
+		lastRound := j == cfg.MaxRounds-1
+		deadlineHit := cfg.DeadlineSec > 0 && cumTime >= cfg.DeadlineSec
+		if j%evalEvery == 0 || lastRound || deadlineHit {
+			tl, ta := Evaluate(global, cfg.Test, flatten)
+			rec.Evaluated = true
+			rec.TestLoss, rec.TestAccuracy = tl, ta
+			if ta > res.BestAccuracy {
+				res.BestAccuracy = ta
+			}
+			res.FinalAccuracy = ta
+			if cfg.TargetAccuracy > 0 && ta >= cfg.TargetAccuracy {
+				res.ReachedTarget = true
+			}
+			if cfg.ConvergePatience > 0 {
+				if tl < bestLoss-cfg.ConvergeDelta {
+					bestLoss = tl
+					sinceImproved = 0
+				} else {
+					sinceImproved++
+					if sinceImproved >= cfg.ConvergePatience {
+						res.Converged = true
+					}
+				}
+			}
+		}
+		res.Records = append(res.Records, rec)
+		if deadlineHit {
+			res.StoppedByDeadline = true
+			break
+		}
+		if res.ReachedTarget || res.Converged {
+			break
+		}
+	}
+	res.Model = global
+	res.TotalTime = cumTime
+	res.TotalEnergy = cumEnergy
+	return res, nil
+}
+
+// quantizeF32 round-trips a parameter vector through float32, the upload
+// wire precision.
+func quantizeF32(flat []float64) []float64 {
+	out := make([]float64, len(flat))
+	for i, v := range flat {
+		out[i] = float64(float32(v))
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+// Package fl is the federated-learning engine: the FLCC-side training loop
+// of Algorithm 1, client-side local updates (Eq. 3), FedAvg aggregation
+// (Eq. 18), evaluation, and the separated-learning (SL) baseline engine.
+package fl
+
+import (
+	"fmt"
+
+	"helcfl/internal/device"
+)
+
+// Planner makes the per-round FLCC scheduling decision: which users
+// participate and at which CPU frequencies they run (Algorithm 1, line 4).
+// Implementations include the HELCFL scheduler (Algorithms 2+3) and the
+// baseline selection/frequency combinations.
+type Planner interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// PlanRound returns the selected user indices and their operating
+	// frequencies for training round j (0-based). The slices align 1:1.
+	// Planners may keep state across rounds (e.g. HELCFL's appearance
+	// counters), so rounds must be requested in order.
+	PlanRound(j int) (selected []int, freqs []float64)
+}
+
+// Observer is an optional Planner extension: planners that implement it
+// receive per-round training feedback (the selected users and their final
+// local losses) after each aggregation, enabling statistical-utility
+// selection (e.g. the loss-aware HELCFL extension).
+type Observer interface {
+	// ObserveRound reports round j's selected users and their local losses.
+	ObserveRound(j int, selected []int, losses []float64)
+}
+
+// Composed glues an independent selection strategy and frequency policy
+// into a Planner; most baselines are expressed this way.
+type Composed struct {
+	// Label names the combination.
+	Label string
+	// Devices is the full fleet the Select indices refer to.
+	Devices []*device.Device
+	// Select returns the users participating in round j.
+	Select func(j int) []int
+	// Frequencies assigns an operating frequency to each selected device.
+	Frequencies func(selected []*device.Device) []float64
+}
+
+// Name implements Planner.
+func (c *Composed) Name() string { return c.Label }
+
+// PlanRound implements Planner.
+func (c *Composed) PlanRound(j int) ([]int, []float64) {
+	sel := c.Select(j)
+	devs := make([]*device.Device, len(sel))
+	for i, q := range sel {
+		if q < 0 || q >= len(c.Devices) {
+			panic(fmt.Sprintf("fl: planner %q selected user %d outside fleet of %d", c.Label, q, len(c.Devices)))
+		}
+		devs[i] = c.Devices[q]
+	}
+	return sel, c.Frequencies(devs)
+}

@@ -1,0 +1,116 @@
+package fl
+
+import (
+	"testing"
+
+	"helcfl/internal/wireless"
+)
+
+func TestRunWithDropoutStillConverges(t *testing.T) {
+	env := newTestEnv(t, 30, 8)
+	cfg := baseConfig(env, allUsersPlanner(env.devs))
+	cfg.MaxRounds = 80
+	cfg.DropoutProb = 0.3
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalFailed := 0
+	for _, r := range res.Records {
+		if r.Failed < 0 || r.Failed > len(r.Selected) {
+			t.Fatalf("round %d: failed count %d out of range", r.Round, r.Failed)
+		}
+		totalFailed += r.Failed
+	}
+	if totalFailed == 0 {
+		t.Fatal("dropout 0.3 over 80 rounds must produce failures")
+	}
+	// Training still reaches useful accuracy despite lost uploads.
+	if res.BestAccuracy < 0.5 {
+		t.Fatalf("best accuracy %g collapsed under dropout", res.BestAccuracy)
+	}
+}
+
+func TestRunDropoutCostsStillAccounted(t *testing.T) {
+	env := newTestEnv(t, 31, 6)
+	cfg := baseConfig(env, allUsersPlanner(env.devs))
+	cfg.MaxRounds = 20
+	cfg.DropoutProb = 0.5
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env2 := newTestEnv(t, 31, 6)
+	cfg2 := baseConfig(env2, allUsersPlanner(env2.devs))
+	cfg2.MaxRounds = 20
+	clean, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Failed users still paid compute and airtime: the per-round cost model
+	// is selection-driven, so both runs cost the same.
+	if res.TotalEnergy != clean.TotalEnergy || res.TotalTime != clean.TotalTime {
+		t.Fatalf("fault injection changed the cost model: %g/%g vs %g/%g",
+			res.TotalEnergy, res.TotalTime, clean.TotalEnergy, clean.TotalTime)
+	}
+}
+
+func TestRunInvalidDropoutRejected(t *testing.T) {
+	env := newTestEnv(t, 32, 4)
+	cfg := baseConfig(env, allUsersPlanner(env.devs))
+	cfg.DropoutProb = 1.0
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("dropout 1.0 must be rejected")
+	}
+	cfg.DropoutProb = -0.1
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("negative dropout must be rejected")
+	}
+}
+
+func TestRunWithFadingChannelChangesCosts(t *testing.T) {
+	env := newTestEnv(t, 33, 6)
+	cfg := baseConfig(env, allUsersPlanner(env.devs))
+	cfg.MaxRounds = 15
+	static, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env2 := newTestEnv(t, 33, 6)
+	cfg2 := baseConfig(env2, allUsersPlanner(env2.devs))
+	cfg2.MaxRounds = 15
+	cfg2.Gains = wireless.NewBlockFading(0.6, 99)
+	faded, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faded.TotalTime == static.TotalTime {
+		t.Fatal("block fading must perturb upload delays")
+	}
+	// Training itself is unaffected by the channel (same selections, same
+	// data), so accuracy trajectories match.
+	if faded.FinalAccuracy != static.FinalAccuracy {
+		t.Fatalf("fading changed training: %g vs %g", faded.FinalAccuracy, static.FinalAccuracy)
+	}
+}
+
+func TestRunWithZeroSigmaFadingMatchesStatic(t *testing.T) {
+	env := newTestEnv(t, 34, 5)
+	cfg := baseConfig(env, allUsersPlanner(env.devs))
+	cfg.MaxRounds = 8
+	static, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env2 := newTestEnv(t, 34, 5)
+	cfg2 := baseConfig(env2, allUsersPlanner(env2.devs))
+	cfg2.MaxRounds = 8
+	cfg2.Gains = wireless.NewBlockFading(0, 1)
+	faded, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faded.TotalTime != static.TotalTime || faded.TotalEnergy != static.TotalEnergy {
+		t.Fatal("σ=0 fading must be exactly static")
+	}
+}

@@ -1,0 +1,71 @@
+package fl
+
+import (
+	"fmt"
+
+	"helcfl/internal/dataset"
+	"helcfl/internal/nn"
+	"helcfl/internal/tensor"
+)
+
+// FedAvg aggregates uploaded flat parameter vectors with the weighted mean
+// of Eq. (18): M_G ← Σ |D_q|·M_q / Σ |D_q|.
+func FedAvg(uploads [][]float64, weights []int) []float64 {
+	if len(uploads) == 0 {
+		panic("fl: FedAvg with no uploads")
+	}
+	if len(uploads) != len(weights) {
+		panic(fmt.Sprintf("fl: %d uploads but %d weights", len(uploads), len(weights)))
+	}
+	n := len(uploads[0])
+	out := make([]float64, n)
+	totalW := 0.0
+	for i, u := range uploads {
+		if len(u) != n {
+			panic(fmt.Sprintf("fl: upload %d has %d params, want %d", i, len(u), n))
+		}
+		if weights[i] <= 0 {
+			panic(fmt.Sprintf("fl: non-positive weight %d for upload %d", weights[i], i))
+		}
+		w := float64(weights[i])
+		totalW += w
+		for j, v := range u {
+			out[j] += w * v
+		}
+	}
+	inv := 1 / totalW
+	for j := range out {
+		out[j] *= inv
+	}
+	return out
+}
+
+// Evaluate computes loss and accuracy of a model over a dataset, batching
+// the forward passes to bound peak memory. flattenInput selects the (B, D)
+// view for dense models.
+func Evaluate(m *nn.Sequential, d *dataset.Dataset, flattenInput bool) (loss, accuracy float64) {
+	const batch = 256
+	lossFn := nn.NewSoftmaxCrossEntropy()
+	n := d.N()
+	totalLoss := 0.0
+	correct := 0.0
+	plane := d.SampleDim()
+	for off := 0; off < n; off += batch {
+		end := off + batch
+		if end > n {
+			end = n
+		}
+		bn := end - off
+		var x *tensor.Tensor
+		if flattenInput {
+			x = tensor.FromSlice(d.X.Data()[off*plane:end*plane], bn, plane)
+		} else {
+			x = tensor.FromSlice(d.X.Data()[off*plane:end*plane], bn, d.Channels(), d.Height(), d.Width())
+		}
+		labels := d.Labels[off:end]
+		logits := m.Forward(x, false)
+		totalLoss += lossFn.Forward(logits, labels) * float64(bn)
+		correct += nn.Accuracy(logits, labels) * float64(bn)
+	}
+	return totalLoss / float64(n), correct / float64(n)
+}

@@ -1,0 +1,135 @@
+package fl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"helcfl/internal/dataset"
+	"helcfl/internal/device"
+	"helcfl/internal/nn"
+	"helcfl/internal/sim"
+	"helcfl/internal/wireless"
+)
+
+// SLConfig configures the separated-learning baseline (the paper's "SL"
+// [4]): every user trains its own persistent model on its own data only —
+// no uploads, no aggregation. For cost parity with the FL schemes, the same
+// random fraction C of users performs one local update per round.
+type SLConfig struct {
+	Spec       nn.ModelSpec
+	Devices    []*device.Device
+	Channel    wireless.Channel
+	UserData   []*dataset.Dataset
+	Test       *dataset.Dataset
+	Fraction   float64
+	LR         float64
+	LocalSteps int
+	MaxRounds  int
+	EvalEvery  int
+	// EvalUsers caps how many user models are averaged per evaluation
+	// (deterministic prefix after a seeded shuffle); 0 means all users.
+	// Reported SL accuracy is the mean test accuracy across those models.
+	EvalUsers int
+	Seed      int64
+}
+
+// SLResult mirrors Result for the separated-learning engine.
+type SLResult struct {
+	Records                     []RoundRecord
+	FinalAccuracy, BestAccuracy float64
+	TotalTime, TotalEnergy      float64
+}
+
+// RunSL executes separated learning. Selected users run at maximum
+// frequency (there is no slack to reclaim: with no uploads, the round ends
+// when the slowest selected user finishes computing). Round delay is
+// max T_cal; round energy is Σ E_cal; no communication occurs.
+func RunSL(cfg SLConfig) (*SLResult, error) {
+	switch {
+	case len(cfg.Devices) == 0:
+		return nil, fmt.Errorf("fl: SL with no devices")
+	case len(cfg.UserData) != len(cfg.Devices):
+		return nil, fmt.Errorf("fl: SL %d datasets for %d devices", len(cfg.UserData), len(cfg.Devices))
+	case cfg.Fraction <= 0 || cfg.Fraction > 1:
+		return nil, fmt.Errorf("fl: SL fraction %g outside (0,1]", cfg.Fraction)
+	case cfg.LR <= 0 || cfg.LocalSteps <= 0 || cfg.MaxRounds <= 0:
+		return nil, fmt.Errorf("fl: SL bad training parameters")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	flatten := cfg.Spec.FlattensInput()
+	clients := make([]*Client, len(cfg.Devices))
+	for q, d := range cfg.Devices {
+		d.NumSamples = cfg.UserData[q].N()
+		clients[q] = NewClient(q, cfg.UserData[q], cfg.Spec.Build(rng), flatten)
+	}
+
+	// Deterministic evaluation panel.
+	evalSet := rng.Perm(len(clients))
+	if cfg.EvalUsers > 0 && cfg.EvalUsers < len(evalSet) {
+		evalSet = evalSet[:cfg.EvalUsers]
+	}
+	evalEvery := cfg.EvalEvery
+	if evalEvery <= 0 {
+		evalEvery = 1
+	}
+	n := int(float64(len(cfg.Devices)) * cfg.Fraction)
+	if n < 1 {
+		n = 1
+	}
+
+	res := &SLResult{}
+	cumTime, cumEnergy := 0.0, 0.0
+	for j := 0; j < cfg.MaxRounds; j++ {
+		sel := rng.Perm(len(cfg.Devices))[:n]
+		lossSum := 0.0
+		var maxDelay, energy float64
+		for _, q := range sel {
+			lossSum += clients[q].TrainOwn(cfg.LR, cfg.LocalSteps)
+			d := cfg.Devices[q]
+			delay := float64(cfg.LocalSteps) * d.ComputeDelayAtMax()
+			if delay > maxDelay {
+				maxDelay = delay
+			}
+			energy += float64(cfg.LocalSteps) * d.ComputeEnergy(d.FMax)
+		}
+		cumTime += maxDelay
+		cumEnergy += energy
+		rec := RoundRecord{
+			Round:         j,
+			Selected:      sel,
+			Freqs:         sim.MaxFrequencies(pick(cfg.Devices, sel)),
+			Delay:         maxDelay,
+			Energy:        energy,
+			ComputeEnergy: energy,
+			CumTime:       cumTime,
+			CumEnergy:     cumEnergy,
+			TrainLoss:     lossSum / float64(n),
+		}
+		if j%evalEvery == 0 || j == cfg.MaxRounds-1 {
+			accSum := 0.0
+			for _, q := range evalSet {
+				_, a := Evaluate(clients[q].Model(), cfg.Test, flatten)
+				accSum += a
+			}
+			rec.Evaluated = true
+			rec.TestAccuracy = accSum / float64(len(evalSet))
+			if rec.TestAccuracy > res.BestAccuracy {
+				res.BestAccuracy = rec.TestAccuracy
+			}
+			res.FinalAccuracy = rec.TestAccuracy
+		}
+		res.Records = append(res.Records, rec)
+	}
+	res.TotalTime = cumTime
+	res.TotalEnergy = cumEnergy
+	return res, nil
+}
+
+// pick gathers devices at the given indices.
+func pick(devs []*device.Device, idx []int) []*device.Device {
+	out := make([]*device.Device, len(idx))
+	for i, q := range idx {
+		out[i] = devs[q]
+	}
+	return out
+}

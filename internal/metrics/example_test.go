@@ -1,0 +1,34 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"helcfl/internal/metrics"
+)
+
+// Table I's quantity: the first evaluated moment a training curve crosses
+// the desired accuracy.
+func ExampleCurve_TimeToAccuracy() {
+	c := metrics.Curve{Scheme: "HELCFL", Points: []metrics.Point{
+		{Round: 0, Time: 60, Accuracy: 0.42},
+		{Round: 10, Time: 409.2, Accuracy: 0.61},
+		{Round: 20, Time: 850, Accuracy: 0.71},
+	}}
+	sec, ok := c.TimeToAccuracy(0.60)
+	fmt.Println(metrics.FormatDelay(sec, ok))
+	_, ok = c.TimeToAccuracy(0.90)
+	fmt.Println(metrics.FormatDelay(0, ok))
+	// Output:
+	// 6.82min
+	// ✗
+}
+
+// The paper's speedup metric: (T_base/T_ours − 1) × 100.
+func ExampleSpeedup() {
+	ours := metrics.Curve{Points: []metrics.Point{{Time: 913, Accuracy: 0.6}}}
+	base := metrics.Curve{Points: []metrics.Point{{Time: 3424, Accuracy: 0.6}}}
+	pct, ok := metrics.Speedup(ours, base, 0.6)
+	fmt.Printf("%.2f%% %v\n", pct, ok)
+	// Output:
+	// 275.03% true
+}

@@ -1,0 +1,109 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"helcfl/internal/tensor"
+)
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias-corrected first and
+// second moment estimates. The FL experiments use plain GD per the paper's
+// Eq. (3); Adam exists for library completeness and the standalone-training
+// examples.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	step int
+	m, v []*tensor.Tensor
+}
+
+// NewAdam returns Adam with the canonical defaults β1=0.9, β2=0.999,
+// ε=1e-8.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8}
+}
+
+// Step applies one update to params given aligned grads.
+func (a *Adam) Step(params, grads []*tensor.Tensor) {
+	if len(params) != len(grads) {
+		panic(fmt.Sprintf("nn: Adam step with %d params but %d grads", len(params), len(grads)))
+	}
+	if a.m == nil {
+		a.m = make([]*tensor.Tensor, len(params))
+		a.v = make([]*tensor.Tensor, len(params))
+		for i, p := range params {
+			a.m[i] = tensor.New(p.Shape()...)
+			a.v[i] = tensor.New(p.Shape()...)
+		}
+	}
+	a.step++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for i, p := range params {
+		g := grads[i].Data()
+		md := a.m[i].Data()
+		vd := a.v[i].Data()
+		pd := p.Data()
+		for j := range pd {
+			md[j] = a.Beta1*md[j] + (1-a.Beta1)*g[j]
+			vd[j] = a.Beta2*vd[j] + (1-a.Beta2)*g[j]*g[j]
+			mhat := md[j] / c1
+			vhat := vd[j] / c2
+			pd[j] -= a.LR * mhat / (math.Sqrt(vhat) + a.Epsilon)
+		}
+	}
+}
+
+// Reset clears moment state.
+func (a *Adam) Reset() {
+	a.m, a.v = nil, nil
+	a.step = 0
+}
+
+// LRSchedule maps a 0-based step index to a learning rate.
+type LRSchedule interface {
+	// LR returns the learning rate for the given step.
+	LR(step int) float64
+}
+
+// ConstLR is a constant learning rate.
+type ConstLR float64
+
+// LR implements LRSchedule.
+func (c ConstLR) LR(step int) float64 { return float64(c) }
+
+// StepDecay multiplies Base by Factor every Every steps.
+type StepDecay struct {
+	Base   float64
+	Factor float64
+	Every  int
+}
+
+// LR implements LRSchedule.
+func (s StepDecay) LR(step int) float64 {
+	if s.Every <= 0 {
+		return s.Base
+	}
+	return s.Base * math.Pow(s.Factor, float64(step/s.Every))
+}
+
+// CosineDecay anneals from Base to Floor over Horizon steps and stays at
+// Floor afterwards.
+type CosineDecay struct {
+	Base    float64
+	Floor   float64
+	Horizon int
+}
+
+// LR implements LRSchedule.
+func (c CosineDecay) LR(step int) float64 {
+	if c.Horizon <= 0 || step >= c.Horizon {
+		return c.Floor
+	}
+	t := float64(step) / float64(c.Horizon)
+	return c.Floor + (c.Base-c.Floor)*(1+math.Cos(math.Pi*t))/2
+}

@@ -1,0 +1,215 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"helcfl/internal/tensor"
+)
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize f(θ) = Σ (θ_i - i)²; gradient 2(θ - target).
+	p := tensor.New(5)
+	target := []float64{0, 1, 2, 3, 4}
+	opt := NewAdam(0.1)
+	for it := 0; it < 500; it++ {
+		g := tensor.New(5)
+		for i := range target {
+			g.Data()[i] = 2 * (p.Data()[i] - target[i])
+		}
+		opt.Step([]*tensor.Tensor{p}, []*tensor.Tensor{g})
+	}
+	for i, want := range target {
+		if math.Abs(p.Data()[i]-want) > 0.05 {
+			t.Fatalf("θ[%d] = %g, want %g", i, p.Data()[i], want)
+		}
+	}
+}
+
+func TestAdamResetClearsState(t *testing.T) {
+	p := tensor.New(1)
+	g := tensor.Ones(1)
+	opt := NewAdam(0.1)
+	opt.Step([]*tensor.Tensor{p}, []*tensor.Tensor{g})
+	first := p.Data()[0]
+	opt.Reset()
+	p2 := tensor.New(1)
+	opt.Step([]*tensor.Tensor{p2}, []*tensor.Tensor{g})
+	if p2.Data()[0] != first {
+		t.Fatal("after Reset the first step must repeat exactly")
+	}
+}
+
+func TestAdamMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewAdam(0.1).Step([]*tensor.Tensor{tensor.New(1)}, nil)
+}
+
+func TestAdamTrainsMLPFasterThanSGDOnHardLR(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 60
+	x := tensor.New(n, 4).FillNormal(rng, 0, 1)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		if x.At(i, 0)+x.At(i, 1) > 0 {
+			labels[i] = 1
+		}
+	}
+	train := func(opt interface {
+		Step(p, g []*tensor.Tensor)
+	}) float64 {
+		m := NewMLP(4, []int{16}, 2, rand.New(rand.NewSource(2)))
+		loss := NewSoftmaxCrossEntropy()
+		var final float64
+		for it := 0; it < 100; it++ {
+			m.ZeroGrads()
+			final = loss.Forward(m.Forward(x, true), labels)
+			m.Backward(loss.Backward())
+			opt.Step(m.Params(), m.Grads())
+		}
+		return final
+	}
+	adamLoss := train(NewAdam(0.01))
+	if adamLoss > 0.3 {
+		t.Fatalf("Adam final loss %g too high", adamLoss)
+	}
+}
+
+func TestLRSchedules(t *testing.T) {
+	if ConstLR(0.1).LR(99) != 0.1 {
+		t.Fatal("const schedule must be constant")
+	}
+	sd := StepDecay{Base: 1, Factor: 0.5, Every: 10}
+	if sd.LR(0) != 1 || sd.LR(9) != 1 || sd.LR(10) != 0.5 || sd.LR(25) != 0.25 {
+		t.Fatalf("step decay = %g %g %g %g", sd.LR(0), sd.LR(9), sd.LR(10), sd.LR(25))
+	}
+	cd := CosineDecay{Base: 1, Floor: 0.1, Horizon: 100}
+	if cd.LR(0) != 1 {
+		t.Fatalf("cosine start = %g", cd.LR(0))
+	}
+	if got := cd.LR(100); got != 0.1 {
+		t.Fatalf("cosine end = %g", got)
+	}
+	if cd.LR(50) >= cd.LR(10) || cd.LR(90) >= cd.LR(50) {
+		t.Fatal("cosine must decrease monotonically")
+	}
+	// Degenerate horizons.
+	if (StepDecay{Base: 2}).LR(50) != 2 {
+		t.Fatal("Every=0 step decay must be constant")
+	}
+	if (CosineDecay{Base: 1, Floor: 0.2}).LR(3) != 0.2 {
+		t.Fatal("Horizon=0 cosine must sit at floor")
+	}
+}
+
+func TestLayerNormForwardNormalizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ln := NewLayerNorm(8)
+	x := tensor.New(4, 8).FillNormal(rng, 3, 2)
+	y := ln.Forward(x, true)
+	// With γ=1, β=0 every row has ≈0 mean and ≈1 variance.
+	for i := 0; i < 4; i++ {
+		mu, va := 0.0, 0.0
+		for j := 0; j < 8; j++ {
+			mu += y.At(i, j)
+		}
+		mu /= 8
+		for j := 0; j < 8; j++ {
+			d := y.At(i, j) - mu
+			va += d * d
+		}
+		va /= 8
+		if math.Abs(mu) > 1e-9 || math.Abs(va-1) > 1e-3 {
+			t.Fatalf("row %d: mean %g var %g", i, mu, va)
+		}
+	}
+}
+
+func TestLayerNormGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := NewSequential(NewDense(5, 6, rng), NewLayerNorm(6), NewDense(6, 3, rng))
+	x := tensor.New(4, 5).FillNormal(rng, 0, 1)
+	checkParamGradients(t, m, x, []int{0, 1, 2, 0}, 5e-4)
+	checkInputGradient(t, m, x, []int{0, 1, 2, 0}, 5e-4)
+}
+
+func TestBatchNormForwardTrainNormalizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	bn := NewBatchNorm1D(3)
+	x := tensor.New(32, 3).FillNormal(rng, -2, 5)
+	y := bn.Forward(x, true)
+	for j := 0; j < 3; j++ {
+		mu, va := 0.0, 0.0
+		for i := 0; i < 32; i++ {
+			mu += y.At(i, j)
+		}
+		mu /= 32
+		for i := 0; i < 32; i++ {
+			d := y.At(i, j) - mu
+			va += d * d
+		}
+		va /= 32
+		if math.Abs(mu) > 1e-9 || math.Abs(va-1) > 1e-3 {
+			t.Fatalf("feature %d: mean %g var %g", j, mu, va)
+		}
+	}
+}
+
+func TestBatchNormRunningStatsConverge(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	bn := NewBatchNorm1D(2)
+	// Feed many batches from N(4, 9); running stats should approach them.
+	for it := 0; it < 300; it++ {
+		x := tensor.New(64, 2).FillNormal(rng, 4, 3)
+		bn.Forward(x, true)
+	}
+	rm := bn.runMean.Data()
+	rv := bn.runVar.Data()
+	for j := 0; j < 2; j++ {
+		if math.Abs(rm[j]-4) > 0.5 {
+			t.Fatalf("running mean[%d] = %g, want ≈4", j, rm[j])
+		}
+		if math.Abs(rv[j]-9) > 2 {
+			t.Fatalf("running var[%d] = %g, want ≈9", j, rv[j])
+		}
+	}
+	// Inference uses running stats: a batch from the same distribution maps
+	// to ≈standard normal.
+	x := tensor.New(256, 2).FillNormal(rng, 4, 3)
+	y := bn.Forward(x, false)
+	if math.Abs(y.Mean()) > 0.2 {
+		t.Fatalf("inference output mean %g, want ≈0", y.Mean())
+	}
+}
+
+func TestBatchNormGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewSequential(NewDense(4, 5, rng), NewBatchNorm1D(5), NewReLU(), NewDense(5, 2, rng))
+	x := tensor.New(6, 4).FillNormal(rng, 0, 1)
+	checkParamGradients(t, m, x, []int{0, 1, 0, 1, 0, 1}, 1e-3)
+	checkInputGradient(t, m, x, []int{0, 1, 0, 1, 0, 1}, 1e-3)
+}
+
+func TestBatchNormTinyBatchPanics(t *testing.T) {
+	bn := NewBatchNorm1D(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for batch of 1 in training")
+		}
+	}()
+	bn.Forward(tensor.New(1, 2), true)
+}
+
+func TestBatchNormCloneIndependent(t *testing.T) {
+	bn := NewBatchNorm1D(2)
+	c := bn.Clone().(*BatchNorm1D)
+	c.gamma.Fill(0)
+	if bn.gamma.Data()[0] == 0 {
+		t.Fatal("clone must not share parameters")
+	}
+}

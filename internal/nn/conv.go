@@ -1,0 +1,155 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"helcfl/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over (B, C, H, W) batches. The whole batch is
+// lowered to one im2col matrix of shape (InC·KH·KW, B·OH·OW) so the forward
+// pass is a single matmul against the (OutC, InC·KH·KW) weights, and the
+// backward pass is two matmuls plus a per-sample col2im scatter.
+type Conv2D struct {
+	InC, OutC   int
+	KH, KW      int
+	Stride, Pad int
+
+	w, b   *tensor.Tensor
+	dw, db *tensor.Tensor
+
+	// Cached state from the last forward pass.
+	cols       *tensor.Tensor // (InC·KH·KW, B·positions)
+	batch      int
+	inH, inW   int
+	outH, outW int
+}
+
+// NewConv2D returns a Conv2D layer with He-normal weights and zero bias.
+func NewConv2D(inC, outC, kh, kw, stride, pad int, rng *rand.Rand) *Conv2D {
+	if stride <= 0 {
+		panic("nn: Conv2D stride must be positive")
+	}
+	fanIn := inC * kh * kw
+	return &Conv2D{
+		InC: inC, OutC: outC, KH: kh, KW: kw, Stride: stride, Pad: pad,
+		w:  tensor.New(outC, fanIn).FillHe(rng, fanIn),
+		b:  tensor.New(outC),
+		dw: tensor.New(outC, fanIn),
+		db: tensor.New(outC),
+	}
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string {
+	return fmt.Sprintf("Conv2D(%d→%d, %dx%d, s%d, p%d)", c.InC, c.OutC, c.KH, c.KW, c.Stride, c.Pad)
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 || x.Dim(1) != c.InC {
+		panic(fmt.Sprintf("nn: Conv2D forward shape %v, want (B, %d, H, W)", x.Shape(), c.InC))
+	}
+	b, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	c.batch, c.inH, c.inW = b, h, w
+	c.outH = tensor.ConvOutSize(h, c.KH, c.Stride, c.Pad)
+	c.outW = tensor.ConvOutSize(w, c.KW, c.Stride, c.Pad)
+	positions := c.outH * c.outW
+	ckk := c.InC * c.KH * c.KW
+	plane := c.InC * h * w
+
+	// Lower the whole batch into one column matrix, sample-major columns.
+	cols := tensor.New(ckk, b*positions)
+	for i := 0; i < b; i++ {
+		xi := tensor.FromSlice(x.Data()[i*plane:(i+1)*plane], c.InC, h, w)
+		ci := tensor.Im2Col(xi, c.KH, c.KW, c.Stride, c.Pad)
+		// Copy ci's rows into the batch matrix at column offset i·positions.
+		src := ci.Data()
+		dst := cols.Data()
+		for r := 0; r < ckk; r++ {
+			copy(dst[r*b*positions+i*positions:r*b*positions+(i+1)*positions],
+				src[r*positions:(r+1)*positions])
+		}
+	}
+	c.cols = cols
+
+	// One matmul for the whole batch: (OutC, ckk) × (ckk, B·positions).
+	mega := tensor.MatMul(c.w, cols)
+
+	// Reorder (OutC, B·positions) → (B, OutC, outH, outW) and add bias.
+	out := tensor.New(b, c.OutC, c.outH, c.outW)
+	md, od, bd := mega.Data(), out.Data(), c.b.Data()
+	for oc := 0; oc < c.OutC; oc++ {
+		bias := bd[oc]
+		row := md[oc*b*positions : (oc+1)*b*positions]
+		for i := 0; i < b; i++ {
+			dst := od[(i*c.OutC+oc)*positions : (i*c.OutC+oc+1)*positions]
+			src := row[i*positions : (i+1)*positions]
+			for p := range dst {
+				dst[p] = src[p] + bias
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if c.cols == nil {
+		panic("nn: Conv2D backward before forward")
+	}
+	b := c.batch
+	positions := c.outH * c.outW
+	ckk := c.InC * c.KH * c.KW
+
+	// Reorder dout (B, OutC, positions) → (OutC, B·positions).
+	dyMega := tensor.New(c.OutC, b*positions)
+	dd, myd := dout.Data(), dyMega.Data()
+	dbd := c.db.Data()
+	for oc := 0; oc < c.OutC; oc++ {
+		row := myd[oc*b*positions : (oc+1)*b*positions]
+		sum := 0.0
+		for i := 0; i < b; i++ {
+			src := dd[(i*c.OutC+oc)*positions : (i*c.OutC+oc+1)*positions]
+			copy(row[i*positions:(i+1)*positions], src)
+			for _, v := range src {
+				sum += v
+			}
+		}
+		dbd[oc] += sum
+	}
+
+	// dW += dy·colsᵀ and dcols = Wᵀ·dy, each one matmul for the batch.
+	c.dw.AddInPlace(tensor.MatMulTransB(dyMega, c.cols))
+	dcols := tensor.MatMulTransA(c.w, dyMega)
+
+	// Scatter dcols back per sample.
+	dx := tensor.New(b, c.InC, c.inH, c.inW)
+	plane := c.InC * c.inH * c.inW
+	dcd := dcols.Data()
+	scratch := tensor.New(ckk, positions)
+	for i := 0; i < b; i++ {
+		sd := scratch.Data()
+		for r := 0; r < ckk; r++ {
+			copy(sd[r*positions:(r+1)*positions], dcd[r*b*positions+i*positions:r*b*positions+(i+1)*positions])
+		}
+		dxi := tensor.Col2Im(scratch, c.InC, c.inH, c.inW, c.KH, c.KW, c.Stride, c.Pad)
+		copy(dx.Data()[i*plane:(i+1)*plane], dxi.Data())
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*tensor.Tensor { return []*tensor.Tensor{c.w, c.b} }
+
+// Grads implements Layer.
+func (c *Conv2D) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.dw, c.db} }
+
+// Clone implements Layer.
+func (c *Conv2D) Clone() Layer {
+	return &Conv2D{
+		InC: c.InC, OutC: c.OutC, KH: c.KH, KW: c.KW, Stride: c.Stride, Pad: c.Pad,
+		w: c.w.Clone(), b: c.b.Clone(), dw: c.dw.Clone(), db: c.db.Clone(),
+	}
+}

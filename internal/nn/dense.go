@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"helcfl/internal/tensor"
+)
+
+// Dense is a fully connected layer computing y = x·W + b for a batch x of
+// shape (B, in), with W of shape (in, out) and b of shape (out).
+type Dense struct {
+	In, Out int
+
+	w, b   *tensor.Tensor
+	dw, db *tensor.Tensor
+	x      *tensor.Tensor // cached input for backward
+}
+
+// NewDense returns a Dense layer with Xavier-uniform weights and zero bias.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{
+		In: in, Out: out,
+		w:  tensor.New(in, out).FillXavier(rng, in, out),
+		b:  tensor.New(out),
+		dw: tensor.New(in, out),
+		db: tensor.New(out),
+	}
+	return d
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return fmt.Sprintf("Dense(%d→%d)", d.In, d.Out) }
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(1) != d.In {
+		panic(fmt.Sprintf("nn: Dense forward shape %v, want (B, %d)", x.Shape(), d.In))
+	}
+	d.x = x
+	return tensor.MatMul(x, d.w).AddRowVector(d.b)
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if d.x == nil {
+		panic("nn: Dense backward before forward")
+	}
+	d.dw.AddInPlace(tensor.MatMulTransA(d.x, dout))
+	d.db.AddInPlace(dout.ColSums())
+	return tensor.MatMulTransB(dout, d.w)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*tensor.Tensor { return []*tensor.Tensor{d.w, d.b} }
+
+// Grads implements Layer.
+func (d *Dense) Grads() []*tensor.Tensor { return []*tensor.Tensor{d.dw, d.db} }
+
+// Clone implements Layer.
+func (d *Dense) Clone() Layer {
+	return &Dense{
+		In: d.In, Out: d.Out,
+		w: d.w.Clone(), b: d.b.Clone(),
+		dw: d.dw.Clone(), db: d.db.Clone(),
+	}
+}

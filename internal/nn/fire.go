@@ -1,0 +1,135 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"helcfl/internal/tensor"
+)
+
+// Fire is the SqueezeNet Fire module: a 1×1 "squeeze" convolution followed
+// by ReLU, feeding two parallel "expand" convolutions (1×1 and 3×3, the
+// latter with same-padding) whose ReLU outputs are concatenated along the
+// channel axis. Output channels = E1 + E3.
+type Fire struct {
+	InC, S, E1, E3 int
+
+	squeeze  *Conv2D
+	sqReLU   *ReLU
+	exp1     *Conv2D
+	exp1ReLU *ReLU
+	exp3     *Conv2D
+	exp3ReLU *ReLU
+}
+
+// NewFire returns a Fire module with s squeeze filters and e1/e3 expand
+// filters of each kind.
+func NewFire(inC, s, e1, e3 int, rng *rand.Rand) *Fire {
+	return &Fire{
+		InC: inC, S: s, E1: e1, E3: e3,
+		squeeze:  NewConv2D(inC, s, 1, 1, 1, 0, rng),
+		sqReLU:   NewReLU(),
+		exp1:     NewConv2D(s, e1, 1, 1, 1, 0, rng),
+		exp1ReLU: NewReLU(),
+		exp3:     NewConv2D(s, e3, 3, 3, 1, 1, rng),
+		exp3ReLU: NewReLU(),
+	}
+}
+
+// Name implements Layer.
+func (f *Fire) Name() string {
+	return fmt.Sprintf("Fire(in=%d, s=%d, e1=%d, e3=%d)", f.InC, f.S, f.E1, f.E3)
+}
+
+// Forward implements Layer.
+func (f *Fire) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	sq := f.sqReLU.Forward(f.squeeze.Forward(x, train), train)
+	y1 := f.exp1ReLU.Forward(f.exp1.Forward(sq, train), train)
+	y3 := f.exp3ReLU.Forward(f.exp3.Forward(sq, train), train)
+	return concatChannels(y1, y3)
+}
+
+// Backward implements Layer.
+func (f *Fire) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	d1, d3 := splitChannels(dout, f.E1)
+	dsq1 := f.exp1.Backward(f.exp1ReLU.Backward(d1))
+	dsq3 := f.exp3.Backward(f.exp3ReLU.Backward(d3))
+	dsq := dsq1.AddInPlace(dsq3)
+	return f.squeeze.Backward(f.sqReLU.Backward(dsq))
+}
+
+// Params implements Layer.
+func (f *Fire) Params() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	out = append(out, f.squeeze.Params()...)
+	out = append(out, f.exp1.Params()...)
+	out = append(out, f.exp3.Params()...)
+	return out
+}
+
+// Grads implements Layer.
+func (f *Fire) Grads() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	out = append(out, f.squeeze.Grads()...)
+	out = append(out, f.exp1.Grads()...)
+	out = append(out, f.exp3.Grads()...)
+	return out
+}
+
+// Clone implements Layer.
+func (f *Fire) Clone() Layer {
+	return &Fire{
+		InC: f.InC, S: f.S, E1: f.E1, E3: f.E3,
+		squeeze:  f.squeeze.Clone().(*Conv2D),
+		sqReLU:   NewReLU(),
+		exp1:     f.exp1.Clone().(*Conv2D),
+		exp1ReLU: NewReLU(),
+		exp3:     f.exp3.Clone().(*Conv2D),
+		exp3ReLU: NewReLU(),
+	}
+}
+
+// concatChannels concatenates two (B, C, H, W) tensors along the channel
+// axis. Batch and spatial dimensions must agree.
+func concatChannels(a, b *tensor.Tensor) *tensor.Tensor {
+	if a.Rank() != 4 || b.Rank() != 4 {
+		panic("nn: concatChannels needs rank-4 tensors")
+	}
+	ba, ca, h, w := a.Dim(0), a.Dim(1), a.Dim(2), a.Dim(3)
+	bb, cb := b.Dim(0), b.Dim(1)
+	if ba != bb || h != b.Dim(2) || w != b.Dim(3) {
+		panic(fmt.Sprintf("nn: concatChannels mismatched shapes %v and %v", a.Shape(), b.Shape()))
+	}
+	out := tensor.New(ba, ca+cb, h, w)
+	plane := h * w
+	for bi := 0; bi < ba; bi++ {
+		srcA := a.Data()[bi*ca*plane : (bi+1)*ca*plane]
+		srcB := b.Data()[bi*cb*plane : (bi+1)*cb*plane]
+		dst := out.Data()[bi*(ca+cb)*plane : (bi+1)*(ca+cb)*plane]
+		copy(dst[:ca*plane], srcA)
+		copy(dst[ca*plane:], srcB)
+	}
+	return out
+}
+
+// splitChannels splits a (B, C, H, W) tensor into the first c1 channels and
+// the rest.
+func splitChannels(x *tensor.Tensor, c1 int) (*tensor.Tensor, *tensor.Tensor) {
+	if x.Rank() != 4 {
+		panic("nn: splitChannels needs a rank-4 tensor")
+	}
+	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if c1 <= 0 || c1 >= c {
+		panic(fmt.Sprintf("nn: splitChannels c1=%d outside (0,%d)", c1, c))
+	}
+	c2 := c - c1
+	a := tensor.New(b, c1, h, w)
+	bb := tensor.New(b, c2, h, w)
+	plane := h * w
+	for bi := 0; bi < b; bi++ {
+		src := x.Data()[bi*c*plane : (bi+1)*c*plane]
+		copy(a.Data()[bi*c1*plane:(bi+1)*c1*plane], src[:c1*plane])
+		copy(bb.Data()[bi*c2*plane:(bi+1)*c2*plane], src[c1*plane:])
+	}
+	return a, bb
+}

@@ -1,0 +1,34 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzLoadParamBytes ensures the binary payload parser never panics and
+// never corrupts a model on rejected input.
+func FuzzLoadParamBytes(f *testing.F) {
+	spec := ModelSpec{Kind: "logistic", InC: 1, H: 2, W: 2, Classes: 2}
+	valid := ParamBytes(spec.Build(rand.New(rand.NewSource(1))))
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add(valid)
+	truncated := append([]byte(nil), valid[:len(valid)-3]...)
+	f.Add(truncated)
+	corrupted := append([]byte(nil), valid...)
+	corrupted[0] ^= 0xFF
+	f.Add(corrupted)
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		m := spec.Build(rand.New(rand.NewSource(2)))
+		before := m.GetFlatParams()
+		if err := LoadParamBytes(m, payload); err != nil {
+			// Rejected payloads must leave the model untouched.
+			after := m.GetFlatParams()
+			for i := range before {
+				if before[i] != after[i] {
+					t.Fatalf("rejected payload mutated param %d", i)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,54 @@
+// Package nn is a from-scratch neural-network substrate: layers with explicit
+// forward/backward passes, losses, an SGD optimizer, model builders (MLP,
+// logistic regression, and a SqueezeNet-style Fire-module CNN), and parameter
+// (de)serialization.
+//
+// It exists because the HELCFL paper trains SqueezeNet on user devices; no
+// mature Go deep-learning stack is available offline, so the training engine
+// is built here on top of internal/tensor. All layers use a batch-first
+// convention: dense layers take (B, features); convolutional layers take
+// (B, C, H, W).
+package nn
+
+import "helcfl/internal/tensor"
+
+// Layer is one differentiable stage of a network.
+//
+// Forward computes the layer output for a batch and caches whatever the
+// backward pass needs. Backward consumes the gradient of the loss with
+// respect to the layer output and returns the gradient with respect to the
+// layer input, accumulating parameter gradients internally. A layer must be
+// used in strict Forward-then-Backward order.
+type Layer interface {
+	// Name identifies the layer kind for diagnostics.
+	Name() string
+	// Forward runs the layer on a batch. train toggles train-time behaviour
+	// (e.g. dropout); inference passes false.
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward propagates the output gradient to the input and accumulates
+	// parameter gradients.
+	Backward(dout *tensor.Tensor) *tensor.Tensor
+	// Params returns the trainable parameter tensors (possibly empty).
+	// Mutating them changes the layer.
+	Params() []*tensor.Tensor
+	// Grads returns the gradient tensors aligned 1:1 with Params.
+	Grads() []*tensor.Tensor
+	// Clone returns a deep copy with independent parameters and gradients.
+	Clone() Layer
+}
+
+// zeroGrads clears a layer's accumulated gradients.
+func zeroGrads(l Layer) {
+	for _, g := range l.Grads() {
+		g.Zero()
+	}
+}
+
+// cloneTensors deep-copies a slice of tensors.
+func cloneTensors(ts []*tensor.Tensor) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(ts))
+	for i, t := range ts {
+		out[i] = t.Clone()
+	}
+	return out
+}

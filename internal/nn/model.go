@@ -1,0 +1,123 @@
+package nn
+
+import (
+	"strings"
+
+	"helcfl/internal/tensor"
+)
+
+// Sequential chains layers; the output of each feeds the next.
+type Sequential struct {
+	layers []Layer
+}
+
+// NewSequential returns a model over the given layers.
+func NewSequential(layers ...Layer) *Sequential {
+	return &Sequential{layers: layers}
+}
+
+// Add appends a layer and returns the model for chaining.
+func (m *Sequential) Add(l Layer) *Sequential {
+	m.layers = append(m.layers, l)
+	return m
+}
+
+// Layers returns the layer list (do not modify).
+func (m *Sequential) Layers() []Layer { return m.layers }
+
+// Forward runs the whole network on a batch.
+func (m *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range m.layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates a loss gradient through all layers in reverse,
+// accumulating parameter gradients, and returns the input gradient.
+func (m *Sequential) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	for i := len(m.layers) - 1; i >= 0; i-- {
+		dout = m.layers[i].Backward(dout)
+	}
+	return dout
+}
+
+// Params returns all trainable parameters, layer order, params within layer
+// in declaration order.
+func (m *Sequential) Params() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, l := range m.layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// Grads returns all parameter gradients aligned with Params.
+func (m *Sequential) Grads() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, l := range m.layers {
+		out = append(out, l.Grads()...)
+	}
+	return out
+}
+
+// ZeroGrads clears all accumulated gradients.
+func (m *Sequential) ZeroGrads() {
+	for _, l := range m.layers {
+		zeroGrads(l)
+	}
+}
+
+// Clone returns a deep copy with independent parameters.
+func (m *Sequential) Clone() *Sequential {
+	ls := make([]Layer, len(m.layers))
+	for i, l := range m.layers {
+		ls[i] = l.Clone()
+	}
+	return &Sequential{layers: ls}
+}
+
+// NumParams returns the total number of scalar parameters.
+func (m *Sequential) NumParams() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += p.Size()
+	}
+	return n
+}
+
+// Summary renders a one-line-per-layer description.
+func (m *Sequential) Summary() string {
+	var b strings.Builder
+	for _, l := range m.layers {
+		b.WriteString(l.Name())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// GetFlatParams copies all parameters into one flat vector, in Params order.
+func (m *Sequential) GetFlatParams() []float64 {
+	out := make([]float64, 0, m.NumParams())
+	for _, p := range m.Params() {
+		out = append(out, p.Data()...)
+	}
+	return out
+}
+
+// SetFlatParams overwrites all parameters from a flat vector produced by
+// GetFlatParams on a model with identical architecture.
+func (m *Sequential) SetFlatParams(flat []float64) {
+	off := 0
+	for _, p := range m.Params() {
+		n := p.Size()
+		if off+n > len(flat) {
+			panic("nn: SetFlatParams vector too short for model")
+		}
+		copy(p.Data(), flat[off:off+n])
+		off += n
+	}
+	if off != len(flat) {
+		panic("nn: SetFlatParams vector longer than model parameters")
+	}
+}

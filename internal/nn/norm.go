@@ -1,0 +1,260 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"helcfl/internal/tensor"
+)
+
+// LayerNorm normalizes each row of a (B, D) batch to zero mean and unit
+// variance across features, then applies a learned affine transform
+// y = γ·x̂ + β. Unlike BatchNorm it has no train/eval distinction.
+type LayerNorm struct {
+	D   int
+	Eps float64
+
+	gamma, beta   *tensor.Tensor
+	dgamma, dbeta *tensor.Tensor
+
+	xhat   *tensor.Tensor
+	invStd []float64
+}
+
+// NewLayerNorm returns a LayerNorm over D features with γ=1, β=0.
+func NewLayerNorm(d int) *LayerNorm {
+	return &LayerNorm{
+		D: d, Eps: 1e-5,
+		gamma:  tensor.Ones(d),
+		beta:   tensor.New(d),
+		dgamma: tensor.New(d),
+		dbeta:  tensor.New(d),
+	}
+}
+
+// Name implements Layer.
+func (l *LayerNorm) Name() string { return fmt.Sprintf("LayerNorm(%d)", l.D) }
+
+// Forward implements Layer.
+func (l *LayerNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(1) != l.D {
+		panic(fmt.Sprintf("nn: LayerNorm forward shape %v, want (B, %d)", x.Shape(), l.D))
+	}
+	b := x.Dim(0)
+	out := tensor.New(b, l.D)
+	l.xhat = tensor.New(b, l.D)
+	l.invStd = make([]float64, b)
+	xd, od, hd := x.Data(), out.Data(), l.xhat.Data()
+	gd, bd := l.gamma.Data(), l.beta.Data()
+	for i := 0; i < b; i++ {
+		row := xd[i*l.D : (i+1)*l.D]
+		mu := 0.0
+		for _, v := range row {
+			mu += v
+		}
+		mu /= float64(l.D)
+		va := 0.0
+		for _, v := range row {
+			d := v - mu
+			va += d * d
+		}
+		va /= float64(l.D)
+		inv := 1 / math.Sqrt(va+l.Eps)
+		l.invStd[i] = inv
+		for j, v := range row {
+			h := (v - mu) * inv
+			hd[i*l.D+j] = h
+			od[i*l.D+j] = gd[j]*h + bd[j]
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *LayerNorm) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if l.xhat == nil {
+		panic("nn: LayerNorm backward before forward")
+	}
+	b := dout.Dim(0)
+	dx := tensor.New(b, l.D)
+	dd, hd, dxd := dout.Data(), l.xhat.Data(), dx.Data()
+	gd := l.gamma.Data()
+	dgd, dbd := l.dgamma.Data(), l.dbeta.Data()
+	n := float64(l.D)
+	for i := 0; i < b; i++ {
+		// Per-row reductions.
+		var sumDh, sumDhH float64
+		for j := 0; j < l.D; j++ {
+			dy := dd[i*l.D+j]
+			h := hd[i*l.D+j]
+			dgd[j] += dy * h
+			dbd[j] += dy
+			dh := dy * gd[j]
+			sumDh += dh
+			sumDhH += dh * h
+		}
+		inv := l.invStd[i]
+		for j := 0; j < l.D; j++ {
+			dh := dd[i*l.D+j] * gd[j]
+			h := hd[i*l.D+j]
+			dxd[i*l.D+j] = inv * (dh - sumDh/n - h*sumDhH/n)
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *LayerNorm) Params() []*tensor.Tensor { return []*tensor.Tensor{l.gamma, l.beta} }
+
+// Grads implements Layer.
+func (l *LayerNorm) Grads() []*tensor.Tensor { return []*tensor.Tensor{l.dgamma, l.dbeta} }
+
+// Clone implements Layer.
+func (l *LayerNorm) Clone() Layer {
+	return &LayerNorm{
+		D: l.D, Eps: l.Eps,
+		gamma: l.gamma.Clone(), beta: l.beta.Clone(),
+		dgamma: l.dgamma.Clone(), dbeta: l.dbeta.Clone(),
+	}
+}
+
+// BatchNorm1D normalizes each feature of a (B, D) batch across the batch
+// dimension at train time, maintaining running statistics for inference.
+type BatchNorm1D struct {
+	D        int
+	Eps      float64
+	Momentum float64
+
+	gamma, beta          *tensor.Tensor
+	dgamma, dbeta        *tensor.Tensor
+	runMean, runVar      *tensor.Tensor
+	xhat                 *tensor.Tensor
+	invStd               []float64
+	batch                int
+	forwardWasTrainement bool
+}
+
+// NewBatchNorm1D returns a BatchNorm over D features with γ=1, β=0,
+// running stats initialized to the standard normal.
+func NewBatchNorm1D(d int) *BatchNorm1D {
+	rv := tensor.Ones(d)
+	return &BatchNorm1D{
+		D: d, Eps: 1e-5, Momentum: 0.9,
+		gamma:   tensor.Ones(d),
+		beta:    tensor.New(d),
+		dgamma:  tensor.New(d),
+		dbeta:   tensor.New(d),
+		runMean: tensor.New(d),
+		runVar:  rv,
+	}
+}
+
+// Name implements Layer.
+func (bn *BatchNorm1D) Name() string { return fmt.Sprintf("BatchNorm1D(%d)", bn.D) }
+
+// Forward implements Layer.
+func (bn *BatchNorm1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(1) != bn.D {
+		panic(fmt.Sprintf("nn: BatchNorm1D forward shape %v, want (B, %d)", x.Shape(), bn.D))
+	}
+	b := x.Dim(0)
+	bn.batch = b
+	bn.forwardWasTrainement = train
+	out := tensor.New(b, bn.D)
+	xd, od := x.Data(), out.Data()
+	gd, bd := bn.gamma.Data(), bn.beta.Data()
+
+	if !train {
+		rm, rv := bn.runMean.Data(), bn.runVar.Data()
+		for i := 0; i < b; i++ {
+			for j := 0; j < bn.D; j++ {
+				h := (xd[i*bn.D+j] - rm[j]) / math.Sqrt(rv[j]+bn.Eps)
+				od[i*bn.D+j] = gd[j]*h + bd[j]
+			}
+		}
+		return out
+	}
+
+	if b < 2 {
+		panic("nn: BatchNorm1D training needs batch size ≥ 2")
+	}
+	bn.xhat = tensor.New(b, bn.D)
+	bn.invStd = make([]float64, bn.D)
+	hd := bn.xhat.Data()
+	rm, rv := bn.runMean.Data(), bn.runVar.Data()
+	nb := float64(b)
+	for j := 0; j < bn.D; j++ {
+		mu := 0.0
+		for i := 0; i < b; i++ {
+			mu += xd[i*bn.D+j]
+		}
+		mu /= nb
+		va := 0.0
+		for i := 0; i < b; i++ {
+			d := xd[i*bn.D+j] - mu
+			va += d * d
+		}
+		va /= nb
+		inv := 1 / math.Sqrt(va+bn.Eps)
+		bn.invStd[j] = inv
+		for i := 0; i < b; i++ {
+			h := (xd[i*bn.D+j] - mu) * inv
+			hd[i*bn.D+j] = h
+			od[i*bn.D+j] = gd[j]*h + bd[j]
+		}
+		rm[j] = bn.Momentum*rm[j] + (1-bn.Momentum)*mu
+		rv[j] = bn.Momentum*rv[j] + (1-bn.Momentum)*va
+	}
+	return out
+}
+
+// Backward implements Layer. It supports only the training path (inference
+// needs no gradients).
+func (bn *BatchNorm1D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if bn.xhat == nil || !bn.forwardWasTrainement {
+		panic("nn: BatchNorm1D backward before training forward")
+	}
+	b := bn.batch
+	dx := tensor.New(b, bn.D)
+	dd, hd, dxd := dout.Data(), bn.xhat.Data(), dx.Data()
+	gd := bn.gamma.Data()
+	dgd, dbd := bn.dgamma.Data(), bn.dbeta.Data()
+	nb := float64(b)
+	for j := 0; j < bn.D; j++ {
+		var sumDh, sumDhH float64
+		for i := 0; i < b; i++ {
+			dy := dd[i*bn.D+j]
+			h := hd[i*bn.D+j]
+			dgd[j] += dy * h
+			dbd[j] += dy
+			dh := dy * gd[j]
+			sumDh += dh
+			sumDhH += dh * h
+		}
+		inv := bn.invStd[j]
+		for i := 0; i < b; i++ {
+			dh := dd[i*bn.D+j] * gd[j]
+			h := hd[i*bn.D+j]
+			dxd[i*bn.D+j] = inv * (dh - sumDh/nb - h*sumDhH/nb)
+		}
+	}
+	return dx
+}
+
+// Params implements Layer. Running statistics are state, not parameters,
+// and are excluded (they would otherwise be FedAvg-averaged, which is a
+// deliberate design decision left to the caller).
+func (bn *BatchNorm1D) Params() []*tensor.Tensor { return []*tensor.Tensor{bn.gamma, bn.beta} }
+
+// Grads implements Layer.
+func (bn *BatchNorm1D) Grads() []*tensor.Tensor { return []*tensor.Tensor{bn.dgamma, bn.dbeta} }
+
+// Clone implements Layer.
+func (bn *BatchNorm1D) Clone() Layer {
+	return &BatchNorm1D{
+		D: bn.D, Eps: bn.Eps, Momentum: bn.Momentum,
+		gamma: bn.gamma.Clone(), beta: bn.beta.Clone(),
+		dgamma: bn.dgamma.Clone(), dbeta: bn.dbeta.Clone(),
+		runMean: bn.runMean.Clone(), runVar: bn.runVar.Clone(),
+	}
+}

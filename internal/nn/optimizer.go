@@ -1,0 +1,62 @@
+package nn
+
+import (
+	"fmt"
+
+	"helcfl/internal/tensor"
+)
+
+// SGD is stochastic gradient descent with optional classical momentum and L2
+// weight decay. With Momentum == 0 and WeightDecay == 0 it performs exactly
+// the plain GD update of the paper's Eq. (3):
+//
+//	θ ← θ - LR · ∇L(θ)
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	velocity []*tensor.Tensor
+}
+
+// NewSGD returns a plain gradient-descent optimizer with the given learning
+// rate.
+func NewSGD(lr float64) *SGD { return &SGD{LR: lr} }
+
+// NewSGDMomentum returns SGD with classical momentum.
+func NewSGDMomentum(lr, momentum float64) *SGD { return &SGD{LR: lr, Momentum: momentum} }
+
+// Step applies one update to params given aligned grads. The first call
+// fixes the parameter layout; later calls must pass the same shapes.
+func (s *SGD) Step(params, grads []*tensor.Tensor) {
+	if len(params) != len(grads) {
+		panic(fmt.Sprintf("nn: SGD step with %d params but %d grads", len(params), len(grads)))
+	}
+	if s.Momentum != 0 && s.velocity == nil {
+		s.velocity = make([]*tensor.Tensor, len(params))
+		for i, p := range params {
+			s.velocity[i] = tensor.New(p.Shape()...)
+		}
+	}
+	for i, p := range params {
+		g := grads[i]
+		if !p.SameShape(g) {
+			panic(fmt.Sprintf("nn: SGD param %d shape %v but grad shape %v", i, p.Shape(), g.Shape()))
+		}
+		if s.WeightDecay != 0 {
+			// L2 decay folds into the gradient: g ← g + λθ.
+			g = g.Add(p.Scale(s.WeightDecay))
+		}
+		if s.Momentum != 0 {
+			v := s.velocity[i]
+			v.ScaleInPlace(s.Momentum).AXPY(-s.LR, g)
+			p.AddInPlace(v)
+		} else {
+			p.AXPY(-s.LR, g)
+		}
+	}
+}
+
+// Reset clears momentum state, e.g. when the model parameters are replaced
+// wholesale (a new FL round).
+func (s *SGD) Reset() { s.velocity = nil }

@@ -1,0 +1,292 @@
+package nn
+
+import (
+	"fmt"
+
+	"helcfl/internal/tensor"
+)
+
+// MaxPool2D is a 2-D max pooling layer over (B, C, H, W) batches.
+type MaxPool2D struct {
+	K, Stride int
+
+	argmax     []int // flat input index chosen for each output element
+	inShape    []int
+	outH, outW int
+}
+
+// NewMaxPool2D returns a max-pool layer with a k×k window and the given
+// stride.
+func NewMaxPool2D(k, stride int) *MaxPool2D {
+	if k <= 0 || stride <= 0 {
+		panic("nn: MaxPool2D kernel and stride must be positive")
+	}
+	return &MaxPool2D{K: k, Stride: stride}
+}
+
+// Name implements Layer.
+func (m *MaxPool2D) Name() string { return fmt.Sprintf("MaxPool2D(%dx%d, s%d)", m.K, m.K, m.Stride) }
+
+// Forward implements Layer.
+func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: MaxPool2D forward shape %v, want rank 4", x.Shape()))
+	}
+	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh := tensor.ConvOutSize(h, m.K, m.Stride, 0)
+	ow := tensor.ConvOutSize(w, m.K, m.Stride, 0)
+	m.inShape = []int{b, c, h, w}
+	m.outH, m.outW = oh, ow
+	out := tensor.New(b, c, oh, ow)
+	m.argmax = make([]int, out.Size())
+	xd, od := x.Data(), out.Data()
+	oi := 0
+	for bi := 0; bi < b; bi++ {
+		for ci := 0; ci < c; ci++ {
+			plane := (bi*c + ci) * h * w
+			for i := 0; i < oh; i++ {
+				for j := 0; j < ow; j++ {
+					best := -1
+					bestV := 0.0
+					for ki := 0; ki < m.K; ki++ {
+						ii := i*m.Stride + ki
+						if ii >= h {
+							break
+						}
+						for kj := 0; kj < m.K; kj++ {
+							jj := j*m.Stride + kj
+							if jj >= w {
+								break
+							}
+							idx := plane + ii*w + jj
+							if best == -1 || xd[idx] > bestV {
+								best, bestV = idx, xd[idx]
+							}
+						}
+					}
+					od[oi] = bestV
+					m.argmax[oi] = best
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (m *MaxPool2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if m.argmax == nil {
+		panic("nn: MaxPool2D backward before forward")
+	}
+	dx := tensor.New(m.inShape...)
+	dd, dxd := dout.Data(), dx.Data()
+	for oi, idx := range m.argmax {
+		dxd[idx] += dd[oi]
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (m *MaxPool2D) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (m *MaxPool2D) Grads() []*tensor.Tensor { return nil }
+
+// Clone implements Layer.
+func (m *MaxPool2D) Clone() Layer { return &MaxPool2D{K: m.K, Stride: m.Stride} }
+
+// AvgPool2D is a 2-D average pooling layer over (B, C, H, W) batches.
+type AvgPool2D struct {
+	K, Stride int
+
+	inShape    []int
+	outH, outW int
+}
+
+// NewAvgPool2D returns an average-pool layer with a k×k window and stride.
+func NewAvgPool2D(k, stride int) *AvgPool2D {
+	if k <= 0 || stride <= 0 {
+		panic("nn: AvgPool2D kernel and stride must be positive")
+	}
+	return &AvgPool2D{K: k, Stride: stride}
+}
+
+// Name implements Layer.
+func (a *AvgPool2D) Name() string { return fmt.Sprintf("AvgPool2D(%dx%d, s%d)", a.K, a.K, a.Stride) }
+
+// Forward implements Layer.
+func (a *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: AvgPool2D forward shape %v, want rank 4", x.Shape()))
+	}
+	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh := tensor.ConvOutSize(h, a.K, a.Stride, 0)
+	ow := tensor.ConvOutSize(w, a.K, a.Stride, 0)
+	a.inShape = []int{b, c, h, w}
+	a.outH, a.outW = oh, ow
+	out := tensor.New(b, c, oh, ow)
+	xd, od := x.Data(), out.Data()
+	inv := 1.0 / float64(a.K*a.K)
+	oi := 0
+	for bi := 0; bi < b; bi++ {
+		for ci := 0; ci < c; ci++ {
+			plane := (bi*c + ci) * h * w
+			for i := 0; i < oh; i++ {
+				for j := 0; j < ow; j++ {
+					s := 0.0
+					for ki := 0; ki < a.K; ki++ {
+						ii := i*a.Stride + ki
+						for kj := 0; kj < a.K; kj++ {
+							jj := j*a.Stride + kj
+							s += xd[plane+ii*w+jj]
+						}
+					}
+					od[oi] = s * inv
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (a *AvgPool2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if a.inShape == nil {
+		panic("nn: AvgPool2D backward before forward")
+	}
+	b, c, h, w := a.inShape[0], a.inShape[1], a.inShape[2], a.inShape[3]
+	dx := tensor.New(a.inShape...)
+	dd, dxd := dout.Data(), dx.Data()
+	inv := 1.0 / float64(a.K*a.K)
+	oi := 0
+	for bi := 0; bi < b; bi++ {
+		for ci := 0; ci < c; ci++ {
+			plane := (bi*c + ci) * h * w
+			for i := 0; i < a.outH; i++ {
+				for j := 0; j < a.outW; j++ {
+					g := dd[oi] * inv
+					oi++
+					for ki := 0; ki < a.K; ki++ {
+						ii := i*a.Stride + ki
+						for kj := 0; kj < a.K; kj++ {
+							jj := j*a.Stride + kj
+							dxd[plane+ii*w+jj] += g
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (a *AvgPool2D) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (a *AvgPool2D) Grads() []*tensor.Tensor { return nil }
+
+// Clone implements Layer.
+func (a *AvgPool2D) Clone() Layer { return &AvgPool2D{K: a.K, Stride: a.Stride} }
+
+// GlobalAvgPool reduces (B, C, H, W) to (B, C) by spatial averaging, the
+// SqueezeNet classifier head.
+type GlobalAvgPool struct {
+	inShape []int
+}
+
+// NewGlobalAvgPool returns a global average pooling layer.
+func NewGlobalAvgPool() *GlobalAvgPool { return &GlobalAvgPool{} }
+
+// Name implements Layer.
+func (g *GlobalAvgPool) Name() string { return "GlobalAvgPool" }
+
+// Forward implements Layer.
+func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: GlobalAvgPool forward shape %v, want rank 4", x.Shape()))
+	}
+	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	g.inShape = []int{b, c, h, w}
+	out := tensor.New(b, c)
+	xd := x.Data()
+	inv := 1.0 / float64(h*w)
+	for bi := 0; bi < b; bi++ {
+		for ci := 0; ci < c; ci++ {
+			plane := xd[(bi*c+ci)*h*w : (bi*c+ci+1)*h*w]
+			s := 0.0
+			for _, v := range plane {
+				s += v
+			}
+			out.Data()[bi*c+ci] = s * inv
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (g *GlobalAvgPool) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if g.inShape == nil {
+		panic("nn: GlobalAvgPool backward before forward")
+	}
+	b, c, h, w := g.inShape[0], g.inShape[1], g.inShape[2], g.inShape[3]
+	dx := tensor.New(g.inShape...)
+	inv := 1.0 / float64(h*w)
+	dd, dxd := dout.Data(), dx.Data()
+	for bi := 0; bi < b; bi++ {
+		for ci := 0; ci < c; ci++ {
+			gv := dd[bi*c+ci] * inv
+			plane := dxd[(bi*c+ci)*h*w : (bi*c+ci+1)*h*w]
+			for i := range plane {
+				plane[i] = gv
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (g *GlobalAvgPool) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (g *GlobalAvgPool) Grads() []*tensor.Tensor { return nil }
+
+// Clone implements Layer.
+func (g *GlobalAvgPool) Clone() Layer { return &GlobalAvgPool{} }
+
+// Flatten reshapes (B, ...) to (B, features).
+type Flatten struct {
+	inShape []int
+}
+
+// NewFlatten returns a Flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return "Flatten" }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	f.inShape = append([]int(nil), x.Shape()...)
+	b := x.Dim(0)
+	return x.Clone().Reshape(b, x.Size()/b)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if f.inShape == nil {
+		panic("nn: Flatten backward before forward")
+	}
+	return dout.Clone().Reshape(f.inShape...)
+}
+
+// Params implements Layer.
+func (f *Flatten) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (f *Flatten) Grads() []*tensor.Tensor { return nil }
+
+// Clone implements Layer.
+func (f *Flatten) Clone() Layer { return &Flatten{} }

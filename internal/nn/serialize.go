@@ -1,0 +1,63 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Parameter serialization defines the FL upload payload. The wire format is
+// what a real deployment would send: a magic header, the parameter count,
+// and every parameter as an IEEE-754 float32 (matching fp32 training and the
+// paper's C_model "data size of the uploaded model parameters in bits").
+
+const paramMagic = uint32(0x48454C43) // "HELC"
+
+// ParamBytes serializes the model's parameters to the upload wire format.
+// Its length defines C_model for Eq. (7).
+func ParamBytes(m *Sequential) []byte {
+	flat := m.GetFlatParams()
+	var buf bytes.Buffer
+	buf.Grow(8 + 4*len(flat))
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], paramMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(flat)))
+	buf.Write(hdr[:])
+	var w [4]byte
+	for _, v := range flat {
+		binary.LittleEndian.PutUint32(w[:], math.Float32bits(float32(v)))
+		buf.Write(w[:])
+	}
+	return buf.Bytes()
+}
+
+// LoadParamBytes overwrites the model's parameters from a ParamBytes
+// payload. The parameter count must match the model exactly.
+func LoadParamBytes(m *Sequential, payload []byte) error {
+	if len(payload) < 8 {
+		return fmt.Errorf("nn: payload too short (%d bytes)", len(payload))
+	}
+	if binary.LittleEndian.Uint32(payload[0:4]) != paramMagic {
+		return fmt.Errorf("nn: bad payload magic")
+	}
+	n := int(binary.LittleEndian.Uint32(payload[4:8]))
+	if n != m.NumParams() {
+		return fmt.Errorf("nn: payload has %d params, model has %d", n, m.NumParams())
+	}
+	if len(payload) != 8+4*n {
+		return fmt.Errorf("nn: payload length %d, want %d", len(payload), 8+4*n)
+	}
+	flat := make([]float64, n)
+	for i := 0; i < n; i++ {
+		bits := binary.LittleEndian.Uint32(payload[8+4*i : 12+4*i])
+		flat[i] = float64(math.Float32frombits(bits))
+	}
+	m.SetFlatParams(flat)
+	return nil
+}
+
+// ModelBits returns the upload payload size in bits, the C_model of Eq. (7).
+func ModelBits(m *Sequential) float64 {
+	return float64(len(ParamBytes(m))) * 8
+}

@@ -1,0 +1,84 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"helcfl/internal/tensor"
+)
+
+// Softmax is a standalone row-wise softmax layer for models that must emit
+// probabilities (the training path uses the fused SoftmaxCrossEntropy loss
+// instead, which is cheaper and numerically cleaner).
+type Softmax struct {
+	out *tensor.Tensor
+}
+
+// NewSoftmax returns a Softmax layer.
+func NewSoftmax() *Softmax { return &Softmax{} }
+
+// Name implements Layer.
+func (s *Softmax) Name() string { return "Softmax" }
+
+// Forward implements Layer.
+func (s *Softmax) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 2 {
+		panic(fmt.Sprintf("nn: Softmax forward shape %v, want rank 2", x.Shape()))
+	}
+	b, k := x.Dim(0), x.Dim(1)
+	out := tensor.New(b, k)
+	xd, od := x.Data(), out.Data()
+	for i := 0; i < b; i++ {
+		row := xd[i*k : (i+1)*k]
+		orow := od[i*k : (i+1)*k]
+		m := row[0]
+		for _, v := range row[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			e := math.Exp(v - m)
+			orow[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range orow {
+			orow[j] *= inv
+		}
+	}
+	s.out = out
+	return out
+}
+
+// Backward implements Layer: dx_i = y_i ⊙ (dy_i − ⟨dy_i, y_i⟩).
+func (s *Softmax) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if s.out == nil {
+		panic("nn: Softmax backward before forward")
+	}
+	b, k := s.out.Dim(0), s.out.Dim(1)
+	dx := tensor.New(b, k)
+	yd, dd, xd := s.out.Data(), dout.Data(), dx.Data()
+	for i := 0; i < b; i++ {
+		y := yd[i*k : (i+1)*k]
+		dy := dd[i*k : (i+1)*k]
+		dot := 0.0
+		for j := range y {
+			dot += dy[j] * y[j]
+		}
+		for j := range y {
+			xd[i*k+j] = y[j] * (dy[j] - dot)
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (s *Softmax) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (s *Softmax) Grads() []*tensor.Tensor { return nil }
+
+// Clone implements Layer.
+func (s *Softmax) Clone() Layer { return &Softmax{} }

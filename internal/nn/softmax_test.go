@@ -1,0 +1,83 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"helcfl/internal/tensor"
+)
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sm := NewSoftmax()
+	x := tensor.New(4, 6).FillNormal(rng, 0, 3)
+	y := sm.Forward(x, true)
+	for i := 0; i < 4; i++ {
+		s := 0.0
+		for j := 0; j < 6; j++ {
+			v := y.At(i, j)
+			if v <= 0 || v >= 1 {
+				t.Fatalf("probability %g outside (0,1)", v)
+			}
+			s += v
+		}
+		if math.Abs(s-1) > 1e-12 {
+			t.Fatalf("row %d sums to %g", i, s)
+		}
+	}
+}
+
+func TestSoftmaxNumericalStability(t *testing.T) {
+	sm := NewSoftmax()
+	x := tensor.FromSlice([]float64{1e5, -1e5}, 1, 2)
+	y := sm.Forward(x, true)
+	if math.IsNaN(y.At(0, 0)) || math.Abs(y.At(0, 0)-1) > 1e-12 {
+		t.Fatalf("huge logits broke softmax: %v", y)
+	}
+}
+
+// MSE on softmax probabilities gradient-checks against finite differences,
+// validating the Jacobian-vector product.
+func TestSoftmaxGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d1 := NewDense(4, 5, rng)
+	sm := NewSoftmax()
+	x := tensor.New(3, 4).FillNormal(rng, 0, 1)
+	target := tensor.New(3, 5).FillUniform(rng, 0, 1)
+	mse := NewMSE()
+
+	lossOf := func() float64 {
+		return mse.Forward(sm.Forward(d1.Forward(x, true), true), target)
+	}
+	base := lossOf()
+	_ = base
+	mse.Forward(sm.Forward(d1.Forward(x, true), true), target)
+	dsm := sm.Backward(mse.Backward())
+	d1.Backward(dsm)
+
+	const h = 1e-6
+	w := d1.Params()[0]
+	g := d1.Grads()[0]
+	for _, idx := range []int{0, 3, 7, 12} {
+		orig := w.Data()[idx]
+		w.Data()[idx] = orig + h
+		lp := lossOf()
+		w.Data()[idx] = orig - h
+		lm := lossOf()
+		w.Data()[idx] = orig
+		numeric := (lp - lm) / (2 * h)
+		if math.Abs(g.Data()[idx]-numeric) > 1e-4*math.Max(1, math.Abs(numeric)) {
+			t.Fatalf("weight %d: analytic %g vs numeric %g", idx, g.Data()[idx], numeric)
+		}
+	}
+}
+
+func TestSoftmaxBackwardBeforeForwardPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSoftmax().Backward(tensor.New(1, 2))
+}

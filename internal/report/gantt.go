@@ -1,0 +1,85 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// GanttBar is one row of a Gantt chart: a compute span followed by an
+// upload span, with idle (wait) time between them.
+type GanttBar struct {
+	Label string
+	// ComputeEnd marks when local computation finishes (starts at 0).
+	ComputeEnd float64
+	// UploadStart and UploadEnd bound the transmission.
+	UploadStart, UploadEnd float64
+}
+
+// Gantt renders per-user round timelines — the reproduction of the paper's
+// Fig. 1 drawing. Compute time renders as '▒', waiting as '·', and upload
+// airtime as '█'.
+type Gantt struct {
+	Title string
+	Width int
+	bars  []GanttBar
+}
+
+// NewGantt returns a chart with a default 64-column time axis.
+func NewGantt(title string) *Gantt { return &Gantt{Title: title, Width: 64} }
+
+// Add appends one user's bar. Spans must satisfy
+// 0 ≤ ComputeEnd ≤ UploadStart ≤ UploadEnd.
+func (g *Gantt) Add(b GanttBar) {
+	if b.ComputeEnd < 0 || b.UploadStart < b.ComputeEnd-1e-12 || b.UploadEnd < b.UploadStart-1e-12 {
+		panic(fmt.Sprintf("report: inconsistent gantt bar %+v", b))
+	}
+	g.bars = append(g.bars, b)
+}
+
+// String renders the chart.
+func (g *Gantt) String() string {
+	var sb strings.Builder
+	sb.WriteString(g.Title)
+	sb.WriteString("\n")
+	if len(g.bars) == 0 {
+		sb.WriteString("(no bars)\n")
+		return sb.String()
+	}
+	tmax := 0.0
+	labelW := 0
+	for _, b := range g.bars {
+		tmax = math.Max(tmax, b.UploadEnd)
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	if tmax == 0 {
+		tmax = 1
+	}
+	col := func(t float64) int {
+		c := int(float64(g.Width) * t / tmax)
+		if c > g.Width {
+			c = g.Width
+		}
+		return c
+	}
+	for _, b := range g.bars {
+		row := make([]rune, g.Width)
+		for i := range row {
+			row[i] = ' '
+		}
+		fill := func(from, to int, r rune) {
+			for i := from; i < to && i < len(row); i++ {
+				row[i] = r
+			}
+		}
+		fill(0, col(b.ComputeEnd), '▒')
+		fill(col(b.ComputeEnd), col(b.UploadStart), '·')
+		fill(col(b.UploadStart), col(b.UploadEnd), '█')
+		sb.WriteString(fmt.Sprintf("%-*s |%s|\n", labelW, b.Label, string(row)))
+	}
+	sb.WriteString(fmt.Sprintf("%-*s  0%*s\n", labelW, "", g.Width-1, fmt.Sprintf("%.2fs", tmax)))
+	sb.WriteString(fmt.Sprintf("%-*s  legend: ▒ compute  · wait (slack)  █ upload\n", labelW, ""))
+	return sb.String()
+}

@@ -1,0 +1,45 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGanttRendersSpans(t *testing.T) {
+	g := NewGantt("Round")
+	g.Width = 10
+	g.Add(GanttBar{Label: "v1", ComputeEnd: 2, UploadStart: 2, UploadEnd: 5})
+	g.Add(GanttBar{Label: "v2", ComputeEnd: 3, UploadStart: 5, UploadEnd: 10})
+	s := g.String()
+	if !strings.Contains(s, "v1") || !strings.Contains(s, "v2") {
+		t.Fatalf("missing labels:\n%s", s)
+	}
+	lines := strings.Split(s, "\n")
+	// v1: compute 0–2 → cols 0–1 '▒', upload 2–5 → cols 2–4 '█', no wait.
+	if !strings.Contains(lines[1], "▒▒███") {
+		t.Fatalf("v1 spans wrong: %q", lines[1])
+	}
+	// v2: compute 0–3, wait 3–5, upload 5–10.
+	if !strings.Contains(lines[2], "▒▒▒··█████") {
+		t.Fatalf("v2 spans wrong: %q", lines[2])
+	}
+	if !strings.Contains(s, "legend") {
+		t.Fatalf("missing legend:\n%s", s)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	if !strings.Contains(NewGantt("x").String(), "no bars") {
+		t.Fatal("empty gantt must say so")
+	}
+}
+
+func TestGanttInconsistentBarPanics(t *testing.T) {
+	g := NewGantt("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for upload before compute end")
+		}
+	}()
+	g.Add(GanttBar{Label: "v", ComputeEnd: 5, UploadStart: 2, UploadEnd: 6})
+}

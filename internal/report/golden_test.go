@@ -1,0 +1,60 @@
+package report
+
+import "testing"
+
+// Golden rendering tests: the exact text formats are part of the CLI's
+// contract (downstream scripts parse them), so changes must be deliberate.
+
+func TestTableGolden(t *testing.T) {
+	tb := NewTable("T", "a", "bb")
+	tb.AddRow("x", "1")
+	tb.AddRow("yy", "22")
+	want := "T\n" +
+		"a   bb\n" +
+		"--  --\n" +
+		"x   1 \n" +
+		"yy  22\n"
+	if got := tb.String(); got != want {
+		t.Fatalf("table rendering changed:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+func TestTableCSVGolden(t *testing.T) {
+	tb := NewTable("ignored", "a", "b")
+	tb.AddRow("1", "2")
+	want := "a,b\n1,2\n"
+	if got := tb.CSV(); got != want {
+		t.Fatalf("csv rendering changed:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+func TestBarChartGolden(t *testing.T) {
+	b := NewBarChart("B", "J")
+	b.Width = 4
+	b.Add("x", 2)
+	b.Add("y", 4)
+	want := "B\n" +
+		"x |██ 2J\n" +
+		"y |████ 4J\n"
+	if got := b.String(); got != want {
+		t.Fatalf("bar rendering changed:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+func TestLineChartGoldenSmall(t *testing.T) {
+	c := NewLineChart("L", "x", "y")
+	c.Width = 8
+	c.Height = 3
+	c.Add(Series{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}})
+	got := c.String()
+	want := "L\n" +
+		"  1.000 |       *\n" +
+		"  0.500 |        \n" +
+		"  0.000 |*       \n" +
+		"        +--------\n" +
+		"        0         1 (x)\n" +
+		"        legend: *=s   (y: y)\n"
+	if got != want {
+		t.Fatalf("line chart rendering changed:\n got: %q\nwant: %q", got, want)
+	}
+}

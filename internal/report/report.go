@@ -1,0 +1,249 @@
+// Package report renders experiment outputs as ASCII tables, ASCII line
+// charts (for the paper's figures), and CSV for external plotting.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; its length must match the headers.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Headers) {
+		panic(fmt.Sprintf("report: row with %d cells for %d columns", len(cells), len(t.Headers)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = displayWidth(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if w := displayWidth(c); w > widths[i] {
+				widths[i] = w
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteString("\n")
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-displayWidth(c)))
+		}
+		b.WriteString("\n")
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// displayWidth approximates terminal width by rune count.
+func displayWidth(s string) int { return len([]rune(s)) }
+
+// CSV renders the table as comma-separated values (headers first). Cells
+// containing commas or quotes are quoted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is one named line of an ASCII chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// LineChart renders multiple series on a shared-axis ASCII grid — the
+// reproduction's stand-in for the paper's matplotlib figures.
+type LineChart struct {
+	Title          string
+	XLabel, YLabel string
+	Width, Height  int
+	series         []Series
+}
+
+// NewLineChart returns a chart with a default 72×20 plotting area.
+func NewLineChart(title, xlabel, ylabel string) *LineChart {
+	return &LineChart{Title: title, XLabel: xlabel, YLabel: ylabel, Width: 72, Height: 20}
+}
+
+// Add appends a series. X and Y must have equal, non-zero length.
+func (c *LineChart) Add(s Series) {
+	if len(s.X) != len(s.Y) || len(s.X) == 0 {
+		panic(fmt.Sprintf("report: series %q has %d x and %d y values", s.Name, len(s.X), len(s.Y)))
+	}
+	c.series = append(c.series, s)
+}
+
+// markers label series in draw order.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// String renders the chart.
+func (c *LineChart) String() string {
+	if len(c.series) == 0 {
+		return c.Title + "\n(no data)\n"
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, c.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", c.Width))
+	}
+	for si, s := range c.series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			col := int(float64(c.Width-1) * (s.X[i] - xmin) / (xmax - xmin))
+			row := c.Height - 1 - int(float64(c.Height-1)*(s.Y[i]-ymin)/(ymax-ymin))
+			grid[row][col] = m
+		}
+	}
+	var b strings.Builder
+	b.WriteString(c.Title)
+	b.WriteString("\n")
+	for r, row := range grid {
+		// y-axis labels at top, middle, bottom rows.
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.3f ", ymax)
+		case c.Height / 2:
+			label = fmt.Sprintf("%7.3f ", (ymax+ymin)/2)
+		case c.Height - 1:
+			label = fmt.Sprintf("%7.3f ", ymin)
+		}
+		b.WriteString(label)
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString("        +")
+	b.WriteString(strings.Repeat("-", c.Width))
+	b.WriteString("\n")
+	b.WriteString(fmt.Sprintf("        %-10.3g%*s\n", xmin, c.Width-8, fmt.Sprintf("%.3g (%s)", xmax, c.XLabel)))
+	b.WriteString("        legend: ")
+	for si, s := range c.series {
+		if si > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(fmt.Sprintf("%c=%s", markers[si%len(markers)], s.Name))
+	}
+	b.WriteString(fmt.Sprintf("   (y: %s)\n", c.YLabel))
+	return b.String()
+}
+
+// BarChart renders labelled horizontal bars, used for Fig. 3's grouped
+// energy-reduction bars.
+type BarChart struct {
+	Title string
+	Unit  string
+	Width int
+	rows  []barRow
+}
+
+type barRow struct {
+	label string
+	value float64
+}
+
+// NewBarChart returns a chart with a default 50-character bar area.
+func NewBarChart(title, unit string) *BarChart {
+	return &BarChart{Title: title, Unit: unit, Width: 50}
+}
+
+// Add appends one bar.
+func (b *BarChart) Add(label string, value float64) {
+	b.rows = append(b.rows, barRow{label: label, value: value})
+}
+
+// String renders the chart.
+func (b *BarChart) String() string {
+	var sb strings.Builder
+	sb.WriteString(b.Title)
+	sb.WriteString("\n")
+	if len(b.rows) == 0 {
+		sb.WriteString("(no data)\n")
+		return sb.String()
+	}
+	maxV := 0.0
+	maxL := 0
+	for _, r := range b.rows {
+		if r.value > maxV {
+			maxV = r.value
+		}
+		if l := displayWidth(r.label); l > maxL {
+			maxL = l
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	for _, r := range b.rows {
+		n := int(float64(b.Width) * r.value / maxV)
+		if n < 0 {
+			n = 0
+		}
+		sb.WriteString(fmt.Sprintf("%-*s |%s %.4g%s\n", maxL, r.label, strings.Repeat("█", n), r.value, b.Unit))
+	}
+	return sb.String()
+}

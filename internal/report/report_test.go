@@ -1,0 +1,112 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendersAligned(t *testing.T) {
+	tb := NewTable("Demo", "scheme", "delay")
+	tb.AddRow("HELCFL", "6.82min")
+	tb.AddRow("ClassicFL", "10.31min")
+	s := tb.String()
+	if !strings.Contains(s, "Demo") || !strings.Contains(s, "HELCFL") {
+		t.Fatalf("table output missing content:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("table has %d lines:\n%s", len(lines), s)
+	}
+	// Columns align: "delay" column starts at the same offset in all rows.
+	idxHeader := strings.Index(lines[1], "delay")
+	idxRow := strings.Index(lines[3], "6.82min")
+	if idxHeader != idxRow {
+		t.Fatalf("columns misaligned: %d vs %d\n%s", idxHeader, idxRow, s)
+	}
+}
+
+func TestTableRowArityPanics(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong arity")
+		}
+	}()
+	tb.AddRow("only-one")
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	tb := NewTable("", "name", "note")
+	tb.AddRow("a,b", `say "hi"`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"a,b"`) {
+		t.Fatalf("comma cell not quoted: %s", csv)
+	}
+	if !strings.Contains(csv, `"say ""hi"""`) {
+		t.Fatalf("quote cell not escaped: %s", csv)
+	}
+	if !strings.HasPrefix(csv, "name,note\n") {
+		t.Fatalf("missing header: %s", csv)
+	}
+}
+
+func TestLineChartRendersAllSeries(t *testing.T) {
+	c := NewLineChart("Accuracy", "round", "acc")
+	c.Add(Series{Name: "HELCFL", X: []float64{0, 1, 2}, Y: []float64{0.1, 0.5, 0.8}})
+	c.Add(Series{Name: "FedCS", X: []float64{0, 1, 2}, Y: []float64{0.2, 0.4, 0.5}})
+	s := c.String()
+	if !strings.Contains(s, "*") || !strings.Contains(s, "+") {
+		t.Fatalf("chart missing markers:\n%s", s)
+	}
+	if !strings.Contains(s, "*=HELCFL") || !strings.Contains(s, "+=FedCS") {
+		t.Fatalf("chart missing legend:\n%s", s)
+	}
+	if !strings.Contains(s, "0.800") {
+		t.Fatalf("chart missing y-axis max label:\n%s", s)
+	}
+}
+
+func TestLineChartEmptyAndDegenerate(t *testing.T) {
+	c := NewLineChart("Empty", "x", "y")
+	if !strings.Contains(c.String(), "no data") {
+		t.Fatal("empty chart must say so")
+	}
+	c2 := NewLineChart("Flat", "x", "y")
+	c2.Add(Series{Name: "s", X: []float64{1}, Y: []float64{2}})
+	if c2.String() == "" {
+		t.Fatal("single-point series must render")
+	}
+}
+
+func TestLineChartBadSeriesPanics(t *testing.T) {
+	c := NewLineChart("x", "x", "y")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched series")
+		}
+	}()
+	c.Add(Series{Name: "bad", X: []float64{1, 2}, Y: []float64{1}})
+}
+
+func TestBarChart(t *testing.T) {
+	b := NewBarChart("Energy", "J")
+	b.Add("with DVFS", 40)
+	b.Add("without DVFS", 100)
+	s := b.String()
+	if !strings.Contains(s, "with DVFS") || !strings.Contains(s, "█") {
+		t.Fatalf("bar chart missing content:\n%s", s)
+	}
+	// The longer bar belongs to the larger value.
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	count := func(l string) int { return strings.Count(l, "█") }
+	if count(lines[1]) >= count(lines[2]) {
+		t.Fatalf("bar lengths not proportional:\n%s", s)
+	}
+}
+
+func TestBarChartEmpty(t *testing.T) {
+	b := NewBarChart("x", "J")
+	if !strings.Contains(b.String(), "no data") {
+		t.Fatal("empty bar chart must say so")
+	}
+}

@@ -1,0 +1,55 @@
+package selection
+
+import (
+	"testing"
+
+	"helcfl/internal/core"
+	"helcfl/internal/fl"
+	"helcfl/internal/wireless"
+)
+
+func TestHELCFLLossAwarePlanner(t *testing.T) {
+	devs := fleet(20, 30)
+	ch := wireless.DefaultChannel()
+	p, err := NewHELCFLLossAware(devs, ch, testModelBits, core.DefaultParams(), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "HELCFL-lossaware" {
+		t.Fatalf("name = %s", p.Name())
+	}
+	sel, freqs := p.PlanRound(0)
+	if len(sel) == 0 || len(sel) != len(freqs) {
+		t.Fatalf("plan sizes %d/%d", len(sel), len(freqs))
+	}
+	for i, q := range sel {
+		if freqs[i] < devs[q].FMin-1e-9 || freqs[i] > devs[q].FMax+1e-9 {
+			t.Fatal("frequency outside device range")
+		}
+	}
+	// Feedback is accepted and shifts later utilities.
+	losses := make([]float64, len(sel))
+	for i := range losses {
+		losses[i] = 5.0
+	}
+	p.ObserveRound(0, sel, losses)
+}
+
+func TestHELCFLLossAwareImplementsObserver(t *testing.T) {
+	devs := fleet(10, 31)
+	p, err := NewHELCFLLossAware(devs, wireless.DefaultChannel(), testModelBits, core.DefaultParams(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var planner fl.Planner = p
+	if _, ok := planner.(fl.Observer); !ok {
+		t.Fatal("loss-aware planner must implement fl.Observer")
+	}
+}
+
+func TestHELCFLLossAwareRejectsNegativeLambda(t *testing.T) {
+	devs := fleet(5, 32)
+	if _, err := NewHELCFLLossAware(devs, wireless.DefaultChannel(), testModelBits, core.DefaultParams(), -0.5); err == nil {
+		t.Fatal("negative λ must be rejected")
+	}
+}

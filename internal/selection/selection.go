@@ -1,0 +1,274 @@
+// Package selection implements the user-selection strategies and
+// operating-frequency policies of the four baselines the paper compares
+// against, plus the adapters that expose the HELCFL scheduler
+// (internal/core) as an fl.Planner.
+//
+// Baselines (Section VII-A):
+//   - Classic FL [9]: uniformly random selection of Q·C users, max frequency.
+//   - FedCS [10]: greedy selection of as many short-delay users as fit a
+//     per-round deadline, max frequency.
+//   - FEDL [12]: random selection like Classic FL, per-user closed-form
+//     frequency balancing compute energy against delay.
+//   - SL [4]: separated learning; implemented in internal/fl (RunSL).
+package selection
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"helcfl/internal/core"
+	"helcfl/internal/device"
+	"helcfl/internal/fl"
+	"helcfl/internal/sim"
+	"helcfl/internal/wireless"
+)
+
+// RandomSelector draws max(Q·C, 1) distinct users uniformly per round — the
+// Classic FL selection rule.
+type RandomSelector struct {
+	Q        int
+	Fraction float64
+	rng      *rand.Rand
+}
+
+// NewRandomSelector returns a seeded random selector over Q users.
+func NewRandomSelector(q int, fraction float64, rng *rand.Rand) *RandomSelector {
+	if q <= 0 || fraction <= 0 || fraction > 1 {
+		panic(fmt.Sprintf("selection: bad random selector (Q=%d, C=%g)", q, fraction))
+	}
+	return &RandomSelector{Q: q, Fraction: fraction, rng: rng}
+}
+
+// N returns the per-round selection count.
+func (r *RandomSelector) N() int {
+	n := int(float64(r.Q) * r.Fraction)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Select returns the users for round j.
+func (r *RandomSelector) Select(j int) []int {
+	return r.rng.Perm(r.Q)[:r.N()]
+}
+
+// FedCSSelector reproduces the greedy deadline-packing of Nishio &
+// Yonetani: each round it admits users in ascending order of estimated
+// total delay (T_cal at max frequency + T_com), adding users as long as the
+// estimated TDMA round completion stays within the per-round deadline. At
+// least one user is always selected.
+type FedCSSelector struct {
+	// DeadlineSec is the per-round completion budget.
+	DeadlineSec float64
+
+	devs  []*device.Device
+	ch    wireless.Channel
+	bits  float64
+	steps int
+}
+
+// NewFedCSSelector builds the selector. modelBits is C_model; steps scales
+// compute delay like core.Params.StepsPerRound.
+func NewFedCSSelector(devs []*device.Device, ch wireless.Channel, modelBits, deadlineSec float64, steps int) *FedCSSelector {
+	if deadlineSec <= 0 {
+		panic(fmt.Sprintf("selection: FedCS deadline %g must be positive", deadlineSec))
+	}
+	if steps <= 0 {
+		panic("selection: FedCS steps must be positive")
+	}
+	return &FedCSSelector{DeadlineSec: deadlineSec, devs: devs, ch: ch, bits: modelBits, steps: steps}
+}
+
+// Select returns the users for round j. FedCS is stateless across rounds:
+// with static resource information it admits the same fast cohort every
+// round, which is exactly the behaviour that caps its final accuracy.
+func (f *FedCSSelector) Select(j int) []int {
+	type cand struct {
+		q          int
+		tcal, tcom float64
+	}
+	cands := make([]cand, len(f.devs))
+	for q, d := range f.devs {
+		cands[q] = cand{
+			q:    q,
+			tcal: float64(f.steps) * d.ComputeDelayAtMax(),
+			tcom: f.ch.UploadDelay(f.bits, d.TxPower, d.ChannelGain),
+		}
+	}
+	sort.SliceStable(cands, func(a, b int) bool {
+		da := cands[a].tcal + cands[a].tcom
+		db := cands[b].tcal + cands[b].tcom
+		if da != db {
+			return da < db
+		}
+		return cands[a].q < cands[b].q
+	})
+	var selected []int
+	// Greedy admission: track the estimated TDMA completion time if the
+	// candidate is appended to the current cohort.
+	var reqs []wireless.UploadRequest
+	for _, c := range cands {
+		trial := append(reqs, wireless.UploadRequest{User: c.q, ComputeDone: c.tcal, Duration: c.tcom})
+		_, makespan := wireless.ScheduleTDMA(trial)
+		if makespan > f.DeadlineSec && len(selected) > 0 {
+			break // adding slower users only lengthens the round further
+		}
+		reqs = trial
+		selected = append(selected, c.q)
+	}
+	return selected
+}
+
+// MaxFreqPolicy runs every selected device at its maximum frequency — the
+// no-DVFS baseline used by Classic FL and FedCS.
+func MaxFreqPolicy(selected []*device.Device) []float64 {
+	return sim.MaxFrequencies(selected)
+}
+
+// FEDLFreqPolicy returns the closed-form per-user frequency of Tran et al.:
+// each user independently minimizes (α/2)·π|D|·f² + K·π|D|/f, a weighted sum
+// of compute energy and delay, giving f* = (K/α)^{1/3}, clamped to the
+// device range. K trades energy (small K) against latency (large K).
+type FEDLFreqPolicy struct {
+	// K is the delay weight in joules per second of compute.
+	K float64
+}
+
+// Frequencies implements the policy.
+func (p FEDLFreqPolicy) Frequencies(selected []*device.Device) []float64 {
+	out := make([]float64, len(selected))
+	for i, d := range selected {
+		f := math.Cbrt(p.K / d.Kappa)
+		out[i] = d.ClampFreq(f)
+	}
+	return out
+}
+
+// NewClassicFL composes the Classic FL baseline: random selection at
+// maximum frequency.
+func NewClassicFL(devs []*device.Device, fraction float64, rng *rand.Rand) fl.Planner {
+	sel := NewRandomSelector(len(devs), fraction, rng)
+	return &fl.Composed{
+		Label:       "ClassicFL",
+		Devices:     devs,
+		Select:      sel.Select,
+		Frequencies: MaxFreqPolicy,
+	}
+}
+
+// NewFedCS composes the FedCS baseline: greedy deadline packing at maximum
+// frequency.
+func NewFedCS(devs []*device.Device, ch wireless.Channel, modelBits, deadlineSec float64, steps int) fl.Planner {
+	sel := NewFedCSSelector(devs, ch, modelBits, deadlineSec, steps)
+	return &fl.Composed{
+		Label:       "FedCS",
+		Devices:     devs,
+		Select:      sel.Select,
+		Frequencies: MaxFreqPolicy,
+	}
+}
+
+// NewFEDL composes the FEDL baseline: random selection (the paper notes
+// FEDL shares Classic FL's selection and therefore its accuracy curve) with
+// the closed-form energy/delay-balancing frequency.
+func NewFEDL(devs []*device.Device, fraction, k float64, rng *rand.Rand) fl.Planner {
+	sel := NewRandomSelector(len(devs), fraction, rng)
+	pol := FEDLFreqPolicy{K: k}
+	return &fl.Composed{
+		Label:       "FEDL",
+		Devices:     devs,
+		Select:      sel.Select,
+		Frequencies: pol.Frequencies,
+	}
+}
+
+// HELCFLPlanner adapts the core scheduler (Algorithms 2+3) to fl.Planner.
+type HELCFLPlanner struct {
+	sched *core.Scheduler
+	ch    wireless.Channel
+	bits  float64
+	// DisableDVFS replaces Algorithm 3 with max-frequency operation; used
+	// by the Fig. 3 ablation ("HELCFL w/o DVFS").
+	DisableDVFS bool
+	devs        []*device.Device
+}
+
+// NewHELCFL builds the full HELCFL planner.
+func NewHELCFL(devs []*device.Device, ch wireless.Channel, modelBits float64, params core.Params) (*HELCFLPlanner, error) {
+	sched, err := core.NewScheduler(devs, ch, modelBits, params)
+	if err != nil {
+		return nil, err
+	}
+	return &HELCFLPlanner{sched: sched, ch: ch, bits: modelBits, devs: devs}, nil
+}
+
+// Name implements fl.Planner.
+func (h *HELCFLPlanner) Name() string {
+	if h.DisableDVFS {
+		return "HELCFL-noDVFS"
+	}
+	return "HELCFL"
+}
+
+// PlanRound implements fl.Planner.
+func (h *HELCFLPlanner) PlanRound(j int) ([]int, []float64) {
+	if h.DisableDVFS {
+		sel := h.sched.SelectRound()
+		devs := make([]*device.Device, len(sel))
+		for i, q := range sel {
+			devs[i] = h.devs[q]
+		}
+		return sel, sim.MaxFrequencies(devs)
+	}
+	return h.sched.PlanRound(h.ch, h.bits)
+}
+
+// Scheduler exposes the underlying core scheduler (for inspection in tests
+// and reports).
+func (h *HELCFLPlanner) Scheduler() *core.Scheduler { return h.sched }
+
+// HELCFLLossAware is the loss-aware HELCFL extension: Algorithm 2's
+// greedy-decay selection augmented with an Oort-style statistical-utility
+// bonus (see core.LossAwareScheduler), plus Algorithm 3 frequencies. It
+// implements fl.Observer to receive per-round loss feedback.
+type HELCFLLossAware struct {
+	sched  *core.LossAwareScheduler
+	ch     wireless.Channel
+	bits   float64
+	devs   []*device.Device
+	params core.Params
+}
+
+// NewHELCFLLossAware builds the extension with statistical weight lambda.
+func NewHELCFLLossAware(devs []*device.Device, ch wireless.Channel, modelBits float64, params core.Params, lambda float64) (*HELCFLLossAware, error) {
+	base, err := core.NewScheduler(devs, ch, modelBits, params)
+	if err != nil {
+		return nil, err
+	}
+	la, err := core.NewLossAwareScheduler(base, lambda)
+	if err != nil {
+		return nil, err
+	}
+	return &HELCFLLossAware{sched: la, ch: ch, bits: modelBits, devs: devs, params: params}, nil
+}
+
+// Name implements fl.Planner.
+func (h *HELCFLLossAware) Name() string { return "HELCFL-lossaware" }
+
+// PlanRound implements fl.Planner.
+func (h *HELCFLLossAware) PlanRound(j int) ([]int, []float64) {
+	sel := h.sched.SelectRound()
+	devs := make([]*device.Device, len(sel))
+	for i, q := range sel {
+		devs[i] = h.devs[q]
+	}
+	return sel, core.FrequencyPlan(devs, h.ch, h.bits, h.params.StepsPerRound, h.params.Clamp)
+}
+
+// ObserveRound implements fl.Observer.
+func (h *HELCFLLossAware) ObserveRound(j int, selected []int, losses []float64) {
+	h.sched.ObserveRound(j, selected, losses)
+}

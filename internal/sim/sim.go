@@ -1,0 +1,135 @@
+// Package sim simulates one synchronized FL training round on the MEC
+// substrate: parallel local computation at per-user DVFS frequencies,
+// sequential TDMA uploads with stop-and-wait queueing (the paper's Fig. 1),
+// the true round makespan, the Eq. (10) closed form, and the Eq. (11)
+// energy roll-up.
+package sim
+
+import (
+	"fmt"
+
+	"helcfl/internal/device"
+	"helcfl/internal/wireless"
+)
+
+// UserRound is the simulated trajectory of one selected user in a round.
+type UserRound struct {
+	// User is the device ID.
+	User int
+	// Freq is the operating frequency assigned for this round.
+	Freq float64
+	// ComputeDelay is T_q^cal at Freq (Eq. 4), scaled by the number of
+	// local GD steps.
+	ComputeDelay float64
+	// ComputeEnergy is E_q^cal (Eq. 5), scaled likewise.
+	ComputeEnergy float64
+	// UploadDelay is T_q^com (Eq. 7).
+	UploadDelay float64
+	// UploadEnergy is E_q^com (Eq. 8).
+	UploadEnergy float64
+	// UploadStart and UploadEnd bound the TDMA transmission.
+	UploadStart, UploadEnd float64
+	// Wait is the stop-and-wait slack between compute completion and
+	// transmission start.
+	Wait float64
+}
+
+// TotalDelay returns the user's Eq. (9) delay T_q = T_q^cal + T_q^com,
+// ignoring queueing.
+func (u UserRound) TotalDelay() float64 { return u.ComputeDelay + u.UploadDelay }
+
+// RoundResult aggregates a simulated round.
+type RoundResult struct {
+	// Users holds per-user trajectories in TDMA transmission order.
+	Users []UserRound
+	// Makespan is the true round delay: the time the last upload completes.
+	Makespan float64
+	// Eq10Delay is the paper's closed-form round delay
+	// max_q(T_q^cal + T_q^com); it lower-bounds Makespan.
+	Eq10Delay float64
+	// ComputeEnergy, UploadEnergy, and TotalEnergy aggregate Eq. (11).
+	ComputeEnergy, UploadEnergy, TotalEnergy float64
+	// TotalSlack sums stop-and-wait time across users.
+	TotalSlack float64
+}
+
+// SimulateRound runs the round timeline for the selected devices at the
+// given frequencies. freqs must align 1:1 with devs. modelBits is C_model;
+// steps is the number of local full-batch GD passes (the paper uses 1) and
+// scales compute delay and energy linearly.
+func SimulateRound(devs []*device.Device, freqs []float64, ch wireless.Channel, modelBits float64, steps int) RoundResult {
+	return SimulateRoundGains(devs, freqs, ch, modelBits, steps, nil)
+}
+
+// SimulateRoundGains is SimulateRound with per-round channel gains
+// overriding each device's static gain (for fading-channel studies). gains
+// must align with devs, or be nil to use the static gains.
+func SimulateRoundGains(devs []*device.Device, freqs []float64, ch wireless.Channel, modelBits float64, steps int, gains []float64) RoundResult {
+	if len(devs) != len(freqs) {
+		panic(fmt.Sprintf("sim: %d devices but %d frequencies", len(devs), len(freqs)))
+	}
+	if gains != nil && len(gains) != len(devs) {
+		panic(fmt.Sprintf("sim: %d devices but %d gains", len(devs), len(gains)))
+	}
+	if steps <= 0 {
+		panic(fmt.Sprintf("sim: non-positive local steps %d", steps))
+	}
+	if len(devs) == 0 {
+		return RoundResult{}
+	}
+	scale := float64(steps)
+	users := make([]UserRound, len(devs))
+	reqs := make([]wireless.UploadRequest, len(devs))
+	for i, d := range devs {
+		f := freqs[i]
+		// Relative tolerance: frequencies are ~1e9 Hz, so ULP-scale noise
+		// from upstream arithmetic must not trip the range check.
+		if f < d.FMin*(1-1e-12)-1e-9 || f > d.FMax*(1+1e-12)+1e-9 {
+			panic(fmt.Sprintf("sim: frequency %g outside device %d range [%g, %g]", f, d.ID, d.FMin, d.FMax))
+		}
+		gain := d.ChannelGain
+		if gains != nil {
+			gain = gains[i]
+		}
+		u := UserRound{
+			User:          d.ID,
+			Freq:          f,
+			ComputeDelay:  scale * d.ComputeDelay(f),
+			ComputeEnergy: scale * d.ComputeEnergy(f),
+			UploadDelay:   ch.UploadDelay(modelBits, d.TxPower, gain),
+			UploadEnergy:  ch.UploadEnergy(modelBits, d.TxPower, gain),
+		}
+		users[i] = u
+		reqs[i] = wireless.UploadRequest{User: i, ComputeDone: u.ComputeDelay, Duration: u.UploadDelay}
+	}
+
+	slots, makespan := wireless.ScheduleTDMA(reqs)
+	res := RoundResult{Makespan: makespan}
+	res.Users = make([]UserRound, len(slots))
+	for si, slot := range slots {
+		u := users[slot.User]
+		u.UploadStart = slot.Start
+		u.UploadEnd = slot.End
+		u.Wait = slot.Wait
+		res.Users[si] = u
+	}
+	for _, u := range users {
+		if d := u.TotalDelay(); d > res.Eq10Delay {
+			res.Eq10Delay = d
+		}
+		res.ComputeEnergy += u.ComputeEnergy
+		res.UploadEnergy += u.UploadEnergy
+	}
+	res.TotalEnergy = res.ComputeEnergy + res.UploadEnergy
+	res.TotalSlack = wireless.TotalWait(slots)
+	return res
+}
+
+// MaxFrequencies returns each device's FMax, the no-DVFS baseline plan.
+func MaxFrequencies(devs []*device.Device) []float64 {
+	out := make([]float64, len(devs))
+	for i, d := range devs {
+		out[i] = d.FMax
+	}
+	return out
+}

@@ -1,0 +1,22 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"helcfl/internal/stats"
+)
+
+func ExampleSummarize() {
+	s := stats.Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	fmt.Printf("mean %.1f, min %.0f, max %.0f, n %d\n", s.Mean, s.Min, s.Max, s.N)
+	// Output:
+	// mean 5.0, min 2, max 9, n 8
+}
+
+func ExampleWinRate() {
+	helcfl := []float64{0.95, 0.93, 0.96}
+	classic := []float64{0.94, 0.94, 0.95}
+	fmt.Printf("%.0f%%\n", stats.WinRate(helcfl, classic, false)*100)
+	// Output:
+	// 67%
+}

@@ -1,0 +1,44 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestJainIndexUniform(t *testing.T) {
+	if got := JainIndex([]float64{3, 3, 3, 3}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("uniform Jain = %g", got)
+	}
+}
+
+func TestJainIndexMonopoly(t *testing.T) {
+	if got := JainIndex([]float64{10, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("monopoly Jain = %g, want 1/n", got)
+	}
+}
+
+func TestJainIndexDegenerate(t *testing.T) {
+	if JainIndex(nil) != 0 {
+		t.Fatal("empty allocation must give 0")
+	}
+	if JainIndex([]float64{0, 0}) != 1 {
+		t.Fatal("all-zero allocation is trivially fair")
+	}
+}
+
+func TestJainIndexNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	JainIndex([]float64{1, -1})
+}
+
+func TestJainIndexScaleInvariant(t *testing.T) {
+	a := JainIndex([]float64{1, 2, 3})
+	b := JainIndex([]float64{10, 20, 30})
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatal("Jain index must be scale-invariant")
+	}
+}

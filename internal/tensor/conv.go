@@ -1,0 +1,118 @@
+package tensor
+
+import "fmt"
+
+// Im2Col unrolls image patches into columns for convolution-as-matmul.
+//
+// x has shape (C, H, W). The result has shape (C·kh·kw, oh·ow) where
+// oh = (H+2·pad-kh)/stride + 1 and ow likewise. Each output column is the
+// flattened receptive field for one output position; out-of-bounds (padded)
+// positions contribute zeros.
+func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
+	if x.Rank() != 3 {
+		panic(fmt.Sprintf("tensor: Im2Col needs rank-3 (C,H,W) input, got %v", x.shape))
+	}
+	if stride <= 0 {
+		panic("tensor: Im2Col stride must be positive")
+	}
+	c, h, w := x.shape[0], x.shape[1], x.shape[2]
+	oh := (h+2*pad-kh)/stride + 1
+	ow := (w+2*pad-kw)/stride + 1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: Im2Col produces empty output for input %v kernel (%d,%d) stride %d pad %d", x.shape, kh, kw, stride, pad))
+	}
+	out := New(c*kh*kw, oh*ow)
+	ocols := oh * ow
+	for ch := 0; ch < c; ch++ {
+		plane := x.data[ch*h*w : (ch+1)*h*w]
+		for ki := 0; ki < kh; ki++ {
+			for kj := 0; kj < kw; kj++ {
+				rowBase := ((ch*kh+ki)*kw + kj) * ocols
+				for oi := 0; oi < oh; oi++ {
+					ii := oi*stride + ki - pad
+					if ii < 0 || ii >= h {
+						continue // zero padding: row already zero
+					}
+					src := plane[ii*w : (ii+1)*w]
+					dst := out.data[rowBase+oi*ow : rowBase+(oi+1)*ow]
+					for oj := 0; oj < ow; oj++ {
+						jj := oj*stride + kj - pad
+						if jj >= 0 && jj < w {
+							dst[oj] = src[jj]
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters (accumulates) columns back
+// into an image of shape (C, H, W). Used to propagate convolution gradients
+// to the layer input.
+func Col2Im(cols *Tensor, c, h, w, kh, kw, stride, pad int) *Tensor {
+	if cols.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: Col2Im needs rank-2 input, got %v", cols.shape))
+	}
+	oh := (h+2*pad-kh)/stride + 1
+	ow := (w+2*pad-kw)/stride + 1
+	if cols.shape[0] != c*kh*kw || cols.shape[1] != oh*ow {
+		panic(fmt.Sprintf("tensor: Col2Im shape %v inconsistent with (C,H,W)=(%d,%d,%d) kernel (%d,%d) stride %d pad %d",
+			cols.shape, c, h, w, kh, kw, stride, pad))
+	}
+	out := New(c, h, w)
+	ocols := oh * ow
+	for ch := 0; ch < c; ch++ {
+		plane := out.data[ch*h*w : (ch+1)*h*w]
+		for ki := 0; ki < kh; ki++ {
+			for kj := 0; kj < kw; kj++ {
+				rowBase := ((ch*kh+ki)*kw + kj) * ocols
+				for oi := 0; oi < oh; oi++ {
+					ii := oi*stride + ki - pad
+					if ii < 0 || ii >= h {
+						continue
+					}
+					src := cols.data[rowBase+oi*ow : rowBase+(oi+1)*ow]
+					dst := plane[ii*w : (ii+1)*w]
+					for oj := 0; oj < ow; oj++ {
+						jj := oj*stride + kj - pad
+						if jj >= 0 && jj < w {
+							dst[jj] += src[oj]
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ConvOutSize returns the spatial output size for a convolution dimension.
+func ConvOutSize(in, kernel, stride, pad int) int {
+	return (in+2*pad-kernel)/stride + 1
+}
+
+// Pad2D zero-pads a (C, H, W) tensor by pad on all four spatial sides.
+func Pad2D(x *Tensor, pad int) *Tensor {
+	if x.Rank() != 3 {
+		panic(fmt.Sprintf("tensor: Pad2D needs rank-3 (C,H,W) input, got %v", x.shape))
+	}
+	if pad == 0 {
+		return x.Clone()
+	}
+	if pad < 0 {
+		panic("tensor: Pad2D pad must be non-negative")
+	}
+	c, h, w := x.shape[0], x.shape[1], x.shape[2]
+	oh, ow := h+2*pad, w+2*pad
+	out := New(c, oh, ow)
+	for ch := 0; ch < c; ch++ {
+		for i := 0; i < h; i++ {
+			src := x.data[(ch*h+i)*w : (ch*h+i+1)*w]
+			dstBase := (ch*oh+i+pad)*ow + pad
+			copy(out.data[dstBase:dstBase+w], src)
+		}
+	}
+	return out
+}

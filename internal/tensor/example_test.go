@@ -1,0 +1,31 @@
+package tensor_test
+
+import (
+	"fmt"
+
+	"helcfl/internal/tensor"
+)
+
+func ExampleMatMul() {
+	a := tensor.FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	b := tensor.FromSlice([]float64{5, 6, 7, 8}, 2, 2)
+	fmt.Println(tensor.MatMul(a, b))
+	// Output:
+	// Tensor[2 2][19 22 43 50]
+}
+
+// Im2Col lowers convolution to matrix multiplication: each output column
+// is one receptive field.
+func ExampleIm2Col() {
+	img := tensor.FromSlice([]float64{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}, 1, 3, 3)
+	cols := tensor.Im2Col(img, 2, 2, 1, 0)
+	fmt.Println(cols.Shape())
+	fmt.Println(cols.Data()[:4]) // first row: top-left pixel of each patch
+	// Output:
+	// [4 4]
+	// [1 2 4 5]
+}

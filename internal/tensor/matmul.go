@@ -1,0 +1,119 @@
+package tensor
+
+import "fmt"
+
+// MatMul returns the matrix product a·b, where a has shape (m, k) and b has
+// shape (k, n). The kernel is a cache-friendly ikj loop over contiguous rows.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul needs rank-2 operands, got %v and %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch: %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[p*n : (p+1)*n]
+			for j := range brow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTransA returns aᵀ·b, where a has shape (k, m) and b has shape
+// (k, n), producing (m, n). Used for weight-gradient accumulation
+// (xᵀ · dy) without materializing the transpose.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA needs rank-2 operands, got %v and %v", a.shape, b.shape))
+	}
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA dimension mismatch: %vᵀ x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	for p := 0; p < k; p++ {
+		arow := a.data[p*m : (p+1)*m]
+		brow := b.data[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTransB returns a·bᵀ, where a has shape (m, k) and b has shape
+// (n, k), producing (m, n). Used for input-gradient propagation
+// (dy · Wᵀ) without materializing the transpose.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB needs rank-2 operands, got %v and %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB dimension mismatch: %v x %vᵀ", a.shape, b.shape))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.data[j*k : (j+1)*k]
+			s := 0.0
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// Transpose returns the transpose of a rank-2 tensor.
+func (t *Tensor) Transpose() *Tensor {
+	if t.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose needs rank 2, got shape %v", t.shape))
+	}
+	rows, cols := t.shape[0], t.shape[1]
+	out := New(cols, rows)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			out.data[c*rows+r] = t.data[r*cols+c]
+		}
+	}
+	return out
+}
+
+// Outer returns the outer product a ⊗ b of two flat vectors, shaped
+// (a.Size(), b.Size()).
+func Outer(a, b *Tensor) *Tensor {
+	m, n := a.Size(), b.Size()
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		av := a.data[i]
+		row := out.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			row[j] = av * b.data[j]
+		}
+	}
+	return out
+}

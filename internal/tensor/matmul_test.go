@@ -1,0 +1,127 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice([]float64{
+		1, 2,
+		3, 4,
+		5, 6,
+	}, 3, 2)
+	b := FromSlice([]float64{
+		7, 8, 9,
+		10, 11, 12,
+	}, 2, 3)
+	got := MatMul(a, b)
+	want := FromSlice([]float64{
+		27, 30, 33,
+		61, 68, 75,
+		95, 106, 117,
+	}, 3, 3)
+	if !got.Equal(want) {
+		t.Fatalf("MatMul = %v, want %v", got, want)
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(4, 4).FillNormal(rng, 0, 1)
+	eye := New(4, 4)
+	for i := 0; i < 4; i++ {
+		eye.Set(1, i, i)
+	}
+	if !MatMul(a, eye).AllClose(a, 1e-15) {
+		t.Fatal("A·I must equal A")
+	}
+	if !MatMul(eye, a).AllClose(a, 1e-15) {
+		t.Fatal("I·A must equal A")
+	}
+}
+
+func TestMatMulDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for inner-dimension mismatch")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+func TestMatMulTransAAgreesWithExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := New(5, 3).FillNormal(rng, 0, 1)
+	b := New(5, 4).FillNormal(rng, 0, 1)
+	got := MatMulTransA(a, b)
+	want := MatMul(a.Transpose(), b)
+	if !got.AllClose(want, 1e-12) {
+		t.Fatal("MatMulTransA must equal MatMul(Aᵀ, B)")
+	}
+}
+
+func TestMatMulTransBAgreesWithExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := New(4, 6).FillNormal(rng, 0, 1)
+	b := New(5, 6).FillNormal(rng, 0, 1)
+	got := MatMulTransB(a, b)
+	want := MatMul(a, b.Transpose())
+	if !got.AllClose(want, 1e-12) {
+		t.Fatal("MatMulTransB must equal MatMul(A, Bᵀ)")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := New(3, 7).FillNormal(rng, 0, 1)
+	if !a.Transpose().Transpose().Equal(a) {
+		t.Fatal("transpose must be an involution")
+	}
+	at := a.Transpose()
+	if at.Dim(0) != 7 || at.Dim(1) != 3 {
+		t.Fatalf("transpose shape = %v", at.Shape())
+	}
+}
+
+func TestOuter(t *testing.T) {
+	a := FromSlice([]float64{1, 2}, 2)
+	b := FromSlice([]float64{3, 4, 5}, 3)
+	got := Outer(a, b)
+	want := FromSlice([]float64{3, 4, 5, 6, 8, 10}, 2, 3)
+	if !got.Equal(want) {
+		t.Fatalf("Outer = %v, want %v", got, want)
+	}
+}
+
+// Property: (A·B)ᵀ = Bᵀ·Aᵀ.
+func TestMatMulTransposeIdentityQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := New(3, 4).FillNormal(rng, 0, 1)
+		b := New(4, 2).FillNormal(rng, 0, 1)
+		lhs := MatMul(a, b).Transpose()
+		rhs := MatMul(b.Transpose(), a.Transpose())
+		return lhs.AllClose(rhs, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: matmul is linear in its first argument.
+func TestMatMulLinearityQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a1 := New(3, 3).FillNormal(rng, 0, 1)
+		a2 := New(3, 3).FillNormal(rng, 0, 1)
+		b := New(3, 3).FillNormal(rng, 0, 1)
+		lhs := MatMul(a1.Add(a2), b)
+		rhs := MatMul(a1, b).Add(MatMul(a2, b))
+		return lhs.AllClose(rhs, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,234 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add returns t + u elementwise.
+func (t *Tensor) Add(u *Tensor) *Tensor {
+	t.checkSameShape("Add", u)
+	out := t.Clone()
+	for i, v := range u.data {
+		out.data[i] += v
+	}
+	return out
+}
+
+// AddInPlace sets t += u elementwise and returns t.
+func (t *Tensor) AddInPlace(u *Tensor) *Tensor {
+	t.checkSameShape("AddInPlace", u)
+	for i, v := range u.data {
+		t.data[i] += v
+	}
+	return t
+}
+
+// Sub returns t - u elementwise.
+func (t *Tensor) Sub(u *Tensor) *Tensor {
+	t.checkSameShape("Sub", u)
+	out := t.Clone()
+	for i, v := range u.data {
+		out.data[i] -= v
+	}
+	return out
+}
+
+// Mul returns the elementwise (Hadamard) product t ⊙ u.
+func (t *Tensor) Mul(u *Tensor) *Tensor {
+	t.checkSameShape("Mul", u)
+	out := t.Clone()
+	for i, v := range u.data {
+		out.data[i] *= v
+	}
+	return out
+}
+
+// MulInPlace sets t ⊙= u elementwise and returns t.
+func (t *Tensor) MulInPlace(u *Tensor) *Tensor {
+	t.checkSameShape("MulInPlace", u)
+	for i, v := range u.data {
+		t.data[i] *= v
+	}
+	return t
+}
+
+// Scale returns c·t.
+func (t *Tensor) Scale(c float64) *Tensor {
+	out := t.Clone()
+	for i := range out.data {
+		out.data[i] *= c
+	}
+	return out
+}
+
+// ScaleInPlace sets t *= c and returns t.
+func (t *Tensor) ScaleInPlace(c float64) *Tensor {
+	for i := range t.data {
+		t.data[i] *= c
+	}
+	return t
+}
+
+// AXPY sets t += a·u (the BLAS axpy update) and returns t.
+func (t *Tensor) AXPY(a float64, u *Tensor) *Tensor {
+	t.checkSameShape("AXPY", u)
+	for i, v := range u.data {
+		t.data[i] += a * v
+	}
+	return t
+}
+
+// Apply returns a new tensor with f applied to every element.
+func (t *Tensor) Apply(f func(float64) float64) *Tensor {
+	out := t.Clone()
+	for i, v := range out.data {
+		out.data[i] = f(v)
+	}
+	return out
+}
+
+// ApplyInPlace applies f to every element in place and returns t.
+func (t *Tensor) ApplyInPlace(f func(float64) float64) *Tensor {
+	for i, v := range t.data {
+		t.data[i] = f(v)
+	}
+	return t
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements. It panics on an empty
+// tensor.
+func (t *Tensor) Mean() float64 {
+	if len(t.data) == 0 {
+		panic("tensor: Mean of empty tensor")
+	}
+	return t.Sum() / float64(len(t.data))
+}
+
+// Max returns the largest element. It panics on an empty tensor.
+func (t *Tensor) Max() float64 {
+	if len(t.data) == 0 {
+		panic("tensor: Max of empty tensor")
+	}
+	m := t.data[0]
+	for _, v := range t.data[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the smallest element. It panics on an empty tensor.
+func (t *Tensor) Min() float64 {
+	if len(t.data) == 0 {
+		panic("tensor: Min of empty tensor")
+	}
+	m := t.data[0]
+	for _, v := range t.data[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ArgMax returns the flat index of the first occurrence of the largest
+// element. It panics on an empty tensor.
+func (t *Tensor) ArgMax() int {
+	if len(t.data) == 0 {
+		panic("tensor: ArgMax of empty tensor")
+	}
+	best, arg := t.data[0], 0
+	for i, v := range t.data[1:] {
+		if v > best {
+			best, arg = v, i+1
+		}
+	}
+	return arg
+}
+
+// Dot returns the inner product of t and u viewed as flat vectors.
+func (t *Tensor) Dot(u *Tensor) float64 {
+	if len(t.data) != len(u.data) {
+		panic(fmt.Sprintf("tensor: Dot size mismatch %d vs %d", len(t.data), len(u.data)))
+	}
+	s := 0.0
+	for i, v := range t.data {
+		s += v * u.data[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean (Frobenius) norm.
+func (t *Tensor) Norm2() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// RowSums treats t as a (rows, cols) matrix and returns a length-rows
+// tensor of per-row sums.
+func (t *Tensor) RowSums() *Tensor {
+	if t.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: RowSums needs rank 2, got shape %v", t.shape))
+	}
+	rows, cols := t.shape[0], t.shape[1]
+	out := New(rows)
+	for r := 0; r < rows; r++ {
+		s := 0.0
+		row := t.data[r*cols : (r+1)*cols]
+		for _, v := range row {
+			s += v
+		}
+		out.data[r] = s
+	}
+	return out
+}
+
+// ColSums treats t as a (rows, cols) matrix and returns a length-cols
+// tensor of per-column sums.
+func (t *Tensor) ColSums() *Tensor {
+	if t.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: ColSums needs rank 2, got shape %v", t.shape))
+	}
+	rows, cols := t.shape[0], t.shape[1]
+	out := New(cols)
+	for r := 0; r < rows; r++ {
+		row := t.data[r*cols : (r+1)*cols]
+		for c, v := range row {
+			out.data[c] += v
+		}
+	}
+	return out
+}
+
+// AddRowVector treats t as a (rows, cols) matrix and adds v (length cols)
+// to every row in place, returning t. This is the bias-broadcast update.
+func (t *Tensor) AddRowVector(v *Tensor) *Tensor {
+	if t.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: AddRowVector needs rank 2, got shape %v", t.shape))
+	}
+	rows, cols := t.shape[0], t.shape[1]
+	if v.Size() != cols {
+		panic(fmt.Sprintf("tensor: AddRowVector vector size %d != cols %d", v.Size(), cols))
+	}
+	for r := 0; r < rows; r++ {
+		row := t.data[r*cols : (r+1)*cols]
+		for c := range row {
+			row[c] += v.data[c]
+		}
+	}
+	return t
+}

@@ -1,0 +1,36 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// FillUniform fills t with samples from Uniform[lo, hi) drawn from rng.
+func (t *Tensor) FillUniform(rng *rand.Rand, lo, hi float64) *Tensor {
+	for i := range t.data {
+		t.data[i] = lo + (hi-lo)*rng.Float64()
+	}
+	return t
+}
+
+// FillNormal fills t with samples from N(mean, std²) drawn from rng.
+func (t *Tensor) FillNormal(rng *rand.Rand, mean, std float64) *Tensor {
+	for i := range t.data {
+		t.data[i] = mean + std*rng.NormFloat64()
+	}
+	return t
+}
+
+// FillXavier fills t with the Glorot/Xavier uniform initialization for a
+// layer with the given fan-in and fan-out.
+func (t *Tensor) FillXavier(rng *rand.Rand, fanIn, fanOut int) *Tensor {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	return t.FillUniform(rng, -limit, limit)
+}
+
+// FillHe fills t with the He/Kaiming normal initialization for a layer with
+// the given fan-in, appropriate for ReLU networks.
+func (t *Tensor) FillHe(rng *rand.Rand, fanIn int) *Tensor {
+	std := math.Sqrt(2.0 / float64(fanIn))
+	return t.FillNormal(rng, 0, std)
+}

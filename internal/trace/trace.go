@@ -1,0 +1,117 @@
+// Package trace serializes per-round training telemetry as JSON Lines, the
+// artifact format the CLI emits for external plotting and regression
+// tracking, with a reader that reconstructs round records for analysis.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"helcfl/internal/fl"
+)
+
+// Record is the JSONL schema of one training round. It flattens
+// fl.RoundRecord into stable, lower-case field names.
+type Record struct {
+	Scheme        string  `json:"scheme"`
+	Round         int     `json:"round"`
+	Selected      []int   `json:"selected"`
+	DelaySec      float64 `json:"delay_sec"`
+	EnergyJ       float64 `json:"energy_j"`
+	ComputeJ      float64 `json:"compute_j"`
+	UploadJ       float64 `json:"upload_j"`
+	SlackSec      float64 `json:"slack_sec"`
+	CumTimeSec    float64 `json:"cum_time_sec"`
+	CumEnergyJ    float64 `json:"cum_energy_j"`
+	TrainLoss     float64 `json:"train_loss"`
+	Evaluated     bool    `json:"evaluated"`
+	TestLoss      float64 `json:"test_loss,omitempty"`
+	TestAccuracy  float64 `json:"test_accuracy,omitempty"`
+	SchemaVersion int     `json:"v"`
+}
+
+// SchemaVersion is bumped on breaking changes to Record.
+const SchemaVersion = 1
+
+// FromRoundRecord converts an engine record.
+func FromRoundRecord(scheme string, r fl.RoundRecord) Record {
+	return Record{
+		Scheme:        scheme,
+		Round:         r.Round,
+		Selected:      r.Selected,
+		DelaySec:      r.Delay,
+		EnergyJ:       r.Energy,
+		ComputeJ:      r.ComputeEnergy,
+		UploadJ:       r.UploadEnergy,
+		SlackSec:      r.Slack,
+		CumTimeSec:    r.CumTime,
+		CumEnergyJ:    r.CumEnergy,
+		TrainLoss:     r.TrainLoss,
+		Evaluated:     r.Evaluated,
+		TestLoss:      r.TestLoss,
+		TestAccuracy:  r.TestAccuracy,
+		SchemaVersion: SchemaVersion,
+	}
+}
+
+// Write emits one JSONL line per record.
+func Write(w io.Writer, scheme string, recs []fl.RoundRecord) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range recs {
+		if err := enc.Encode(FromRoundRecord(scheme, r)); err != nil {
+			return fmt.Errorf("trace: encode round %d: %w", r.Round, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a JSONL stream back into records. Unknown fields are
+// ignored; a version above SchemaVersion is rejected.
+func Read(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if rec.SchemaVersion > SchemaVersion {
+			return nil, fmt.Errorf("trace: line %d: schema v%d newer than supported v%d", line, rec.SchemaVersion, SchemaVersion)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: scan: %w", err)
+	}
+	return out, nil
+}
+
+// Validate checks structural invariants of a trace: rounds in order,
+// cumulative fields non-decreasing, costs positive.
+func Validate(recs []Record) error {
+	prevTime, prevEnergy := 0.0, 0.0
+	for i, r := range recs {
+		if i > 0 && recs[i-1].Scheme == r.Scheme && r.Round <= recs[i-1].Round {
+			return fmt.Errorf("trace: round %d out of order at line %d", r.Round, i+1)
+		}
+		if r.DelaySec <= 0 || r.EnergyJ <= 0 {
+			return fmt.Errorf("trace: round %d: non-positive costs", r.Round)
+		}
+		if i > 0 && recs[i-1].Scheme == r.Scheme {
+			if r.CumTimeSec < prevTime || r.CumEnergyJ < prevEnergy {
+				return fmt.Errorf("trace: round %d: cumulative fields decreased", r.Round)
+			}
+		}
+		prevTime, prevEnergy = r.CumTimeSec, r.CumEnergyJ
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"helcfl/internal/fl"
+)
+
+func sampleRecords() []fl.RoundRecord {
+	return []fl.RoundRecord{
+		{
+			Round: 0, Selected: []int{1, 3}, Delay: 2.5, Energy: 10,
+			ComputeEnergy: 8, UploadEnergy: 2, Slack: 0.5,
+			CumTime: 2.5, CumEnergy: 10, TrainLoss: 1.2,
+			Evaluated: true, TestLoss: 1.1, TestAccuracy: 0.4,
+		},
+		{
+			Round: 1, Selected: []int{0, 2}, Delay: 3.0, Energy: 12,
+			ComputeEnergy: 9, UploadEnergy: 3, Slack: 0.2,
+			CumTime: 5.5, CumEnergy: 22, TrainLoss: 0.9,
+		},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, "HELCFL", sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	r := recs[0]
+	if r.Scheme != "HELCFL" || r.Round != 0 || r.DelaySec != 2.5 || !r.Evaluated || r.TestAccuracy != 0.4 {
+		t.Fatalf("record = %+v", r)
+	}
+	if len(r.Selected) != 2 || r.Selected[1] != 3 {
+		t.Fatalf("selected = %v", r.Selected)
+	}
+	if r.SchemaVersion != SchemaVersion {
+		t.Fatalf("version = %d", r.SchemaVersion)
+	}
+}
+
+func TestWriteProducesOneLinePerRound(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, "x", sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "{") || !strings.HasSuffix(l, "}") {
+			t.Fatalf("not a JSON line: %s", l)
+		}
+	}
+}
+
+func TestReadSkipsBlankLinesAndRejectsGarbage(t *testing.T) {
+	recs, err := Read(strings.NewReader("\n{\"scheme\":\"a\",\"round\":0,\"delay_sec\":1,\"energy_j\":1,\"v\":1}\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if _, err := Read(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage must error")
+	}
+}
+
+func TestReadRejectsFutureSchema(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"scheme":"a","round":0,"v":99}` + "\n")); err == nil {
+		t.Fatal("future schema must be rejected")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, "HELCFL", sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(recs); err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-order rounds.
+	bad := []Record{recs[1], recs[0]}
+	bad[0].Scheme, bad[1].Scheme = "x", "x"
+	if err := Validate(bad); err == nil {
+		t.Fatal("out-of-order rounds must fail")
+	}
+	// Non-positive delay.
+	bad2 := []Record{recs[0]}
+	bad2[0].DelaySec = 0
+	if err := Validate(bad2); err == nil {
+		t.Fatal("zero delay must fail")
+	}
+	// Decreasing cumulative energy.
+	bad3 := []Record{recs[0], recs[1]}
+	bad3[1].CumEnergyJ = 1
+	if err := Validate(bad3); err == nil {
+		t.Fatal("decreasing cumulative energy must fail")
+	}
+}
+
+func TestRoundTripFromEngine(t *testing.T) {
+	// End-to-end: write a real engine run's records and validate the trace.
+	recs := sampleRecords()
+	var buf bytes.Buffer
+	if err := Write(&buf, "ClassicFL", recs); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(parsed); err != nil {
+		t.Fatal(err)
+	}
+	if parsed[1].CumEnergyJ != 22 {
+		t.Fatalf("cumulative energy = %g", parsed[1].CumEnergyJ)
+	}
+}

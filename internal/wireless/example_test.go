@@ -1,0 +1,33 @@
+package wireless_test
+
+import (
+	"fmt"
+
+	"helcfl/internal/wireless"
+)
+
+// The Fig. 1 scenario: user 2 finishes computing while user 1 still holds
+// the TDMA channel and must stop and wait — the slack HELCFL's Algorithm 3
+// converts into DVFS energy savings.
+func ExampleScheduleTDMA() {
+	slots, makespan := wireless.ScheduleTDMA([]wireless.UploadRequest{
+		{User: 1, ComputeDone: 1.0, Duration: 2.0},
+		{User: 2, ComputeDone: 2.0, Duration: 1.0},
+	})
+	for _, s := range slots {
+		fmt.Printf("user %d uploads [%.1f, %.1f] after waiting %.1f\n", s.User, s.Start, s.End, s.Wait)
+	}
+	fmt.Printf("round makespan %.1f\n", makespan)
+	// Output:
+	// user 1 uploads [1.0, 3.0] after waiting 0.0
+	// user 2 uploads [3.0, 4.0] after waiting 1.0
+	// round makespan 4.0
+}
+
+func ExampleChannel_UploadRate() {
+	ch := wireless.Channel{BandwidthHz: 2e6, NoisePower: 0.1}
+	// Eq. (6): R = Z·log2(1 + p·h²/N0) with p = 0.2 W, h = 1.
+	fmt.Printf("%.0f bit/s\n", ch.UploadRate(0.2, 1.0))
+	// Output:
+	// 3169925 bit/s
+}

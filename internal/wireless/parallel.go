@@ -1,0 +1,85 @@
+package wireless
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// The paper's uplink says users "upload ... in turn by using available Z
+// RBs" (Algorithm 1, line 8) and models a single shared rate (Eq. 6). The
+// base system therefore serializes uploads (ScheduleTDMA, matching Fig. 1).
+// ScheduleParallel implements the alternative reading — the Z resource
+// blocks split into k equal sub-channels used concurrently — so the two
+// interpretations can be compared. With k sub-channels each upload runs at
+// 1/k of the Eq. (6) rate (duration × k) but k uploads proceed at once.
+
+// ScheduleParallel assigns uploads to k identical sub-channels
+// first-come-first-served (ties by user ID): each arriving upload takes the
+// earliest-free sub-channel. durations must already reflect the per-channel
+// rate (i.e. be scaled by k relative to the full-channel duration).
+//
+// The returned slots are in transmission-start order; the second result is
+// the makespan.
+func ScheduleParallel(reqs []UploadRequest, k int) ([]UploadSlot, float64) {
+	if k <= 0 {
+		panic(fmt.Sprintf("wireless: non-positive channel count %d", k))
+	}
+	if len(reqs) == 0 {
+		return nil, 0
+	}
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra, rb := reqs[order[a]], reqs[order[b]]
+		if ra.ComputeDone != rb.ComputeDone {
+			return ra.ComputeDone < rb.ComputeDone
+		}
+		return ra.User < rb.User
+	})
+	free := make(minHeap, k) // all sub-channels free at t=0
+	heap.Init(&free)
+	slots := make([]UploadSlot, 0, len(reqs))
+	makespan := 0.0
+	for _, i := range order {
+		r := reqs[i]
+		if r.Duration <= 0 {
+			panic(fmt.Sprintf("wireless: non-positive upload duration %g for user %d", r.Duration, r.User))
+		}
+		chFree := heap.Pop(&free).(float64)
+		start := r.ComputeDone
+		if chFree > start {
+			start = chFree
+		}
+		end := start + r.Duration
+		heap.Push(&free, end)
+		slots = append(slots, UploadSlot{User: r.User, Start: start, End: end, Wait: start - r.ComputeDone})
+		if end > makespan {
+			makespan = end
+		}
+	}
+	sort.SliceStable(slots, func(a, b int) bool {
+		if slots[a].Start != slots[b].Start {
+			return slots[a].Start < slots[b].Start
+		}
+		return slots[a].User < slots[b].User
+	})
+	return slots, makespan
+}
+
+// minHeap is a float64 min-heap of sub-channel free times.
+type minHeap []float64
+
+func (h minHeap) Len() int            { return len(h) }
+func (h minHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
+func (h *minHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

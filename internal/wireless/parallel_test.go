@@ -1,0 +1,156 @@
+package wireless
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleParallelOneChannelMatchesTDMA(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	reqs := make([]UploadRequest, 8)
+	for i := range reqs {
+		reqs[i] = UploadRequest{User: i, ComputeDone: 5 * rng.Float64(), Duration: 0.2 + rng.Float64()}
+	}
+	_, serial := ScheduleTDMA(reqs)
+	_, parallel := ScheduleParallel(reqs, 1)
+	if math.Abs(serial-parallel) > 1e-12 {
+		t.Fatalf("k=1 parallel makespan %g != TDMA %g", parallel, serial)
+	}
+}
+
+func TestScheduleParallelTwoChannels(t *testing.T) {
+	reqs := []UploadRequest{
+		{User: 0, ComputeDone: 0, Duration: 4},
+		{User: 1, ComputeDone: 0, Duration: 4},
+		{User: 2, ComputeDone: 0, Duration: 4},
+	}
+	slots, makespan := ScheduleParallel(reqs, 2)
+	// Users 0 and 1 start immediately; user 2 waits for a channel.
+	if slots[0].Start != 0 || slots[1].Start != 0 {
+		t.Fatalf("first two slots = %+v %+v", slots[0], slots[1])
+	}
+	if slots[2].Start != 4 || slots[2].Wait != 4 {
+		t.Fatalf("third slot = %+v", slots[2])
+	}
+	if makespan != 8 {
+		t.Fatalf("makespan = %g, want 8", makespan)
+	}
+}
+
+func TestScheduleParallelManyChannelsNoWait(t *testing.T) {
+	reqs := []UploadRequest{
+		{User: 0, ComputeDone: 1, Duration: 2},
+		{User: 1, ComputeDone: 2, Duration: 2},
+		{User: 2, ComputeDone: 3, Duration: 2},
+	}
+	slots, makespan := ScheduleParallel(reqs, 3)
+	for _, s := range slots {
+		if s.Wait != 0 {
+			t.Fatalf("with k ≥ n no upload should wait: %+v", s)
+		}
+	}
+	if makespan != 5 {
+		t.Fatalf("makespan = %g, want 5", makespan)
+	}
+}
+
+func TestScheduleParallelEmptyAndBadArgs(t *testing.T) {
+	if slots, mk := ScheduleParallel(nil, 2); slots != nil || mk != 0 {
+		t.Fatal("empty schedule must be nil/0")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic for k=0")
+			}
+		}()
+		ScheduleParallel([]UploadRequest{{User: 0, ComputeDone: 0, Duration: 1}}, 0)
+	}()
+}
+
+// Property: at most k uploads overlap at any instant, causality holds, and
+// adding channels never lengthens the makespan (same durations).
+func TestScheduleParallelInvariantsQuick(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := int(nRaw)%12 + 1
+		k := int(kRaw)%4 + 1
+		rng := rand.New(rand.NewSource(seed))
+		reqs := make([]UploadRequest, n)
+		for i := range reqs {
+			reqs[i] = UploadRequest{User: i, ComputeDone: 6 * rng.Float64(), Duration: 0.2 + 2*rng.Float64()}
+		}
+		slots, makespan := ScheduleParallel(reqs, k)
+		if len(slots) != n {
+			return false
+		}
+		maxEnd := 0.0
+		for i, s := range slots {
+			if s.Wait < -1e-12 {
+				return false
+			}
+			if s.End > maxEnd {
+				maxEnd = s.End
+			}
+			// Concurrency bound: count slots overlapping s's start.
+			overlap := 0
+			for j, o := range slots {
+				if j == i {
+					continue
+				}
+				if o.Start <= s.Start && s.Start < o.End-1e-12 {
+					overlap++
+				}
+			}
+			if overlap >= k {
+				return false
+			}
+		}
+		if math.Abs(maxEnd-makespan) > 1e-9 {
+			return false
+		}
+		_, mkMore := ScheduleParallel(reqs, k+1)
+		return mkMore <= makespan+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The rate/parallelism trade-off: splitting Z into k sub-channels scales
+// every duration by k. For staggered arrivals the serial full-rate channel
+// can win; for simultaneous arrivals the outcomes tie (work conservation).
+func TestParallelSplitTradeOff(t *testing.T) {
+	reqs := []UploadRequest{
+		{User: 0, ComputeDone: 0, Duration: 1},
+		{User: 1, ComputeDone: 0, Duration: 1},
+		{User: 2, ComputeDone: 0, Duration: 1},
+		{User: 3, ComputeDone: 0, Duration: 1},
+	}
+	_, serial := ScheduleTDMA(reqs)
+	// Split into 2 sub-channels: durations double.
+	half := make([]UploadRequest, len(reqs))
+	for i, r := range reqs {
+		half[i] = UploadRequest{User: r.User, ComputeDone: r.ComputeDone, Duration: r.Duration * 2}
+	}
+	_, split := ScheduleParallel(half, 2)
+	if math.Abs(serial-split) > 1e-12 {
+		t.Fatalf("simultaneous arrivals: serial %g vs split %g, want equal", serial, split)
+	}
+	// Staggered arrivals: the serial channel finishes the early upload
+	// before the late one arrives; splitting wastes rate.
+	stag := []UploadRequest{
+		{User: 0, ComputeDone: 0, Duration: 1},
+		{User: 1, ComputeDone: 5, Duration: 1},
+	}
+	_, serialStag := ScheduleTDMA(stag)
+	stagHalf := []UploadRequest{
+		{User: 0, ComputeDone: 0, Duration: 2},
+		{User: 1, ComputeDone: 5, Duration: 2},
+	}
+	_, splitStag := ScheduleParallel(stagHalf, 2)
+	if splitStag <= serialStag {
+		t.Fatalf("staggered arrivals: split %g should exceed serial %g", splitStag, serialStag)
+	}
+}

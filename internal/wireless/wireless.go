@@ -1,0 +1,140 @@
+// Package wireless models the TDMA uplink of the HELCFL MEC system: the
+// Shannon-rate model of Eq. (6), the model-upload delay of Eq. (7), the
+// communication energy of Eq. (8), and the sequential TDMA upload schedule
+// that creates the slack time Algorithm 3 reclaims (Fig. 1).
+package wireless
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Channel describes the shared uplink.
+type Channel struct {
+	// BandwidthHz is Z, the total resource blocks of the MEC system
+	// expressed as bandwidth (paper: 2 MHz).
+	BandwidthHz float64
+	// NoisePower is N0, the background noise power.
+	NoisePower float64
+}
+
+// DefaultChannel returns the paper's setting: Z = 2 MHz with a noise floor
+// that, combined with 0.2 W transmit power and unit-order channel gains,
+// produces upload rates of a few hundred kbit/s. For the experiment model
+// sizes this puts upload delays at the 0.5–5 s scale — comparable to but
+// below compute delays, the regime in which both the paper's selection
+// speedup and its Fig. 1 slack exist.
+func DefaultChannel() Channel {
+	return Channel{BandwidthHz: 2e6, NoisePower: 1.5}
+}
+
+// Validate reports configuration errors.
+func (c Channel) Validate() error {
+	if c.BandwidthHz <= 0 {
+		return fmt.Errorf("wireless: non-positive bandwidth %g", c.BandwidthHz)
+	}
+	if c.NoisePower <= 0 {
+		return fmt.Errorf("wireless: non-positive noise power %g", c.NoisePower)
+	}
+	return nil
+}
+
+// UploadRate returns R_q = Z·log2(1 + p·h² / N0) in bit/s (Eq. 6).
+func (c Channel) UploadRate(txPower, gain float64) float64 {
+	if txPower <= 0 || gain <= 0 {
+		panic(fmt.Sprintf("wireless: non-positive power %g or gain %g", txPower, gain))
+	}
+	return c.BandwidthHz * math.Log2(1+txPower*gain*gain/c.NoisePower)
+}
+
+// UploadDelay returns T_q^com = C_model / R_q (Eq. 7) for a payload of
+// modelBits bits.
+func (c Channel) UploadDelay(modelBits, txPower, gain float64) float64 {
+	if modelBits <= 0 {
+		panic(fmt.Sprintf("wireless: non-positive payload %g bits", modelBits))
+	}
+	return modelBits / c.UploadRate(txPower, gain)
+}
+
+// UploadEnergy returns E_q^com = p·T_q^com (Eq. 8).
+func (c Channel) UploadEnergy(modelBits, txPower, gain float64) float64 {
+	return txPower * c.UploadDelay(modelBits, txPower, gain)
+}
+
+// UploadRequest describes one user's pending upload in a round.
+type UploadRequest struct {
+	// User identifies the device.
+	User int
+	// ComputeDone is the simulation time the local update finishes.
+	ComputeDone float64
+	// Duration is T_q^com, the airtime the upload needs.
+	Duration float64
+}
+
+// UploadSlot is one scheduled TDMA transmission.
+type UploadSlot struct {
+	User int
+	// Start and End bound the transmission. Start ≥ ComputeDone, and
+	// transmissions never overlap.
+	Start, End float64
+	// Wait is the slack between compute completion and transmission start —
+	// the "stop and wait" interval of Fig. 1 that the DVFS scheme converts
+	// into lower-frequency computation.
+	Wait float64
+}
+
+// ScheduleTDMA serializes uploads on the single TDMA uplink in
+// first-come-first-served order of compute completion (ties broken by user
+// ID for determinism), exactly the discipline in the paper's Fig. 1: when a
+// user finishes its update while another user is transmitting, it stops and
+// waits.
+//
+// The returned slots are in transmission order. The second result is the
+// round makespan (the time the last upload ends), zero for no requests.
+func ScheduleTDMA(reqs []UploadRequest) ([]UploadSlot, float64) {
+	if len(reqs) == 0 {
+		return nil, 0
+	}
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra, rb := reqs[order[a]], reqs[order[b]]
+		if ra.ComputeDone != rb.ComputeDone {
+			return ra.ComputeDone < rb.ComputeDone
+		}
+		return ra.User < rb.User
+	})
+	slots := make([]UploadSlot, 0, len(reqs))
+	free := 0.0 // time the channel becomes free
+	for _, i := range order {
+		r := reqs[i]
+		if r.Duration <= 0 {
+			panic(fmt.Sprintf("wireless: non-positive upload duration %g for user %d", r.Duration, r.User))
+		}
+		start := r.ComputeDone
+		if free > start {
+			start = free
+		}
+		slot := UploadSlot{
+			User:  r.User,
+			Start: start,
+			End:   start + r.Duration,
+			Wait:  start - r.ComputeDone,
+		}
+		slots = append(slots, slot)
+		free = slot.End
+	}
+	return slots, free
+}
+
+// TotalWait sums the slack across all slots.
+func TotalWait(slots []UploadSlot) float64 {
+	s := 0.0
+	for _, sl := range slots {
+		s += sl.Wait
+	}
+	return s
+}
