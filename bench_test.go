@@ -22,10 +22,26 @@ import (
 	"helcfl/internal/experiments"
 	"helcfl/internal/fl"
 	"helcfl/internal/nn"
+	"helcfl/internal/obs"
 	"helcfl/internal/sim"
 	"helcfl/internal/tensor"
 	"helcfl/internal/wireless"
 )
+
+// reportRoundDelays attaches per-run histogram summaries (simulated round
+// makespan from the obs registry snapshot) to a campaign benchmark's output,
+// so `go test -bench` tracks scheduling regressions alongside wall time.
+func reportRoundDelays(b *testing.B, ms *obs.MetricsSink) {
+	b.Helper()
+	h := ms.RoundDelay()
+	if h.Count() == 0 {
+		return
+	}
+	snap := h.Snapshot()
+	b.ReportMetric(h.Mean(), "sim-round-mean-s")
+	b.ReportMetric(snap.Quantile(0.5), "sim-round-p50-s")
+	b.ReportMetric(snap.Quantile(0.99), "sim-round-p99-s")
+}
 
 // --- Figure/table campaign benchmarks -----------------------------------
 
@@ -45,6 +61,8 @@ func BenchmarkFig1Timeline(b *testing.B) {
 func benchFig2(b *testing.B, s Setting) {
 	b.Helper()
 	p := TinyPreset()
+	ms := obs.NewMetricsSink(obs.NewRegistry())
+	p.Sink = ms
 	for i := 0; i < b.N; i++ {
 		fig, err := RunFig2(p, s, 1)
 		if err != nil {
@@ -54,6 +72,7 @@ func benchFig2(b *testing.B, s Setting) {
 			b.Fatal("campaign produced nonsense ordering")
 		}
 	}
+	reportRoundDelays(b, ms)
 }
 
 func BenchmarkFig2IID(b *testing.B)    { benchFig2(b, IID) }
@@ -124,6 +143,65 @@ func BenchmarkAblationClamp(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Observability overhead ----------------------------------------------
+
+// benchEngineEnv builds a short shared campaign environment for the sink
+// overhead measurements.
+func benchEngineEnv(tb testing.TB) *experiments.Env {
+	tb.Helper()
+	p := TinyPreset()
+	p.MaxRounds = 3
+	env, err := BuildEnv(p, IID, 1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return env
+}
+
+func engineRun(tb testing.TB, env *experiments.Env, sink obs.EventSink) {
+	tb.Helper()
+	if _, _, err := experiments.RunSchemeWith(env, "HELCFL", func(c *fl.Config) { c.Sink = sink }); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// TestNilSinkIsCheaperThanNopSink pins the engine's design guarantee that a
+// nil Config.Sink adds zero allocations to the round hot path: every
+// event-related allocation (span buffers, event structs, detail slices) is
+// guarded by the sink check, so attaching even a no-op sink must cost
+// strictly more. If this fails, an event allocation escaped its guard.
+func TestNilSinkIsCheaperThanNopSink(t *testing.T) {
+	env := benchEngineEnv(t)
+	nilAllocs := testing.AllocsPerRun(2, func() { engineRun(t, env, nil) })
+	nopAllocs := testing.AllocsPerRun(2, func() { engineRun(t, env, obs.NopSink{}) })
+	if nilAllocs >= nopAllocs {
+		t.Fatalf("nil sink allocates %.0f/run, no-op sink %.0f/run: the nil fast path is gone", nilAllocs, nopAllocs)
+	}
+}
+
+// BenchmarkEngineNilSink and BenchmarkEngineMetricsSink bound the cost of
+// the event stream; compare allocs/op between the two to see what a full
+// metrics pipeline costs per campaign.
+func BenchmarkEngineNilSink(b *testing.B) {
+	env := benchEngineEnv(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engineRun(b, env, nil)
+	}
+}
+
+func BenchmarkEngineMetricsSink(b *testing.B) {
+	env := benchEngineEnv(b)
+	ms := obs.NewMetricsSink(obs.NewRegistry())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engineRun(b, env, ms)
+	}
+	reportRoundDelays(b, ms)
 }
 
 // --- Scheduler micro-benchmarks ------------------------------------------

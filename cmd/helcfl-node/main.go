@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"math/rand"
 	"net/http"
 	"os"
@@ -67,12 +68,17 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "shared data seed (must match on all nodes)")
 	eta := fs.Float64("eta", 0.7, "serve: HELCFL decay coefficient")
 	frac := fs.Float64("fraction", 0.5, "serve: selection fraction C")
+	verbose := fs.Bool("v", false, "serve: log every request")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
 
 	switch mode {
 	case "serve":
+		var logf deploy.Logf
+		if *verbose {
+			logf = log.Printf
+		}
 		srv, err := deploy.NewServer(deploy.ServerConfig{
 			Spec:          sharedSpec(),
 			Seed:          *seed + 100,
@@ -84,11 +90,12 @@ func run(args []string) error {
 					Eta: *eta, Fraction: *frac, StepsPerRound: 1, Clamp: true,
 				})
 			},
+			Log: logf,
 		})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("FLCC listening on %s (fleet %d, %d rounds)\n", *addr, *users, *rounds)
+		fmt.Printf("FLCC listening on %s (fleet %d, %d rounds; /metrics, /healthz and /debug/pprof/ live)\n", *addr, *users, *rounds)
 		return http.ListenAndServe(*addr, srv)
 
 	case "client":

@@ -22,18 +22,24 @@
 //
 // Flags:
 //
-//	-preset   paper | fast | tiny           (default fast)
-//	-seed     deterministic seed            (default 1)
-//	-out      directory for CSV/JSONL       (default: none / stdout)
-//	-setting  iid | noniid                  (trace/train/eval)
-//	-scheme   HELCFL | ClassicFL | FedCS | FEDL | HELCFL-noDVFS
-//	-model    model file path               (train/eval)
-//	-n        seed count                    (seeds)
+//	-preset        paper | fast | tiny      (default fast)
+//	-seed          deterministic seed       (default 1)
+//	-out           directory for CSV/JSONL  (default: none / stdout)
+//	-setting       iid | noniid             (trace/train/eval)
+//	-scheme        HELCFL | ClassicFL | FedCS | FEDL | HELCFL-noDVFS
+//	-model         model file path          (train/eval)
+//	-n             seed count               (seeds)
+//	-metrics-addr  serve live /metrics, /healthz and /debug/pprof on this
+//	               address for the duration of the run (e.g. :8080)
+//	-v             per-round progress lines on stderr
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 
@@ -41,8 +47,12 @@ import (
 	"helcfl/internal/fl"
 	"helcfl/internal/metrics"
 	"helcfl/internal/nn"
+	"helcfl/internal/obs"
 	"helcfl/internal/trace"
 )
+
+// stderr is swappable so tests can capture progress output.
+var stderr io.Writer = os.Stderr
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -64,6 +74,8 @@ func run(args []string) error {
 	scheme := fs.String("scheme", "HELCFL", "scheme for the trace experiment")
 	settingName := fs.String("setting", "iid", "data setting for the trace/train/eval experiments: iid or noniid")
 	modelPath := fs.String("model", "model.helcfl", "model file for train/eval")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address during the run")
+	verbose := fs.Bool("v", false, "print per-round progress lines to stderr")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
@@ -78,6 +90,17 @@ func run(args []string) error {
 		preset = experiments.Tiny()
 	default:
 		return fmt.Errorf("unknown preset %q", *presetName)
+	}
+
+	if *metricsAddr != "" {
+		reg, err := serveObservability(*metricsAddr)
+		if err != nil {
+			return err
+		}
+		preset.Sink = obs.Multi(preset.Sink, obs.NewMetricsSink(reg))
+	}
+	if *verbose {
+		preset.Sink = obs.Multi(preset.Sink, &progressSink{w: stderr})
 	}
 
 	switch cmd {
@@ -108,6 +131,57 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown experiment %q", cmd)
 	}
+}
+
+// serveObservability starts the live metrics endpoint for the process
+// lifetime and returns the registry campaign sinks should feed. Listening
+// happens synchronously so a bad address fails the command immediately.
+func serveObservability(addr string) (*obs.Registry, error) {
+	reg := obs.Default()
+	mux := http.NewServeMux()
+	obs.MountDebug(mux, reg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	fmt.Fprintf(stderr, "serving metrics on http://%s/metrics (pprof under /debug/pprof/)\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			fmt.Fprintln(stderr, "metrics server:", err)
+		}
+	}()
+	return reg, nil
+}
+
+// progressSink prints one line per finished round — the -v flag.
+type progressSink struct {
+	obs.NopSink
+	w       io.Writer
+	scheme  string
+	lastAcc float64
+	hasAcc  bool
+}
+
+func (p *progressSink) OnRunStart(ev obs.RunStartEvent) {
+	p.scheme, p.lastAcc, p.hasAcc = ev.Scheme, 0, false
+	fmt.Fprintf(p.w, "%s: starting, %d users, %d round budget\n", ev.Scheme, ev.Users, ev.MaxRounds)
+}
+
+func (p *progressSink) OnRoundEnd(ev obs.RoundEndEvent) {
+	if ev.Evaluated {
+		p.lastAcc, p.hasAcc = ev.TestAccuracy, true
+	}
+	acc := "--"
+	if p.hasAcc {
+		acc = fmt.Sprintf("%.2f%%", p.lastAcc*100)
+	}
+	fmt.Fprintf(p.w, "%s round %d: %d selected, delay %.2fs, cum energy %.1fJ, test acc %s\n",
+		p.scheme, ev.Round, len(ev.Selected), ev.DelaySec, ev.CumEnergyJ, acc)
+}
+
+func (p *progressSink) OnRunEnd(ev obs.RunEndEvent) {
+	fmt.Fprintf(p.w, "%s: done after %d rounds, %.1fs simulated, %.1fJ, best acc %.2f%%\n",
+		ev.Scheme, ev.Rounds, ev.TotalTimeSec, ev.TotalEnergyJ, ev.BestAccuracy*100)
 }
 
 func runFig1(p experiments.Preset, seed int64) error {
@@ -345,16 +419,7 @@ func runTrace(p experiments.Preset, seed int64, scheme, settingName, outDir stri
 	if err != nil {
 		return err
 	}
-	env, err := experiments.BuildEnv(p, setting, seed)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "tracing %s (%s, preset %s) …\n", scheme, setting, p.Name)
-	_, res, err := experiments.RunScheme(env, scheme)
-	if err != nil {
-		return err
-	}
-	out := os.Stdout
+	var out io.Writer = os.Stdout
 	if outDir != "" {
 		name := filepath.Join(outDir, fmt.Sprintf("trace_%s_%s_%s.jsonl", p.Name, setting, scheme))
 		f, err := os.Create(name)
@@ -365,7 +430,19 @@ func runTrace(p experiments.Preset, seed int64, scheme, settingName, outDir stri
 		out = f
 		fmt.Fprintln(os.Stderr, "writing", name)
 	}
-	return trace.Write(out, res.Scheme, res.Records)
+	// Stream rounds through the event sink as they finish, instead of
+	// dumping fl.Result post hoc: an interrupted run keeps a valid prefix.
+	sink := trace.NewSink(out)
+	p.Sink = obs.Multi(p.Sink, sink)
+	env, err := experiments.BuildEnv(p, setting, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tracing %s (%s, preset %s) …\n", scheme, setting, p.Name)
+	if _, _, err := experiments.RunScheme(env, scheme); err != nil {
+		return err
+	}
+	return sink.Flush()
 }
 
 func parseSetting(name string) (experiments.Setting, error) {

@@ -1,9 +1,16 @@
 package main
 
 import (
+	"bytes"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"regexp"
+	"strings"
 	"testing"
+
+	"helcfl/internal/trace"
 )
 
 // The CLI is a thin wrapper over internal/experiments; these tests exercise
@@ -62,6 +69,86 @@ func TestRunTraceWritesFile(t *testing.T) {
 	data, err := os.ReadFile(matches[0])
 	if err != nil || len(data) == 0 {
 		t.Fatalf("trace file empty: %v", err)
+	}
+}
+
+// TestRunVerboseWithLiveMetrics drives a traced campaign with -v and
+// -metrics-addr: the progress lines land on stderr, the live /metrics
+// endpoint serves the campaign counters, and the streamed JSONL validates.
+func TestRunVerboseWithLiveMetrics(t *testing.T) {
+	var buf bytes.Buffer
+	old := stderr
+	stderr = &buf
+	defer func() { stderr = old }()
+
+	dir := t.TempDir()
+	if err := run([]string{"trace", "-preset", "tiny", "-v", "-metrics-addr", "127.0.0.1:0", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+
+	out := buf.String()
+	if !strings.Contains(out, "HELCFL: starting, 16 users") {
+		t.Fatalf("missing run-start line in:\n%s", out)
+	}
+	// Per-round summaries carry selection size, delay, energy and accuracy.
+	roundLine := regexp.MustCompile(`HELCFL round \d+: \d+ selected, delay \d+\.\d+s, cum energy \d+\.\d+J, test acc `)
+	if !roundLine.MatchString(out) {
+		t.Fatalf("missing per-round progress lines in:\n%s", out)
+	}
+	if !strings.Contains(out, "HELCFL: done after") {
+		t.Fatalf("missing run-end line in:\n%s", out)
+	}
+
+	// The metrics endpoint announced its bound address; scrape it live.
+	m := regexp.MustCompile(`serving metrics on (http://[^/]+/metrics)`).FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("metrics address not announced in:\n%s", out)
+	}
+	resp, err := http.Get(m[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"helcfl_rounds_total", "helcfl_round_delay_seconds_bucket",
+		`helcfl_energy_joules_total{kind="compute"}`,
+		`helcfl_selection_count{user="0"}`,
+		"helcfl_slack_reclaimed_seconds_total",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	// The trace streamed through the same event stream stays valid.
+	matches, _ := filepath.Glob(filepath.Join(dir, "trace_*.jsonl"))
+	if len(matches) != 1 {
+		t.Fatalf("trace files = %v", matches)
+	}
+	f, err := os.Open(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := trace.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Validate(recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("streamed trace is empty")
+	}
+}
+
+func TestRunRejectsBadMetricsAddr(t *testing.T) {
+	if err := run([]string{"fig1", "-preset", "tiny", "-metrics-addr", "256.0.0.1:bogus"}); err == nil {
+		t.Fatal("unusable metrics address must error")
 	}
 }
 

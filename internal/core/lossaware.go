@@ -88,6 +88,7 @@ func (l *LossAwareScheduler) SelectRound() []int {
 	for q := range l.devs {
 		utilities[q] = l.Utility(q)
 	}
+	l.lastUtil = utilities
 	selectable := make([]bool, len(l.devs))
 	for q := range selectable {
 		selectable[q] = true

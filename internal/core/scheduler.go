@@ -61,6 +61,10 @@ type Scheduler struct {
 	tcom []float64
 	// alpha[q] counts how often user q has been selected (Eq. 20).
 	alpha []int
+	// lastUtil[q] is the utility of user q computed at the most recent
+	// SelectRound, before that round's decay increments — the decision
+	// state the observability layer reports.
+	lastUtil []float64
 }
 
 // NewScheduler runs the initialization of Algorithm 2 (lines 1–7): it
@@ -114,6 +118,12 @@ func (s *Scheduler) Appearances() []int {
 	return append([]int(nil), s.alpha...)
 }
 
+// LastUtilities returns a copy of the fleet-wide utility vector computed at
+// the most recent SelectRound, or nil before the first round.
+func (s *Scheduler) LastUtilities() []float64 {
+	return append([]float64(nil), s.lastUtil...)
+}
+
 // NumSelect returns N = max(Q·C, 1), the per-round selection count.
 func (s *Scheduler) NumSelect() int {
 	n := int(float64(len(s.devs)) * s.params.Fraction)
@@ -135,6 +145,7 @@ func (s *Scheduler) SelectRound() []int {
 	for q := range s.devs {
 		utilities[q] = s.Utility(q)
 	}
+	s.lastUtil = utilities
 	selectable := make([]bool, len(s.devs))
 	for q := range selectable {
 		selectable[q] = true

@@ -1,0 +1,68 @@
+package deploy
+
+import (
+	"net/http"
+	"runtime/debug"
+	"time"
+
+	"helcfl/internal/obs"
+)
+
+// Logf is the logging hook the server and middleware accept; nil disables
+// logging. log.Printf satisfies it.
+type Logf func(format string, args ...interface{})
+
+// statusWriter captures the response code for logging and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code    int
+	written bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.written {
+		w.code = code
+		w.written = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if !w.written {
+		w.code = http.StatusOK
+		w.written = true
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Middleware wraps next with request logging, per-path request counting,
+// and panic recovery. A panicking handler yields a 500 response and a
+// stack-trace log line instead of killing the FLCC process; the server
+// keeps serving. logf, reqs, and panics may each be nil to disable that
+// facet.
+func Middleware(next http.Handler, logf Logf, reqs *obs.CounterVec, panics *obs.Counter) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		defer func() {
+			if rec := recover(); rec != nil {
+				if panics != nil {
+					panics.Inc()
+				}
+				if logf != nil {
+					logf("deploy: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				}
+				if !sw.written {
+					http.Error(sw, "internal server error", http.StatusInternalServerError)
+				}
+			}
+			if reqs != nil {
+				reqs.With(r.URL.Path).Inc()
+			}
+			if logf != nil {
+				logf("deploy: %s %s %d %s", r.Method, r.URL.Path, sw.code, time.Since(start).Round(time.Microsecond))
+			}
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}

@@ -11,6 +11,7 @@ import (
 	"helcfl/internal/device"
 	"helcfl/internal/fl"
 	"helcfl/internal/nn"
+	"helcfl/internal/obs"
 )
 
 // ServerConfig configures the FLCC server.
@@ -28,12 +29,28 @@ type ServerConfig struct {
 	// NewPlanner builds the scheduling policy once the fleet's resource
 	// information is known (the devices carry what registration reported).
 	NewPlanner func(devs []*device.Device) (fl.Planner, error)
+	// Metrics is the registry backing /metrics; nil allocates a private one
+	// (so parallel test servers never share counters).
+	Metrics *obs.Registry
+	// Log receives request and panic log lines; nil disables logging.
+	Log Logf
 }
 
 // Server is the FLCC: an http.Handler exposing the FL protocol.
 type Server struct {
-	cfg ServerConfig
-	mux *http.ServeMux
+	cfg     ServerConfig
+	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in logging/recovery middleware
+	metrics *obs.Registry
+
+	// Server-level metrics, registered once at construction.
+	mReqs      *obs.CounterVec
+	mPanics    *obs.Counter
+	mUploads   *obs.Counter
+	mAggs      *obs.Counter
+	mRound     *obs.Gauge
+	mBytesUp   *obs.Counter
+	mBytesDown *obs.Counter
 
 	mu         sync.Mutex
 	phase      Phase
@@ -69,17 +86,33 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		registered: map[int]bool{},
 		uploads:    map[int][]float64{},
 	}
+	s.metrics = cfg.Metrics
+	if s.metrics == nil {
+		s.metrics = obs.NewRegistry()
+	}
+	s.mReqs = s.metrics.CounterVec("helcfl_http_requests_total", "HTTP requests served, by path.", "path")
+	s.mPanics = s.metrics.Counter("helcfl_http_panics_total", "Handler panics recovered by the middleware.")
+	s.mUploads = s.metrics.Counter("helcfl_server_uploads_total", "Accepted model uploads.")
+	s.mAggs = s.metrics.Counter("helcfl_server_aggregations_total", "Completed FedAvg aggregations.")
+	s.mRound = s.metrics.Gauge("helcfl_server_round", "Current training round.")
+	s.mBytesUp = s.metrics.Counter("helcfl_server_bytes_up_total", "Model payload bytes received from users.")
+	s.mBytesDown = s.metrics.Counter("helcfl_server_bytes_down_total", "Model payload bytes broadcast to users.")
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/register", s.handleRegister)
 	s.mux.HandleFunc("/poll", s.handlePoll)
 	s.mux.HandleFunc("/model", s.handleModel)
 	s.mux.HandleFunc("/upload", s.handleUpload)
 	s.mux.HandleFunc("/status", s.handleStatus)
+	obs.MountDebug(s.mux, s.metrics)
+	s.handler = Middleware(s.mux, cfg.Log, s.mReqs, s.mPanics)
 	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
+
+// Metrics returns the registry backing the server's /metrics endpoint.
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
 
 // Global returns a clone of the current global model (safe at any time).
 func (s *Server) Global() *nn.Sequential {
@@ -212,6 +245,7 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.bytesDown += int64(len(s.payload))
+	s.mBytesDown.Add(float64(len(s.payload)))
 	w.Header().Set("Content-Type", "application/octet-stream")
 	_, _ = w.Write(s.payload)
 }
@@ -259,6 +293,8 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	}
 	s.uploads[user] = scratch.GetFlatParams()
 	s.bytesUp += int64(len(body))
+	s.mUploads.Inc()
+	s.mBytesUp.Add(float64(len(body)))
 	if len(s.uploads) == len(s.selected) {
 		s.aggregateLocked()
 	}
@@ -275,7 +311,9 @@ func (s *Server) aggregateLocked() {
 		weights = append(weights, s.devices[user].NumSamples)
 	}
 	s.global.SetFlatParams(fl.FedAvg(uploads, weights))
+	s.mAggs.Inc()
 	s.round++
+	s.mRound.Set(float64(s.round))
 	if s.round >= s.cfg.Rounds {
 		s.phase = PhaseDone
 		s.selected = nil

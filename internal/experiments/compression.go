@@ -55,6 +55,7 @@ func RunCompressionAblation(p Preset, s Setting, seed int64, compressors []compr
 			EvalEvery:  p.EvalEvery,
 			Compressor: c,
 			Seed:       seed + 100,
+			Sink:       p.Sink,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("compressor %s: %w", c.Name(), err)

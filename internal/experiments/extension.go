@@ -53,6 +53,7 @@ func RunLossAwareExtension(p Preset, s Setting, seed int64, lambdas []float64) (
 			MaxRounds:  p.MaxRounds,
 			EvalEvery:  p.EvalEvery,
 			Seed:       seed + 100,
+			Sink:       p.Sink,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("lambda %g: %w", lambda, err)

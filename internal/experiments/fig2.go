@@ -83,6 +83,7 @@ func RunSchemeWith(env *Env, scheme string, mutate func(*fl.Config)) (metrics.Cu
 		MaxRounds:  env.Preset.MaxRounds,
 		EvalEvery:  env.Preset.EvalEvery,
 		Seed:       env.Seed + 100, // model init shared by all schemes
+		Sink:       env.Preset.Sink,
 	}
 	if mutate != nil {
 		mutate(&cfg)

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"helcfl/internal/nn"
+	"helcfl/internal/obs"
 )
 
 // Setting selects the data distribution across users.
@@ -80,6 +81,11 @@ type Preset struct {
 	// IIDTargets and NonIIDTargets are the desired accuracies of Table I /
 	// Fig. 3 in each setting.
 	IIDTargets, NonIIDTargets []float64
+
+	// Sink, when non-nil, receives the engine's event stream for every
+	// scheme run under this preset (metrics export, verbose progress,
+	// streaming traces). Nil keeps the round hot path allocation-free.
+	Sink obs.EventSink
 }
 
 // Paper returns the full Section VII-A setting. The model is an MLP rather

@@ -7,10 +7,13 @@ import (
 	"runtime"
 	"sync"
 
+	"time"
+
 	"helcfl/internal/compress"
 	"helcfl/internal/dataset"
 	"helcfl/internal/device"
 	"helcfl/internal/nn"
+	"helcfl/internal/obs"
 	"helcfl/internal/sim"
 	"helcfl/internal/wireless"
 )
@@ -79,6 +82,13 @@ type Config struct {
 	// This instantiates the paper's Section I motivation — "energy of user
 	// devices is quickly exhausted or even device shutdown occurs".
 	BatteryCapacityJ float64
+	// Sink, when non-nil, receives structured engine events as the run
+	// executes: round boundaries, selection decisions (with Algorithm 2
+	// utility/decay state when the planner exposes it), per-user
+	// local-update and upload spans, frequency-determination outcomes,
+	// dropout and battery faults, and aggregations. See internal/obs.
+	// A nil Sink adds zero allocations to the round hot path.
+	Sink obs.EventSink
 	// Seed drives model initialization.
 	Seed int64
 }
@@ -200,6 +210,14 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	res := &Result{Scheme: cfg.Planner.Name(), ModelBits: modelBits}
+	if cfg.Sink != nil {
+		cfg.Sink.OnRunStart(obs.RunStartEvent{
+			Scheme:    res.Scheme,
+			Users:     len(cfg.Devices),
+			MaxRounds: cfg.MaxRounds,
+			ModelBits: modelBits,
+		})
+	}
 	cumTime, cumEnergy := 0.0, 0.0
 	bestLoss := math.Inf(1)
 	sinceImproved := 0
@@ -209,6 +227,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	for j := 0; j < cfg.MaxRounds; j++ {
+		if cfg.Sink != nil {
+			cfg.Sink.OnRoundStart(obs.RoundStartEvent{Round: j})
+		}
 		selected, freqs := cfg.Planner.PlanRound(j)
 		if len(selected) == 0 {
 			return nil, fmt.Errorf("fl: planner %q selected no users in round %d", cfg.Planner.Name(), j)
@@ -231,6 +252,20 @@ func Run(cfg Config) (*Result, error) {
 				break
 			}
 		}
+		if cfg.Sink != nil {
+			ev := obs.SelectionEvent{Round: j, Selected: selected, Freqs: freqs}
+			if dd, ok := cfg.Planner.(DecisionDetailer); ok {
+				if util, alpha := dd.SelectionDetail(); util != nil && alpha != nil {
+					ev.Utilities = make([]float64, len(selected))
+					ev.Appearances = make([]int, len(selected))
+					for i, q := range selected {
+						ev.Utilities[i] = util[q]
+						ev.Appearances[i] = alpha[q]
+					}
+				}
+			}
+			cfg.Sink.OnSelection(ev)
+		}
 		selDevs := make([]*device.Device, len(selected))
 		for i, q := range selected {
 			selDevs[i] = cfg.Devices[q]
@@ -251,6 +286,10 @@ func Run(cfg Config) (*Result, error) {
 		globalFlat := global.GetFlatParams()
 		flats := make([][]float64, len(selected))
 		lossesByUser := make([]float64, len(selected))
+		var wallSec []float64
+		if cfg.Sink != nil {
+			wallSec = make([]float64, len(selected))
+		}
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 		for si, q := range selected {
@@ -259,10 +298,45 @@ func Run(cfg Config) (*Result, error) {
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
+				if wallSec != nil {
+					t0 := time.Now()
+					flats[si], lossesByUser[si] = clients[q].LocalUpdateProx(globalFlat, cfg.LR, cfg.LocalSteps, cfg.ProxMu)
+					wallSec[si] = time.Since(t0).Seconds()
+					return
+				}
 				flats[si], lossesByUser[si] = clients[q].LocalUpdateProx(globalFlat, cfg.LR, cfg.LocalSteps, cfg.ProxMu)
 			}(si, q)
 		}
 		wg.Wait()
+
+		if cfg.Sink != nil {
+			// The realized frequency outcome and per-user spans. round.Users
+			// is in TDMA transmission order with User = device ID (== fleet
+			// index, the same identification the battery accounting uses).
+			cfg.Sink.OnFrequency(obs.FrequencyEvent{
+				Round: j, Users: selected, Freqs: freqs, SlackSec: round.TotalSlack,
+			})
+			siOf := make(map[int]int, len(selected))
+			for i, q := range selected {
+				siOf[q] = i
+			}
+			for _, u := range round.Users {
+				si, ok := siOf[u.User]
+				if !ok {
+					continue
+				}
+				cfg.Sink.OnLocalUpdate(obs.LocalUpdateEvent{
+					Round: j, User: u.User,
+					FreqHz: u.Freq, SimSec: u.ComputeDelay, EnergyJ: u.ComputeEnergy,
+					WallSec: wallSec[si], Loss: lossesByUser[si],
+				})
+				cfg.Sink.OnUpload(obs.UploadEvent{
+					Round: j, User: u.User,
+					SimSec: u.UploadDelay, EnergyJ: u.UploadEnergy,
+					StartSec: u.UploadStart, EndSec: u.UploadEnd, WaitSec: u.Wait,
+				})
+			}
+		}
 
 		// Sequential post-processing and FedAvg (line 10).
 		uploads := make([][]float64, 0, len(selected))
@@ -277,6 +351,9 @@ func Run(cfg Config) (*Result, error) {
 				// receives a usable model; costs are already accounted in
 				// the round simulation.
 				failed++
+				if cfg.Sink != nil {
+					cfg.Sink.OnDropout(obs.DropoutEvent{Round: j, User: q})
+				}
 				continue
 			}
 			if cfg.Compressor != nil {
@@ -301,6 +378,12 @@ func Run(cfg Config) (*Result, error) {
 		}
 		if len(uploads) > 0 {
 			global.SetFlatParams(FedAvg(uploads, weights))
+			if cfg.Sink != nil {
+				cfg.Sink.OnAggregate(obs.AggregateEvent{
+					Round: j, Uploads: len(uploads), Failed: failed,
+					TrainLoss: lossSum / float64(len(selected)),
+				})
+			}
 		}
 		if obs, ok := cfg.Planner.(Observer); ok {
 			obs.ObserveRound(j, selected, lossesByUser)
@@ -311,7 +394,11 @@ func Run(cfg Config) (*Result, error) {
 		aliveCount := len(cfg.Devices)
 		if cfg.BatteryCapacityJ > 0 {
 			for _, u := range round.Users {
+				wasAlive := alive(u.User)
 				spentJ[u.User] += u.ComputeEnergy + u.UploadEnergy
+				if cfg.Sink != nil && wasAlive && !alive(u.User) {
+					cfg.Sink.OnBattery(obs.BatteryEvent{Round: j, User: u.User, SpentJ: spentJ[u.User]})
+				}
 			}
 			aliveCount = 0
 			for q := range cfg.Devices {
@@ -361,6 +448,17 @@ func Run(cfg Config) (*Result, error) {
 				}
 			}
 		}
+		if cfg.Sink != nil {
+			cfg.Sink.OnRoundEnd(obs.RoundEndEvent{
+				Round: rec.Round, Selected: rec.Selected,
+				Failed: rec.Failed, Alive: rec.AliveDevices,
+				DelaySec: rec.Delay, EnergyJ: rec.Energy,
+				ComputeJ: rec.ComputeEnergy, UploadJ: rec.UploadEnergy,
+				SlackSec: rec.Slack, CumTimeSec: rec.CumTime, CumEnergyJ: rec.CumEnergy,
+				TrainLoss: rec.TrainLoss, Evaluated: rec.Evaluated,
+				TestLoss: rec.TestLoss, TestAccuracy: rec.TestAccuracy,
+			})
+		}
 		res.Records = append(res.Records, rec)
 		if deadlineHit {
 			res.StoppedByDeadline = true
@@ -373,6 +471,15 @@ func Run(cfg Config) (*Result, error) {
 	res.Model = global
 	res.TotalTime = cumTime
 	res.TotalEnergy = cumEnergy
+	if cfg.Sink != nil {
+		cfg.Sink.OnRunEnd(obs.RunEndEvent{
+			Scheme: res.Scheme, Rounds: len(res.Records),
+			TotalTimeSec: res.TotalTime, TotalEnergyJ: res.TotalEnergy,
+			FinalAccuracy: res.FinalAccuracy, BestAccuracy: res.BestAccuracy,
+			StoppedByDeadline: res.StoppedByDeadline, ReachedTarget: res.ReachedTarget,
+			Converged: res.Converged, HaltedByDeadFleet: res.HaltedByDeadFleet,
+		})
+	}
 	return res, nil
 }
 

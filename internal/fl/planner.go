@@ -32,6 +32,16 @@ type Observer interface {
 	ObserveRound(j int, selected []int, losses []float64)
 }
 
+// DecisionDetailer is an optional Planner extension: planners that can
+// report Algorithm 2's internal decision state expose it here so the
+// engine's event stream (Config.Sink) can include it.
+type DecisionDetailer interface {
+	// SelectionDetail returns the fleet-wide Eq. (20) utility vector
+	// computed at the last PlanRound and the current α_q appearance
+	// counters; either may be nil when unavailable.
+	SelectionDetail() (utilities []float64, appearances []int)
+}
+
 // Composed glues an independent selection strategy and frequency policy
 // into a Planner; most baselines are expressed this way.
 type Composed struct {

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentHammer drives one registry from many goroutines —
+// counters, gauges, vec children, histograms, and concurrent exposition —
+// and checks the totals. Run under -race this is the registry's
+// thread-safety gate (acceptance criterion of the observability PR).
+func TestRegistryConcurrentHammer(t *testing.T) {
+	const (
+		goroutines = 12
+		iters      = 2000
+	)
+	r := NewRegistry()
+	c := r.Counter("hammer_total", "")
+	g := r.Gauge("hammer_gauge", "")
+	vec := r.CounterVec("hammer_vec_total", "", "worker")
+	h := r.Histogram("hammer_seconds", "", []float64{0.25, 0.5, 1})
+
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			child := vec.With(strconv.Itoa(w % 4))
+			for i := 0; i < iters; i++ {
+				c.Add(1)
+				g.Set(float64(i))
+				child.Inc()
+				h.Observe(float64(i%8) / 8)
+				if i%256 == 0 {
+					// Exposition races against writers by design.
+					_ = r.WritePrometheus(io.Discard)
+					_ = h.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != goroutines*iters {
+		t.Fatalf("counter = %g, want %d", got, goroutines*iters)
+	}
+	total := 0.0
+	for w := 0; w < 4; w++ {
+		total += vec.With(strconv.Itoa(w)).Value()
+	}
+	if total != goroutines*iters {
+		t.Fatalf("vec total = %g, want %d", total, goroutines*iters)
+	}
+	if h.Count() != goroutines*iters {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), goroutines*iters)
+	}
+	s := h.Snapshot()
+	var sum uint64
+	for _, n := range s.Counts {
+		sum += n
+	}
+	if sum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", sum, s.Count)
+	}
+}
+
+// TestMetricsSinkConcurrentRuns fans simultaneous runs into one shared
+// registry, the shape a multi-campaign FLCC would produce.
+func TestMetricsSinkConcurrentRuns(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			playRound(NewMetricsSink(r))
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("helcfl_rounds_total", "").Value(); got != 8 {
+		t.Fatalf("rounds = %g, want 8", got)
+	}
+}

@@ -230,6 +230,12 @@ func (h *HELCFLPlanner) PlanRound(j int) ([]int, []float64) {
 // and reports).
 func (h *HELCFLPlanner) Scheduler() *core.Scheduler { return h.sched }
 
+// SelectionDetail implements fl.DecisionDetailer: the Eq. (20) utilities of
+// the last planned round and the α_q decay counters.
+func (h *HELCFLPlanner) SelectionDetail() ([]float64, []int) {
+	return h.sched.LastUtilities(), h.sched.Appearances()
+}
+
 // HELCFLLossAware is the loss-aware HELCFL extension: Algorithm 2's
 // greedy-decay selection augmented with an Oort-style statistical-utility
 // bonus (see core.LossAwareScheduler), plus Algorithm 3 frequencies. It
@@ -271,4 +277,10 @@ func (h *HELCFLLossAware) PlanRound(j int) ([]int, []float64) {
 // ObserveRound implements fl.Observer.
 func (h *HELCFLLossAware) ObserveRound(j int, selected []int, losses []float64) {
 	h.sched.ObserveRound(j, selected, losses)
+}
+
+// SelectionDetail implements fl.DecisionDetailer over the loss-augmented
+// utilities.
+func (h *HELCFLLossAware) SelectionDetail() ([]float64, []int) {
+	return h.sched.LastUtilities(), h.sched.Appearances()
 }

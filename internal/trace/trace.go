@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"helcfl/internal/fl"
 )
@@ -96,15 +97,34 @@ func Read(r io.Reader) ([]Record, error) {
 }
 
 // Validate checks structural invariants of a trace: rounds in order,
-// cumulative fields non-decreasing, costs positive.
+// cumulative fields non-decreasing (resetting at scheme boundaries, since a
+// multi-scheme artifact concatenates independent runs), costs positive, no
+// negative slack, and every numeric field finite.
 func Validate(recs []Record) error {
 	prevTime, prevEnergy := 0.0, 0.0
 	for i, r := range recs {
 		if i > 0 && recs[i-1].Scheme == r.Scheme && r.Round <= recs[i-1].Round {
 			return fmt.Errorf("trace: round %d out of order at line %d", r.Round, i+1)
 		}
+		for _, f := range [...]struct {
+			name string
+			v    float64
+		}{
+			{"delay_sec", r.DelaySec}, {"energy_j", r.EnergyJ},
+			{"compute_j", r.ComputeJ}, {"upload_j", r.UploadJ},
+			{"slack_sec", r.SlackSec}, {"cum_time_sec", r.CumTimeSec},
+			{"cum_energy_j", r.CumEnergyJ}, {"train_loss", r.TrainLoss},
+			{"test_loss", r.TestLoss}, {"test_accuracy", r.TestAccuracy},
+		} {
+			if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+				return fmt.Errorf("trace: round %d: %s is %g", r.Round, f.name, f.v)
+			}
+		}
 		if r.DelaySec <= 0 || r.EnergyJ <= 0 {
 			return fmt.Errorf("trace: round %d: non-positive costs", r.Round)
+		}
+		if r.SlackSec < 0 {
+			return fmt.Errorf("trace: round %d: negative slack %g", r.Round, r.SlackSec)
 		}
 		if i > 0 && recs[i-1].Scheme == r.Scheme {
 			if r.CumTimeSec < prevTime || r.CumEnergyJ < prevEnergy {

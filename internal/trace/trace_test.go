@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 
@@ -112,6 +113,72 @@ func TestValidate(t *testing.T) {
 	bad3[1].CumEnergyJ = 1
 	if err := Validate(bad3); err == nil {
 		t.Fatal("decreasing cumulative energy must fail")
+	}
+}
+
+func TestValidateRejectsNonFiniteAndNegativeSlack(t *testing.T) {
+	base := func() Record {
+		return Record{
+			Scheme: "a", Round: 0, DelaySec: 1, EnergyJ: 2, ComputeJ: 1.5,
+			UploadJ: 0.5, SlackSec: 0.1, CumTimeSec: 1, CumEnergyJ: 2,
+			TrainLoss: 0.7, SchemaVersion: SchemaVersion,
+		}
+	}
+	if err := Validate([]Record{base()}); err != nil {
+		t.Fatalf("baseline record invalid: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Record)
+	}{
+		{"NaN delay", func(r *Record) { r.DelaySec = math.NaN() }},
+		{"Inf energy", func(r *Record) { r.EnergyJ = math.Inf(1) }},
+		{"NaN train loss", func(r *Record) { r.TrainLoss = math.NaN() }},
+		{"-Inf cum time", func(r *Record) { r.CumTimeSec = math.Inf(-1) }},
+		{"NaN test accuracy", func(r *Record) { r.TestAccuracy = math.NaN() }},
+		{"negative slack", func(r *Record) { r.SlackSec = -0.01 }},
+	}
+	for _, tc := range cases {
+		r := base()
+		tc.mutate(&r)
+		if err := Validate([]Record{r}); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, r)
+		}
+	}
+}
+
+func TestValidateResetsCumulativeAtSchemeBoundary(t *testing.T) {
+	// Two schemes written back-to-back into one artifact: the second starts
+	// its own round numbering and cumulative totals from scratch, which must
+	// not trip the monotonicity checks.
+	var buf bytes.Buffer
+	if err := Write(&buf, "HELCFL", sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&buf, "ClassicFL", sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	// Cumulative time drops from 5.5 (HELCFL round 1) to 2.5 (ClassicFL
+	// round 0) across the boundary; round numbering restarts at 0.
+	if err := Validate(recs); err != nil {
+		t.Fatalf("scheme boundary tripped validation: %v", err)
+	}
+	// The same drop WITHIN one scheme must still fail.
+	same := make([]Record, len(recs))
+	copy(same, recs)
+	for i := range same {
+		same[i].Scheme = "one"
+		same[i].Round = i // keep rounds ordered so only cum fields trip
+	}
+	if err := Validate(same); err == nil {
+		t.Fatal("cumulative drop within one scheme must fail")
 	}
 }
 
