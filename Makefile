@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test race chaos fmt vet check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=2 -timeout 45m ./...
+
+# Randomized fault-injection stress tests (opt-in via build tag; see
+# docs/ROBUSTNESS.md for how to replay a failing seed).
+chaos:
+	$(GO) test -race -tags chaos -run Chaos ./internal/deploy/ ./internal/chaos/ -v
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+check: build vet fmt race

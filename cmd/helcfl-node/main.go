@@ -68,6 +68,11 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "shared data seed (must match on all nodes)")
 	eta := fs.Float64("eta", 0.7, "serve: HELCFL decay coefficient")
 	frac := fs.Float64("fraction", 0.5, "serve: selection fraction C")
+	retries := fs.Int("retries", 5, "client: extra attempts per request on transient failures")
+	backoff := fs.Duration("backoff", 100*time.Millisecond, "client: base retry backoff (doubles per retry, jittered)")
+	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "client: per-attempt HTTP timeout (0 disables)")
+	deadline := fs.Duration("round-deadline", 0, "serve: straggler deadline closing rounds with a partial quorum (0 waits for every upload)")
+	quorum := fs.Float64("quorum", 0.5, "serve: fraction of the selected cohort required for a partial aggregation")
 	verbose := fs.Bool("v", false, "serve: log every request")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
@@ -84,6 +89,8 @@ func run(args []string) error {
 			Seed:          *seed + 100,
 			ExpectedUsers: *users,
 			Rounds:        *rounds,
+			RoundDeadline: *deadline,
+			Quorum:        *quorum,
 			NewPlanner: func(devs []*device.Device) (fl.Planner, error) {
 				bits := nn.ModelBits(sharedSpec().Build(rand.New(rand.NewSource(*seed + 100))))
 				return selection.NewHELCFL(devs, wireless.DefaultChannel(), bits, core.Params{
@@ -115,11 +122,14 @@ func run(args []string) error {
 				TxPower:     0.2,
 				ChannelGain: 0.5 + rng.Float64(),
 			},
-			Data:         shards[*user],
-			Spec:         sharedSpec(),
-			LR:           0.4,
-			LocalSteps:   1,
-			PollInterval: 50 * time.Millisecond,
+			Data:           shards[*user],
+			Spec:           sharedSpec(),
+			LR:             0.4,
+			LocalSteps:     1,
+			PollInterval:   50 * time.Millisecond,
+			MaxRetries:     *retries,
+			BaseBackoff:    *backoff,
+			RequestTimeout: *reqTimeout,
 		})
 		if err != nil {
 			return err

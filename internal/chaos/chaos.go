@@ -1,0 +1,242 @@
+// Package chaos is a deterministic fault-injection harness for the deploy
+// transport. A Script is a list of Rules matched against outgoing HTTP
+// requests by path, FL round, and user; a matching rule injects one fault:
+// a dropped request, a dropped (blackholed) response, added latency, a
+// synthesized 5xx, or a duplicated delivery. Because rules are matched on
+// protocol coordinates rather than wall-clock timing, the same script
+// produces the same fault sequence on every run — chaos tests stay
+// deterministic and race-clean.
+//
+// Reordering is expressed with latency rules: delaying one user's request
+// lets another user's later request arrive first, which is exactly the
+// delivery reordering a real network produces.
+//
+// A Script may additionally carry seeded RandomFaults for soak testing;
+// random draws are serialized under the script's lock so a fixed seed yields
+// a reproducible draw sequence for a given request arrival order.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Fault enumerates the injectable failure modes.
+type Fault int
+
+// The fault kinds.
+const (
+	// FaultNone matches without injecting anything (useful to count traffic).
+	FaultNone Fault = iota
+	// FaultDrop fails the request before it reaches the server, like a lost
+	// uplink packet: the caller sees a transport error.
+	FaultDrop
+	// FaultBlackholeResponse delivers the request to the server, then
+	// discards the response and returns a transport error — the fault that
+	// exposes non-idempotent handlers, because the server has already acted.
+	FaultBlackholeResponse
+	// FaultLatency delays the request by Rule.Latency before sending it.
+	FaultLatency
+	// Fault5xx short-circuits the request with a synthesized 500 response;
+	// the server never sees it.
+	Fault5xx
+	// FaultDuplicate sends the request twice back-to-back (at-least-once
+	// delivery); the first response is discarded and the second returned.
+	FaultDuplicate
+)
+
+// String names the fault for test output.
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultDrop:
+		return "drop"
+	case FaultBlackholeResponse:
+		return "blackhole-response"
+	case FaultLatency:
+		return "latency"
+	case Fault5xx:
+		return "5xx"
+	case FaultDuplicate:
+		return "duplicate"
+	}
+	return fmt.Sprintf("fault(%d)", int(f))
+}
+
+// Any is the wildcard value for Rule.Round and Rule.User.
+const Any = -1
+
+// Rule schedules one fault against matching requests. Zero-valued selector
+// fields are wildcards for Path ("" matches every path); Round and User use
+// Any (-1) as the wildcard, so the zero Rule must set them explicitly.
+type Rule struct {
+	// Path matches the request URL path exactly (e.g. "/upload");
+	// "" matches every path.
+	Path string
+	// Round matches the round query parameter; Any matches every round and
+	// also requests that carry no round (e.g. /poll, /register).
+	Round int
+	// User matches the transport's User identity (per-client transports) or,
+	// when the transport has no identity, the user query parameter.
+	// Any matches everyone.
+	User int
+	// Fault is the injected failure; Latency parameterizes FaultLatency.
+	Fault   Fault
+	Latency time.Duration
+	// Count caps how many times this rule fires; 0 means unlimited.
+	Count int
+
+	applied int
+}
+
+// RandomFaults is the seeded soak-testing mode: every request not claimed by
+// a Rule draws faults independently with the given probabilities.
+type RandomFaults struct {
+	// Seed fixes the draw sequence.
+	Seed int64
+	// DropProb and Err5xxProb are per-request probabilities.
+	DropProb, Err5xxProb float64
+	// MaxLatency, when positive, adds a uniform random delay in
+	// [0, MaxLatency) to every request.
+	MaxLatency time.Duration
+}
+
+// Script is a concurrency-safe fault schedule shared by one or more
+// Transports. Rules are consulted in order; the first live match claims the
+// request.
+type Script struct {
+	mu     sync.Mutex
+	rules  []*Rule
+	random *RandomFaults
+	rng    *rand.Rand
+
+	requests int64
+	injected map[Fault]int64
+}
+
+// NewScript builds a schedule from rules (copied; the caller's slice is not
+// retained).
+func NewScript(rules ...Rule) *Script {
+	s := &Script{injected: map[Fault]int64{}}
+	for i := range rules {
+		r := rules[i]
+		s.rules = append(s.rules, &r)
+	}
+	return s
+}
+
+// WithRandom arms the seeded random-fault mode and returns the script.
+func (s *Script) WithRandom(rf RandomFaults) *Script {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.random = &rf
+	s.rng = rand.New(rand.NewSource(rf.Seed))
+	return s
+}
+
+// Requests reports how many requests the script has inspected.
+func (s *Script) Requests() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.requests
+}
+
+// Injected reports how many faults of each kind fired.
+func (s *Script) Injected() map[Fault]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[Fault]int64, len(s.injected))
+	for k, v := range s.injected {
+		out[k] = v
+	}
+	return out
+}
+
+// decision is the script's verdict for one request.
+type decision struct {
+	fault   Fault
+	latency time.Duration
+}
+
+// decide claims the first matching live rule (or a random draw) for the
+// request identified by (path, round, user); round/user are Any when the
+// request does not carry them.
+func (s *Script) decide(path string, round, user int) decision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.requests++
+	for _, r := range s.rules {
+		if !r.matches(path, round, user) {
+			continue
+		}
+		if r.Count > 0 && r.applied >= r.Count {
+			continue
+		}
+		r.applied++
+		s.injected[r.Fault]++
+		return decision{fault: r.Fault, latency: r.Latency}
+	}
+	if s.random != nil {
+		if s.random.MaxLatency > 0 {
+			d := time.Duration(s.rng.Int63n(int64(s.random.MaxLatency)))
+			if s.rng.Float64() < s.random.DropProb {
+				s.injected[FaultDrop]++
+				return decision{fault: FaultDrop, latency: d}
+			}
+			if s.rng.Float64() < s.random.Err5xxProb {
+				s.injected[Fault5xx]++
+				return decision{fault: Fault5xx}
+			}
+			s.injected[FaultLatency]++
+			return decision{fault: FaultLatency, latency: d}
+		}
+		if s.rng.Float64() < s.random.DropProb {
+			s.injected[FaultDrop]++
+			return decision{fault: FaultDrop}
+		}
+		if s.rng.Float64() < s.random.Err5xxProb {
+			s.injected[Fault5xx]++
+			return decision{fault: Fault5xx}
+		}
+	}
+	return decision{fault: FaultNone}
+}
+
+func (r *Rule) matches(path string, round, user int) bool {
+	if r.Path != "" && r.Path != path {
+		return false
+	}
+	if r.Round != Any && r.Round != round {
+		return false
+	}
+	if r.User != Any && r.User != user {
+		return false
+	}
+	return true
+}
+
+// queryInt extracts an integer query parameter from a raw query string,
+// returning Any when absent or malformed. Implemented without net/url
+// parsing allocations on the hot path.
+func queryInt(rawQuery, key string) int {
+	for rawQuery != "" {
+		var pair string
+		if i := strings.IndexByte(rawQuery, '&'); i >= 0 {
+			pair, rawQuery = rawQuery[:i], rawQuery[i+1:]
+		} else {
+			pair, rawQuery = rawQuery, ""
+		}
+		if len(pair) > len(key) && pair[:len(key)] == key && pair[len(key)] == '=' {
+			if v, err := strconv.Atoi(pair[len(key)+1:]); err == nil {
+				return v
+			}
+			return Any
+		}
+	}
+	return Any
+}

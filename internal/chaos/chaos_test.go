@@ -1,0 +1,287 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, c *http.Client, url string) (*http.Response, string, error) {
+	t.Helper()
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body), nil
+}
+
+func TestRuleMatching(t *testing.T) {
+	cases := []struct {
+		name              string
+		rule              Rule
+		path              string
+		round, user, want int // want: 1 match, 0 no match
+	}{
+		{"wildcards", Rule{Path: "", Round: Any, User: Any}, "/upload", 3, 7, 1},
+		{"path match", Rule{Path: "/upload", Round: Any, User: Any}, "/upload", 0, 0, 1},
+		{"path mismatch", Rule{Path: "/upload", Round: Any, User: Any}, "/poll", 0, 0, 0},
+		{"round match", Rule{Path: "", Round: 2, User: Any}, "/model", 2, Any, 1},
+		{"round mismatch", Rule{Path: "", Round: 2, User: Any}, "/model", 3, Any, 0},
+		{"user match", Rule{Path: "", Round: Any, User: 5}, "/poll", Any, 5, 1},
+		{"user mismatch", Rule{Path: "", Round: Any, User: 5}, "/poll", Any, 4, 0},
+	}
+	for _, tc := range cases {
+		got := 0
+		if tc.rule.matches(tc.path, tc.round, tc.user) {
+			got = 1
+		}
+		if got != tc.want {
+			t.Errorf("%s: matches=%d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestRuleCountCap(t *testing.T) {
+	s := NewScript(Rule{Path: "/x", Round: Any, User: Any, Fault: FaultDrop, Count: 2})
+	for i, want := range []Fault{FaultDrop, FaultDrop, FaultNone, FaultNone} {
+		if d := s.decide("/x", Any, Any); d.fault != want {
+			t.Fatalf("request %d: fault=%s, want %s", i, d.fault, want)
+		}
+	}
+	if got := s.Injected()[FaultDrop]; got != 2 {
+		t.Fatalf("injected drops = %d, want 2", got)
+	}
+	if got := s.Requests(); got != 4 {
+		t.Fatalf("requests = %d, want 4", got)
+	}
+}
+
+func TestQueryInt(t *testing.T) {
+	cases := []struct {
+		raw, key string
+		want     int
+	}{
+		{"user=3&round=7", "round", 7},
+		{"user=3&round=7", "user", 3},
+		{"user=3", "round", Any},
+		{"round=x", "round", Any},
+		{"", "round", Any},
+		{"rounds=9", "round", Any},
+	}
+	for _, tc := range cases {
+		if got := queryInt(tc.raw, tc.key); got != tc.want {
+			t.Errorf("queryInt(%q, %q) = %d, want %d", tc.raw, tc.key, got, tc.want)
+		}
+	}
+}
+
+func TestTransportDropAnd5xx(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		_, _ = io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+
+	script := NewScript(
+		Rule{Path: "/drop", Round: Any, User: Any, Fault: FaultDrop},
+		Rule{Path: "/boom", Round: Any, User: Any, Fault: Fault5xx},
+	)
+	client := NewTransport(script, 0).Client()
+
+	if _, _, err := get(t, client, ts.URL+"/drop"); err == nil {
+		t.Fatal("dropped request returned no error")
+	} else {
+		var fe *FaultError
+		if !errors.As(err, &fe) || fe.Fault != FaultDrop {
+			t.Fatalf("dropped request error = %v, want FaultError{FaultDrop}", err)
+		}
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("dropped request reached the server (%d hits)", hits.Load())
+	}
+
+	resp, body, err := get(t, client, ts.URL+"/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("5xx fault status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(body, "chaos") {
+		t.Fatalf("5xx body = %q", body)
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("synthesized 5xx reached the server (%d hits)", hits.Load())
+	}
+
+	// Unmatched paths pass through untouched.
+	resp, body, err = get(t, client, ts.URL+"/fine")
+	if err != nil || resp.StatusCode != http.StatusOK || body != "ok" {
+		t.Fatalf("clean request: %v %v %q", err, resp, body)
+	}
+}
+
+func TestTransportBlackholeDeliversToServer(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer ts.Close()
+
+	script := NewScript(Rule{Path: "/up", Round: Any, User: Any, Fault: FaultBlackholeResponse, Count: 1})
+	client := NewTransport(script, 0).Client()
+
+	if _, _, err := get(t, client, ts.URL+"/up"); err == nil {
+		t.Fatal("blackholed response returned no error")
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("blackholed request hits = %d, want 1 (must reach server)", hits.Load())
+	}
+	// Second attempt passes (Count=1 exhausted): the retry-after-blackhole
+	// pattern the deploy client relies on.
+	if _, _, err := get(t, client, ts.URL+"/up"); err != nil {
+		t.Fatalf("post-blackhole request: %v", err)
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("hits = %d, want 2", hits.Load())
+	}
+}
+
+func TestTransportDuplicatePost(t *testing.T) {
+	var mu sync.Mutex
+	var bodies []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		mu.Lock()
+		bodies = append(bodies, string(b))
+		mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer ts.Close()
+
+	script := NewScript(Rule{Path: "/up", Round: Any, User: Any, Fault: FaultDuplicate, Count: 1})
+	client := NewTransport(script, 0).Client()
+
+	resp, err := client.Post(ts.URL+"/up", "text/plain", strings.NewReader("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(bodies) != 2 || bodies[0] != "payload" || bodies[1] != "payload" {
+		t.Fatalf("server saw bodies %q, want payload twice", bodies)
+	}
+}
+
+func TestTransportLatencyDelays(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+
+	const delay = 40 * time.Millisecond
+	script := NewScript(Rule{Path: "/slow", Round: Any, User: Any, Fault: FaultLatency, Latency: delay})
+	client := NewTransport(script, 0).Client()
+
+	start := time.Now()
+	if _, _, err := get(t, client, ts.URL+"/slow"); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took < delay {
+		t.Fatalf("latency fault took %v, want >= %v", took, delay)
+	}
+}
+
+func TestTransportPerUserIdentity(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+	}))
+	defer ts.Close()
+
+	// User 1's model fetches are dropped even though /model carries no user
+	// query parameter — identity comes from the transport.
+	script := NewScript(Rule{Path: "/model", Round: Any, User: 1, Fault: FaultDrop})
+	c0 := NewTransport(script, 0).Client()
+	c1 := NewTransport(script, 1).Client()
+
+	if _, _, err := get(t, c0, ts.URL+"/model?round=0"); err != nil {
+		t.Fatalf("user 0 fetch: %v", err)
+	}
+	if _, _, err := get(t, c1, ts.URL+"/model?round=0"); err == nil {
+		t.Fatal("user 1 fetch should have been dropped")
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("hits = %d, want 1", hits.Load())
+	}
+}
+
+func TestRandomFaultsDeterministicSequence(t *testing.T) {
+	draw := func() []Fault {
+		s := NewScript().WithRandom(RandomFaults{Seed: 42, DropProb: 0.3, Err5xxProb: 0.3})
+		var seq []Fault
+		for i := 0; i < 64; i++ {
+			seq = append(seq, s.decide("/x", Any, Any).fault)
+		}
+		return seq
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %s vs %s", i, a[i], b[i])
+		}
+	}
+	kinds := map[Fault]bool{}
+	for _, f := range a {
+		kinds[f] = true
+	}
+	if !kinds[FaultDrop] || !kinds[Fault5xx] || !kinds[FaultNone] {
+		t.Fatalf("64 draws at p=0.3 produced kinds %v, want drop+5xx+none", kinds)
+	}
+}
+
+func TestWrapListenerKillsFirstConnections(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := WrapListener(inner, 2)
+	ts := &httptest.Server{
+		Listener: l,
+		Config:   &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})},
+	}
+	ts.Start()
+	defer ts.Close()
+
+	// Fresh connections (no keep-alive reuse) so each request maps to one
+	// accepted connection.
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	failures := 0
+	for i := 0; i < 4; i++ {
+		resp, err := client.Get(ts.URL)
+		if err != nil {
+			failures++
+			continue
+		}
+		resp.Body.Close()
+	}
+	if l.Killed() != 2 {
+		t.Fatalf("killed = %d, want 2", l.Killed())
+	}
+	if failures == 0 {
+		t.Fatal("no client-visible failures despite killed connections")
+	}
+}

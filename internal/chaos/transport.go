@@ -1,0 +1,183 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FaultError is the transport error surfaced for injected drops and
+// blackholes, so logs distinguish chaos from genuine network failures.
+// net/http wraps it in *url.Error on the way back to the caller.
+type FaultError struct {
+	Fault Fault
+	Path  string
+}
+
+// Error implements error.
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("chaos: injected %s on %s", e.Fault, e.Path)
+}
+
+// Transport is an http.RoundTripper that consults a Script before (and for
+// blackholes, after) delegating to Base. Give each simulated device its own
+// Transport carrying its User identity and share one Script among them; the
+// script then addresses faults per-user even on requests that do not carry a
+// user query parameter (e.g. /model fetches).
+type Transport struct {
+	// Base performs real round trips; nil means http.DefaultTransport.
+	Base http.RoundTripper
+	// Script is the fault schedule; nil disables injection entirely.
+	Script *Script
+	// User is this transport's device identity; Any when the transport is
+	// not tied to one device (the user query parameter is used instead).
+	User int
+}
+
+// NewTransport returns a fault-injecting transport for one device over the
+// default HTTP transport.
+func NewTransport(script *Script, user int) *Transport {
+	return &Transport{Script: script, User: user}
+}
+
+// Client returns an *http.Client that routes through the transport.
+func (t *Transport) Client() *http.Client { return &http.Client{Transport: t} }
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.Script == nil {
+		return t.base().RoundTrip(req)
+	}
+	user := t.User
+	if user == Any {
+		user = queryInt(req.URL.RawQuery, "user")
+	}
+	round := queryInt(req.URL.RawQuery, "round")
+	d := t.Script.decide(req.URL.Path, round, user)
+
+	if d.latency > 0 {
+		timer := time.NewTimer(d.latency)
+		select {
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+	}
+
+	switch d.fault {
+	case FaultDrop:
+		// The request never reaches the server; drain the body like a real
+		// transport would have.
+		if req.Body != nil {
+			_, _ = io.Copy(io.Discard, req.Body)
+			_ = req.Body.Close()
+		}
+		return nil, &FaultError{Fault: FaultDrop, Path: req.URL.Path}
+	case Fault5xx:
+		if req.Body != nil {
+			_, _ = io.Copy(io.Discard, req.Body)
+			_ = req.Body.Close()
+		}
+		return &http.Response{
+			Status:     "500 chaos internal server error",
+			StatusCode: http.StatusInternalServerError,
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:  make(http.Header),
+			Body:    io.NopCloser(strings.NewReader("chaos injected 500")),
+			Request: req,
+		}, nil
+	case FaultBlackholeResponse:
+		resp, err := t.base().RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		return nil, &FaultError{Fault: FaultBlackholeResponse, Path: req.URL.Path}
+	case FaultDuplicate:
+		if first, ok := cloneRequest(req); ok {
+			if resp, err := t.base().RoundTrip(first); err == nil {
+				_, _ = io.Copy(io.Discard, resp.Body)
+				_ = resp.Body.Close()
+			}
+		}
+		return t.base().RoundTrip(req)
+	}
+	return t.base().RoundTrip(req)
+}
+
+// cloneRequest duplicates a request including a replayable body; ok is false
+// when the body cannot be replayed (no GetBody), in which case duplication
+// degrades to a single delivery.
+func cloneRequest(req *http.Request) (*http.Request, bool) {
+	clone := req.Clone(req.Context())
+	if req.Body == nil {
+		return clone, true
+	}
+	if req.GetBody == nil {
+		return nil, false
+	}
+	body, err := req.GetBody()
+	if err != nil {
+		return nil, false
+	}
+	clone.Body = body
+	return clone, true
+}
+
+// Listener wraps a net.Listener and immediately resets the first KillFirst
+// accepted connections — the server-side complement to FaultDrop, exercising
+// client reconnect/retry paths deterministically.
+type Listener struct {
+	net.Listener
+
+	mu            sync.Mutex
+	killRemaining int
+	killed        int
+}
+
+// WrapListener returns a Listener that kills the first killFirst accepted
+// connections.
+func WrapListener(l net.Listener, killFirst int) *Listener {
+	return &Listener{Listener: l, killRemaining: killFirst}
+}
+
+// Killed reports how many connections were reset.
+func (l *Listener) Killed() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.killed
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		kill := l.killRemaining > 0
+		if kill {
+			l.killRemaining--
+			l.killed++
+		}
+		l.mu.Unlock()
+		if !kill {
+			return c, nil
+		}
+		_ = c.Close()
+	}
+}

@@ -1,0 +1,49 @@
+//go:build chaos
+
+package deploy
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"helcfl/internal/chaos"
+)
+
+// Randomized soak test, opt-in via `-tags chaos` (make chaos). Every request
+// draws faults from a seeded background process; the retry layer plus the
+// straggler deadline must still land every campaign. Each seed printed below
+// fully reproduces its run — see docs/ROBUSTNESS.md.
+func TestChaosStressRandomFaults(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			t.Logf("RandomFaults seed %d", seed)
+			env := newConfEnv(t, 5, 3)
+			script := chaos.NewScript().WithRandom(chaos.RandomFaults{
+				Seed:       seed,
+				DropProb:   0.05,
+				Err5xxProb: 0.05,
+				MaxLatency: 3 * time.Millisecond,
+			})
+			dep := env.runDeploy(t, deployOpts{
+				script:        script,
+				maxRetries:    8,
+				baseBackoff:   time.Millisecond,
+				roundDeadline: 250 * time.Millisecond,
+				quorum:        0.5,
+			})
+			for q, err := range dep.clientErrs {
+				if err != nil {
+					t.Fatalf("seed %d: client %d died: %v", seed, q, err)
+				}
+			}
+			if len(dep.summaries) != env.rounds {
+				t.Fatalf("seed %d: closed %d rounds, want %d", seed, len(dep.summaries), env.rounds)
+			}
+			if script.Injected()[chaos.FaultNone] == script.Requests() {
+				t.Fatalf("seed %d: no faults drawn", seed)
+			}
+		})
+	}
+}

@@ -2,7 +2,9 @@ package deploy
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -15,6 +17,11 @@ import (
 
 // newSeededRand is a tiny helper shared with the server.
 func newSeededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// ErrUnavailable reports that the server could not be reached (transport
+// error, per-request timeout, or persistent 5xx) even after the configured
+// retries. Callers distinguish it from protocol errors with errors.Is.
+var ErrUnavailable = errors.New("deploy: server unavailable")
 
 // ClientConfig configures one device client.
 type ClientConfig struct {
@@ -39,7 +46,21 @@ type ClientConfig struct {
 	// CyclesPerUpdate is the device's per-update CPU cost used with
 	// TimeScale.
 	CyclesPerUpdate float64
-	// HTTPClient defaults to http.DefaultClient.
+	// MaxRetries is how many extra attempts each request gets after a
+	// transient failure (transport error, timeout, or 5xx). 0 disables
+	// retries: the first failure is final, matching the old behaviour.
+	MaxRetries int
+	// BaseBackoff is the delay before the first retry; it doubles per retry
+	// (capped at 2s) with deterministic per-client jitter so a fleet
+	// retrying the same outage does not stampede in lockstep. Defaults to
+	// 10ms when MaxRetries > 0.
+	BaseBackoff time.Duration
+	// RequestTimeout bounds each individual HTTP attempt; a timed-out
+	// attempt is retried like a transport error. 0 means no per-attempt
+	// timeout.
+	RequestTimeout time.Duration
+	// HTTPClient defaults to http.DefaultClient. Tests swap in a
+	// chaos-transport client here.
 	HTTPClient *http.Client
 }
 
@@ -48,7 +69,8 @@ type Client struct {
 	cfg   ClientConfig
 	model *nn.Sequential
 	loss  *nn.SoftmaxCrossEntropy
-	// RoundsTrained counts local updates performed.
+	rng   *rand.Rand // backoff jitter; seeded per user for reproducible runs
+	// RoundsTrained counts local updates whose upload was acknowledged.
 	RoundsTrained int
 }
 
@@ -61,6 +83,8 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		return nil, fmt.Errorf("deploy: client %d has no data", cfg.Info.User)
 	case cfg.LR <= 0 || cfg.LocalSteps <= 0:
 		return nil, fmt.Errorf("deploy: bad training parameters")
+	case cfg.MaxRetries < 0:
+		return nil, fmt.Errorf("deploy: negative retry budget %d", cfg.MaxRetries)
 	}
 	if cfg.HTTPClient == nil {
 		cfg.HTTPClient = http.DefaultClient
@@ -68,20 +92,28 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.PollInterval <= 0 {
 		cfg.PollInterval = 5 * time.Millisecond
 	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 10 * time.Millisecond
+	}
 	return &Client{
 		cfg:   cfg,
 		model: cfg.Spec.Build(newSeededRand(int64(cfg.Info.User) + 1)),
 		loss:  nn.NewSoftmaxCrossEntropy(),
+		rng:   newSeededRand(int64(cfg.Info.User)*7919 + 17),
 	}, nil
 }
 
 // Run registers and participates until the server reports PhaseDone.
-func (c *Client) Run() error {
-	if err := c.register(); err != nil {
+func (c *Client) Run() error { return c.RunContext(context.Background()) }
+
+// RunContext is Run bounded by a context: cancellation stops the client
+// cleanly between (and inside) requests with ctx.Err().
+func (c *Client) RunContext(ctx context.Context) error {
+	if err := c.register(ctx); err != nil {
 		return err
 	}
 	for {
-		poll, err := c.poll()
+		poll, err := c.poll(ctx)
 		if err != nil {
 			return err
 		}
@@ -90,7 +122,7 @@ func (c *Client) Run() error {
 			return nil
 		case PhaseTraining:
 			if poll.Selected {
-				if err := c.trainRound(poll.Round, poll.FreqHz); err != nil {
+				if err := c.trainRound(ctx, poll.Round, poll.FreqHz); err != nil {
 					// Conflicts are benign races (the round advanced while
 					// we trained); everything else is fatal.
 					if !isConflict(err) {
@@ -100,7 +132,11 @@ func (c *Client) Run() error {
 				continue // poll again immediately
 			}
 		}
-		time.Sleep(c.cfg.PollInterval)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(c.cfg.PollInterval):
+		}
 	}
 }
 
@@ -114,31 +150,117 @@ func isConflict(err error) bool {
 	return ok
 }
 
-func (c *Client) register() error {
-	body, _ := json.Marshal(c.cfg.Info)
-	resp, err := c.cfg.HTTPClient.Post(c.cfg.BaseURL+"/register", "application/json", bytes.NewReader(body))
+// httpResult is one fully-read response.
+type httpResult struct {
+	status int
+	body   []byte
+}
+
+// do issues the request built by build, retrying transient failures
+// (transport errors, per-attempt timeouts, 5xx) up to MaxRetries times with
+// jittered exponential backoff. build is called per attempt so request
+// bodies are fresh. Context cancellation aborts immediately with ctx.Err();
+// exhausting the retry budget returns an error wrapping ErrUnavailable.
+func (c *Client) do(ctx context.Context, what string, build func() (*http.Request, error)) (*httpResult, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			if err := c.backoff(ctx, attempt); err != nil {
+				return nil, err
+			}
+		}
+		req, err := build()
+		if err != nil {
+			return nil, err
+		}
+		attemptCtx := ctx
+		cancel := context.CancelFunc(func() {})
+		if c.cfg.RequestTimeout > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, c.cfg.RequestTimeout)
+		}
+		resp, err := c.cfg.HTTPClient.Do(req.WithContext(attemptCtx))
+		if err != nil {
+			cancel()
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			lastErr = err
+			continue
+		}
+		body, readErr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		cancel()
+		if readErr != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			lastErr = readErr
+			continue
+		}
+		if resp.StatusCode >= 500 {
+			lastErr = fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body))
+			continue
+		}
+		return &httpResult{status: resp.StatusCode, body: body}, nil
+	}
+	return nil, fmt.Errorf("deploy: user %d: %s failed after %d attempt(s): %w: %v",
+		c.cfg.Info.User, what, c.cfg.MaxRetries+1, ErrUnavailable, lastErr)
+}
+
+// backoff sleeps before retry `attempt` (1-based): BaseBackoff doubling per
+// attempt, capped at 2s, with the upper half jittered by the client's seeded
+// RNG. Returns early with ctx.Err() on cancellation.
+func (c *Client) backoff(ctx context.Context, attempt int) error {
+	d := c.cfg.BaseBackoff << (attempt - 1)
+	if max := 2 * time.Second; d > max || d <= 0 {
+		d = 2 * time.Second
+	}
+	d = d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}
+
+func (c *Client) register(ctx context.Context) error {
+	payload, err := json.Marshal(c.cfg.Info)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(resp.Body)
-		return fmt.Errorf("deploy: register failed: %s: %s", resp.Status, msg)
+	res, err := c.do(ctx, "register", func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, c.cfg.BaseURL+"/register", bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	})
+	if err != nil {
+		return err
+	}
+	if res.status != http.StatusOK {
+		return fmt.Errorf("deploy: register failed: status %d: %s", res.status, res.body)
 	}
 	return nil
 }
 
-func (c *Client) poll() (*PollResponse, error) {
-	resp, err := c.cfg.HTTPClient.Get(fmt.Sprintf("%s/poll?user=%d", c.cfg.BaseURL, c.cfg.Info.User))
+func (c *Client) poll(ctx context.Context) (*PollResponse, error) {
+	url := fmt.Sprintf("%s/poll?user=%d", c.cfg.BaseURL, c.cfg.Info.User)
+	res, err := c.do(ctx, "poll", func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, url, nil)
+	})
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("deploy: poll failed: %s", resp.Status)
+	if res.status != http.StatusOK {
+		return nil, fmt.Errorf("deploy: poll failed: status %d", res.status)
 	}
 	var out PollResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	if err := json.Unmarshal(res.body, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -146,23 +268,21 @@ func (c *Client) poll() (*PollResponse, error) {
 
 // trainRound downloads the round's global model, runs the local update,
 // and uploads the result. freqHz is the FLCC-assigned DVFS frequency.
-func (c *Client) trainRound(round int, freqHz float64) error {
-	resp, err := c.cfg.HTTPClient.Get(fmt.Sprintf("%s/model?round=%d", c.cfg.BaseURL, round))
+func (c *Client) trainRound(ctx context.Context, round int, freqHz float64) error {
+	modelURL := fmt.Sprintf("%s/model?round=%d", c.cfg.BaseURL, round)
+	res, err := c.do(ctx, "model fetch", func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, modelURL, nil)
+	})
 	if err != nil {
 		return err
 	}
-	payload, readErr := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode == http.StatusConflict {
+	switch {
+	case res.status == http.StatusConflict:
 		return conflictError{"stale model fetch"}
+	case res.status != http.StatusOK:
+		return fmt.Errorf("deploy: model fetch failed: status %d", res.status)
 	}
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("deploy: model fetch failed: %s", resp.Status)
-	}
-	if readErr != nil {
-		return readErr
-	}
-	if err := nn.LoadParamBytes(c.model, payload); err != nil {
+	if err := nn.LoadParamBytes(c.model, res.body); err != nil {
 		return err
 	}
 
@@ -185,30 +305,33 @@ func (c *Client) trainRound(round int, freqHz float64) error {
 	// this device visibly later on the server's timeline.
 	if c.cfg.TimeScale > 0 && c.cfg.CyclesPerUpdate > 0 && freqHz > 0 {
 		delay := c.cfg.TimeScale * c.cfg.CyclesPerUpdate / freqHz
-		time.Sleep(time.Duration(delay * float64(time.Second)))
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Duration(delay * float64(time.Second))):
+		}
 	}
 
-	up, err := http.NewRequest(http.MethodPost,
-		fmt.Sprintf("%s/upload?user=%d&round=%d", c.cfg.BaseURL, c.cfg.Info.User, round),
-		bytes.NewReader(nn.ParamBytes(c.model)))
+	payload := nn.ParamBytes(c.model)
+	uploadURL := fmt.Sprintf("%s/upload?user=%d&round=%d", c.cfg.BaseURL, c.cfg.Info.User, round)
+	up, err := c.do(ctx, "upload", func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, uploadURL, bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		return req, nil
+	})
 	if err != nil {
 		return err
 	}
-	up.Header.Set("Content-Type", "application/octet-stream")
-	upResp, err := c.cfg.HTTPClient.Do(up)
-	if err != nil {
-		return err
-	}
-	defer upResp.Body.Close()
-	switch upResp.StatusCode {
+	switch up.status {
 	case http.StatusNoContent:
 		c.RoundsTrained++
 		return nil
 	case http.StatusConflict, http.StatusForbidden:
-		msg, _ := io.ReadAll(upResp.Body)
-		return conflictError{string(msg)}
+		return conflictError{string(up.body)}
 	default:
-		msg, _ := io.ReadAll(upResp.Body)
-		return fmt.Errorf("deploy: upload failed: %s: %s", upResp.Status, msg)
+		return fmt.Errorf("deploy: upload failed: status %d: %s", up.status, up.body)
 	}
 }

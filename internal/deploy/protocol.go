@@ -5,6 +5,14 @@
 // over a real transport — registration (resource information), per-round
 // selection + frequency assignment, model broadcast, local GD, upload, and
 // FedAvg — with genuine concurrency and real payload bytes.
+//
+// The transport is fault-tolerant and conformant with the in-process engine:
+// clients retry transient failures with jittered exponential backoff
+// (ClientConfig), the server deduplicates redelivered registrations and
+// uploads by (round, user), aggregation walks the planner's selection order
+// so the FedAvg reduction is bit-for-bit reproducible, and an optional
+// straggler deadline (ServerConfig.RoundDeadline/Quorum) closes rounds with
+// partial aggregations when devices go missing. See docs/ROBUSTNESS.md.
 package deploy
 
 // Phase is the FLCC lifecycle.
@@ -55,11 +63,13 @@ type PollResponse struct {
 
 // StatusResponse summarizes server progress.
 type StatusResponse struct {
-	Phase      Phase   `json:"phase"`
-	Round      int     `json:"round"`
-	Rounds     int     `json:"rounds"`
-	Registered int     `json:"registered"`
-	BytesUp    int64   `json:"bytes_up"`
-	BytesDown  int64   `json:"bytes_down"`
-	TrainLoss  float64 `json:"train_loss"`
+	Phase      Phase `json:"phase"`
+	Round      int   `json:"round"`
+	Rounds     int   `json:"rounds"`
+	Registered int   `json:"registered"`
+	// Uploads counts models received so far in the current round.
+	Uploads   int     `json:"uploads"`
+	BytesUp   int64   `json:"bytes_up"`
+	BytesDown int64   `json:"bytes_down"`
+	TrainLoss float64 `json:"train_loss"`
 }

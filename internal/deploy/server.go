@@ -4,15 +4,31 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"helcfl/internal/device"
 	"helcfl/internal/fl"
 	"helcfl/internal/nn"
 	"helcfl/internal/obs"
 )
+
+// RoundSummary describes one closed round, delivered to ServerConfig.RoundHook.
+type RoundSummary struct {
+	// Round is the closed round's index.
+	Round int
+	// Selected is the planner's cohort in selection order; Uploaded and
+	// Missing partition it (both in selection order).
+	Selected, Uploaded, Missing []int
+	// Partial reports that the straggler deadline closed the round before
+	// every selected upload arrived.
+	Partial bool
+	// Global is a copy of the post-aggregation flat parameter vector.
+	Global []float64
+}
 
 // ServerConfig configures the FLCC server.
 type ServerConfig struct {
@@ -29,6 +45,25 @@ type ServerConfig struct {
 	// NewPlanner builds the scheduling policy once the fleet's resource
 	// information is known (the devices carry what registration reported).
 	NewPlanner func(devs []*device.Device) (fl.Planner, error)
+	// RoundDeadline, when positive, is the straggler deadline: once it has
+	// elapsed since the round opened, the server closes the round with a
+	// partial aggregation as soon as at least Quorum of the selected cohort
+	// has uploaded; users that never delivered are dropped from the round
+	// (and reported via Sink dropout events). Below quorum the deadline
+	// re-arms — the server keeps waiting rather than aggregate nothing.
+	// 0 disables the deadline: every selected upload is awaited, as before.
+	RoundDeadline time.Duration
+	// Quorum is the fraction of the selected cohort required for a partial
+	// aggregation (ceil(Quorum×|selected|), at least 1). 0 defaults to 0.5.
+	Quorum float64
+	// Sink, when non-nil, receives the server's round lifecycle as engine
+	// events (round start, selection, dropouts, aggregation, round end).
+	// Calls are serialized under the server's lock; keep sinks fast.
+	Sink obs.EventSink
+	// RoundHook, when non-nil, observes every closed round (called with the
+	// server lock held; keep it fast). Tests use it to pin the global-model
+	// trajectory.
+	RoundHook func(RoundSummary)
 	// Metrics is the registry backing /metrics; nil allocates a private one
 	// (so parallel test servers never share counters).
 	Metrics *obs.Registry
@@ -48,24 +83,29 @@ type Server struct {
 	mPanics    *obs.Counter
 	mUploads   *obs.Counter
 	mAggs      *obs.Counter
+	mPartial   *obs.Counter
+	mDropouts  *obs.Counter
 	mRound     *obs.Gauge
 	mBytesUp   *obs.Counter
 	mBytesDown *obs.Counter
 
 	mu         sync.Mutex
 	phase      Phase
+	closed     bool
 	devices    []*device.Device
 	registered map[int]bool
 	planner    fl.Planner
 
-	round     int
-	selected  map[int]float64 // user → assigned frequency
-	uploads   map[int][]float64
-	global    *nn.Sequential
-	payload   []byte // serialized global model for the current round
-	bytesUp   int64
-	bytesDown int64
-	lastLoss  float64
+	round      int
+	selOrder   []int           // current round's cohort in planner order
+	selected   map[int]float64 // user → assigned frequency
+	uploads    map[int][]float64
+	global     *nn.Sequential
+	payload    []byte // serialized global model for the current round
+	roundTimer *time.Timer
+	bytesUp    int64
+	bytesDown  int64
+	lastLoss   float64
 }
 
 // NewServer validates the configuration and returns a server ready to
@@ -78,6 +118,13 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		return nil, fmt.Errorf("deploy: non-positive round budget %d", cfg.Rounds)
 	case cfg.NewPlanner == nil:
 		return nil, fmt.Errorf("deploy: no planner factory")
+	case cfg.RoundDeadline < 0:
+		return nil, fmt.Errorf("deploy: negative round deadline %v", cfg.RoundDeadline)
+	case cfg.Quorum < 0 || cfg.Quorum > 1:
+		return nil, fmt.Errorf("deploy: quorum %g outside [0,1]", cfg.Quorum)
+	}
+	if cfg.Quorum == 0 {
+		cfg.Quorum = 0.5
 	}
 	s := &Server{
 		cfg:        cfg,
@@ -94,6 +141,8 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	s.mPanics = s.metrics.Counter("helcfl_http_panics_total", "Handler panics recovered by the middleware.")
 	s.mUploads = s.metrics.Counter("helcfl_server_uploads_total", "Accepted model uploads.")
 	s.mAggs = s.metrics.Counter("helcfl_server_aggregations_total", "Completed FedAvg aggregations.")
+	s.mPartial = s.metrics.Counter("helcfl_server_partial_rounds_total", "Rounds closed by the straggler deadline with a partial cohort.")
+	s.mDropouts = s.metrics.Counter("helcfl_server_dropouts_total", "Selected users whose upload missed the straggler deadline.")
 	s.mRound = s.metrics.Gauge("helcfl_server_round", "Current training round.")
 	s.mBytesUp = s.metrics.Counter("helcfl_server_bytes_up_total", "Model payload bytes received from users.")
 	s.mBytesDown = s.metrics.Counter("helcfl_server_bytes_down_total", "Model payload bytes broadcast to users.")
@@ -113,6 +162,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.S
 
 // Metrics returns the registry backing the server's /metrics endpoint.
 func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// Close stops the straggler-deadline timer. A closed server still answers
+// requests; Close only quiesces background work (call it from test cleanup
+// or alongside the HTTP listener shutdown).
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.stopTimerLocked()
+}
 
 // Global returns a clone of the current global model (safe at any time).
 func (s *Server) Global() *nn.Sequential {
@@ -146,6 +205,13 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.phase != PhaseRegistering {
+		// Idempotent re-registration: a device retrying after its original
+		// acknowledgement was lost must not be rejected — it is already part
+		// of the fleet.
+		if req.User >= 0 && req.User < s.cfg.ExpectedUsers && s.registered[req.User] {
+			writeJSON(w, RegisterResponse{Registered: len(s.registered), Expected: s.cfg.ExpectedUsers})
+			return
+		}
 		httpError(w, http.StatusConflict, "registration closed")
 		return
 	}
@@ -188,23 +254,82 @@ func (s *Server) startTrainingLocked() error {
 	s.global = s.cfg.Spec.Build(newSeededRand(s.cfg.Seed))
 	s.phase = PhaseTraining
 	s.round = 0
+	if s.cfg.Sink != nil {
+		s.cfg.Sink.OnRunStart(obs.RunStartEvent{
+			Scheme:    planner.Name(),
+			Users:     s.cfg.ExpectedUsers,
+			MaxRounds: s.cfg.Rounds,
+			ModelBits: nn.ModelBits(s.global),
+		})
+	}
 	return s.planRoundLocked()
 }
 
-// planRoundLocked asks the planner for the current round's cohort and
-// serializes the broadcast payload. Caller holds mu.
+// planRoundLocked asks the planner for the current round's cohort,
+// serializes the broadcast payload, and arms the straggler deadline.
+// Caller holds mu.
 func (s *Server) planRoundLocked() error {
 	sel, freqs := s.planner.PlanRound(s.round)
 	if len(sel) == 0 {
 		return fmt.Errorf("deploy: planner selected no users in round %d", s.round)
 	}
+	s.selOrder = sel
 	s.selected = make(map[int]float64, len(sel))
 	for i, q := range sel {
 		s.selected[q] = freqs[i]
 	}
 	s.uploads = map[int][]float64{}
 	s.payload = nn.ParamBytes(s.global)
+	if s.cfg.Sink != nil {
+		s.cfg.Sink.OnRoundStart(obs.RoundStartEvent{Round: s.round})
+		s.cfg.Sink.OnSelection(obs.SelectionEvent{Round: s.round, Selected: sel, Freqs: freqs})
+	}
+	s.armDeadlineLocked()
 	return nil
+}
+
+// armDeadlineLocked (re)starts the straggler timer for the current round.
+// Caller holds mu.
+func (s *Server) armDeadlineLocked() {
+	if s.cfg.RoundDeadline <= 0 || s.closed {
+		return
+	}
+	s.stopTimerLocked()
+	round := s.round
+	s.roundTimer = time.AfterFunc(s.cfg.RoundDeadline, func() { s.onDeadline(round) })
+}
+
+func (s *Server) stopTimerLocked() {
+	if s.roundTimer != nil {
+		s.roundTimer.Stop()
+		s.roundTimer = nil
+	}
+}
+
+// quorumLocked is the upload count required to close the current round
+// early. Caller holds mu.
+func (s *Server) quorumLocked() int {
+	need := int(math.Ceil(s.cfg.Quorum * float64(len(s.selOrder))))
+	if need < 1 {
+		need = 1
+	}
+	return need
+}
+
+// onDeadline fires when the straggler deadline for `round` elapses: at or
+// above quorum the round closes with a partial aggregation; below quorum the
+// deadline re-arms and the server keeps waiting.
+func (s *Server) onDeadline(round int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.phase != PhaseTraining || s.round != round {
+		return
+	}
+	if len(s.uploads) >= s.quorumLocked() {
+		s.aggregateLocked()
+		return
+	}
+	s.armDeadlineLocked()
 }
 
 func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
@@ -282,7 +407,10 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if _, dup := s.uploads[user]; dup {
-		httpError(w, http.StatusConflict, "duplicate upload from user %d", user)
+		// Idempotent redelivery: the first copy was already folded in (or is
+		// pending aggregation); acknowledge the retry exactly like the
+		// original so at-least-once transports converge.
+		w.WriteHeader(http.StatusNoContent)
 		return
 	}
 	// Decode the payload through a scratch model to validate its shape.
@@ -301,29 +429,71 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// aggregateLocked runs FedAvg over the round's uploads and advances the
-// round. Caller holds mu.
+// aggregateLocked runs FedAvg over the round's uploads — walked in planner
+// selection order so the floating-point reduction is bit-for-bit
+// reproducible and matches the in-process engine — and advances the round.
+// Selected users without an upload (possible only when the straggler
+// deadline closed the round) are reported as dropouts. Caller holds mu.
 func (s *Server) aggregateLocked() {
+	s.stopTimerLocked()
 	uploads := make([][]float64, 0, len(s.uploads))
 	weights := make([]int, 0, len(s.uploads))
-	for user, flat := range s.uploads {
+	uploaded := make([]int, 0, len(s.uploads))
+	var missing []int
+	for _, user := range s.selOrder {
+		flat, ok := s.uploads[user]
+		if !ok {
+			missing = append(missing, user)
+			continue
+		}
 		uploads = append(uploads, flat)
 		weights = append(weights, s.devices[user].NumSamples)
+		uploaded = append(uploaded, user)
 	}
+	partial := len(missing) > 0
 	s.global.SetFlatParams(fl.FedAvg(uploads, weights))
 	s.mAggs.Inc()
+	if partial {
+		s.mPartial.Inc()
+		s.mDropouts.Add(float64(len(missing)))
+	}
+	closed := s.round
+	if s.cfg.Sink != nil {
+		for _, user := range missing {
+			s.cfg.Sink.OnDropout(obs.DropoutEvent{Round: closed, User: user})
+		}
+		s.cfg.Sink.OnAggregate(obs.AggregateEvent{Round: closed, Uploads: len(uploads), Failed: len(missing)})
+		s.cfg.Sink.OnRoundEnd(obs.RoundEndEvent{Round: closed, Selected: s.selOrder, Failed: len(missing)})
+	}
+	if s.cfg.RoundHook != nil {
+		s.cfg.RoundHook(RoundSummary{
+			Round:    closed,
+			Selected: append([]int(nil), s.selOrder...),
+			Uploaded: uploaded,
+			Missing:  missing,
+			Partial:  partial,
+			Global:   s.global.GetFlatParams(),
+		})
+	}
 	s.round++
 	s.mRound.Set(float64(s.round))
 	if s.round >= s.cfg.Rounds {
-		s.phase = PhaseDone
-		s.selected = nil
-		s.uploads = nil
+		s.finishLocked()
 		return
 	}
 	if err := s.planRoundLocked(); err != nil {
 		// A planner failure mid-run is unrecoverable; finish gracefully.
-		s.phase = PhaseDone
+		s.finishLocked()
 	}
+}
+
+// finishLocked transitions to PhaseDone. Caller holds mu.
+func (s *Server) finishLocked() {
+	s.phase = PhaseDone
+	s.selOrder = nil
+	s.selected = nil
+	s.uploads = nil
+	s.stopTimerLocked()
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -334,6 +504,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Round:      s.round,
 		Rounds:     s.cfg.Rounds,
 		Registered: len(s.registered),
+		Uploads:    len(s.uploads),
 		BytesUp:    s.bytesUp,
 		BytesDown:  s.bytesDown,
 		TrainLoss:  s.lastLoss,

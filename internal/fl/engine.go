@@ -62,6 +62,12 @@ type Config struct {
 	// QuantizeUploads round-trips each upload through the float32 wire
 	// format, modelling the real payload of Eq. (7).
 	QuantizeUploads bool
+	// QuantizeBroadcast round-trips the per-round broadcast parameters
+	// through the float32 wire format before clients train on them — what a
+	// deployed device actually receives (nn.ParamBytes). Together with
+	// QuantizeUploads this makes the engine bit-for-bit equivalent to the
+	// loopback-HTTP deployment; the deploy conformance test pins that.
+	QuantizeBroadcast bool
 	// Compressor, when non-nil, lossy-compresses every upload (top-k
 	// sparsification or scalar quantization; see internal/compress) and
 	// shrinks C_model accordingly — the communication-cost alternative the
@@ -92,6 +98,11 @@ type Config struct {
 	// Seed drives model initialization.
 	Seed int64
 }
+
+// Validate reports whether the configuration is runnable; fl.Run calls it
+// before touching any state, so a config that validates cleanly fails only
+// for runtime reasons (planner errors, dead fleets).
+func (c *Config) Validate() error { return c.validate() }
 
 func (c *Config) validate() error {
 	switch {
@@ -284,6 +295,9 @@ func Run(cfg Config) (*Result, error) {
 		// bounded worker pool. Results land at fixed indices, keeping the
 		// run bit-for-bit deterministic regardless of scheduling.
 		globalFlat := global.GetFlatParams()
+		if cfg.QuantizeBroadcast {
+			globalFlat = quantizeF32(globalFlat)
+		}
 		flats := make([][]float64, len(selected))
 		lossesByUser := make([]float64, len(selected))
 		var wallSec []float64

@@ -32,9 +32,9 @@ func (r *recordingSink) OnFrequency(ev obs.FrequencyEvent) { r.freqs = append(r.
 func (r *recordingSink) OnLocalUpdate(ev obs.LocalUpdateEvent) {
 	r.locals = append(r.locals, ev)
 }
-func (r *recordingSink) OnUpload(ev obs.UploadEvent)     { r.uploads = append(r.uploads, ev) }
-func (r *recordingSink) OnDropout(ev obs.DropoutEvent)   { r.dropouts = append(r.dropouts, ev) }
-func (r *recordingSink) OnBattery(ev obs.BatteryEvent)   { r.batteries = append(r.batteries, ev) }
+func (r *recordingSink) OnUpload(ev obs.UploadEvent)   { r.uploads = append(r.uploads, ev) }
+func (r *recordingSink) OnDropout(ev obs.DropoutEvent) { r.dropouts = append(r.dropouts, ev) }
+func (r *recordingSink) OnBattery(ev obs.BatteryEvent) { r.batteries = append(r.batteries, ev) }
 func (r *recordingSink) OnAggregate(ev obs.AggregateEvent) {
 	r.aggregates = append(r.aggregates, ev)
 }
