@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race chaos fmt vet check
+.PHONY: build test race chaos recover fmt vet check
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,12 @@ race:
 # docs/ROBUSTNESS.md for how to replay a failing seed).
 chaos:
 	$(GO) test -race -tags chaos -run Chaos ./internal/deploy/ ./internal/chaos/ -v
+
+# Kill/restart recovery conformance: the tier-1 Recovery tests plus the
+# exhaustive every-kill-point sweep (chaos tag), all under the race
+# detector. See docs/ROBUSTNESS.md.
+recover:
+	$(GO) test -race -tags chaos -run 'Recover' ./internal/deploy/ -v
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

@@ -13,12 +13,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"helcfl/internal/core"
@@ -71,12 +75,19 @@ func run(args []string) error {
 	retries := fs.Int("retries", 5, "client: extra attempts per request on transient failures")
 	backoff := fs.Duration("backoff", 100*time.Millisecond, "client: base retry backoff (doubles per retry, jittered)")
 	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "client: per-attempt HTTP timeout (0 disables)")
+	reconnects := fs.Int("reconnects", 5, "client: server outages to survive by re-registering (e.g. an FLCC restarting from checkpoint)")
 	deadline := fs.Duration("round-deadline", 0, "serve: straggler deadline closing rounds with a partial quorum (0 waits for every upload)")
 	quorum := fs.Float64("quorum", 0.5, "serve: fraction of the selected cohort required for a partial aggregation")
+	ckptDir := fs.String("checkpoint-dir", "", "serve: directory for durable snapshots + upload WAL (empty disables)")
+	resume := fs.Bool("resume", false, "serve: restore the campaign from -checkpoint-dir (fresh start if empty)")
 	verbose := fs.Bool("v", false, "serve: log every request")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
+	// SIGINT/SIGTERM end the node cleanly: the server drains and writes a
+	// final checkpoint, the client stops between requests.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	switch mode {
 	case "serve":
@@ -91,6 +102,8 @@ func run(args []string) error {
 			Rounds:        *rounds,
 			RoundDeadline: *deadline,
 			Quorum:        *quorum,
+			CheckpointDir: *ckptDir,
+			Resume:        *resume,
 			NewPlanner: func(devs []*device.Device) (fl.Planner, error) {
 				bits := nn.ModelBits(sharedSpec().Build(rand.New(rand.NewSource(*seed + 100))))
 				return selection.NewHELCFL(devs, wireless.DefaultChannel(), bits, core.Params{
@@ -102,8 +115,33 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		httpSrv := &http.Server{Addr: *addr, Handler: srv}
+		errCh := make(chan error, 1)
+		go func() {
+			if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				errCh <- err
+			}
+		}()
 		fmt.Printf("FLCC listening on %s (fleet %d, %d rounds; /metrics, /healthz and /debug/pprof/ live)\n", *addr, *users, *rounds)
-		return http.ListenAndServe(*addr, srv)
+		select {
+		case err := <-errCh:
+			return err
+		case <-ctx.Done():
+		}
+		// Graceful handoff: stop accepting work and drain in-flight requests
+		// (any upload that gets its 204 is already fsynced in the WAL), then
+		// persist a final snapshot so `-resume` picks up exactly here.
+		fmt.Println("FLCC shutting down: draining requests and writing final checkpoint")
+		drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(drainCtx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		if err := srv.CheckpointNow(); err != nil {
+			return fmt.Errorf("final checkpoint: %w", err)
+		}
+		srv.Close()
+		return nil
 
 	case "client":
 		if *user < 0 || *user >= *users {
@@ -130,12 +168,19 @@ func run(args []string) error {
 			MaxRetries:     *retries,
 			BaseBackoff:    *backoff,
 			RequestTimeout: *reqTimeout,
+			Reconnects:     *reconnects,
 		})
 		if err != nil {
 			return err
 		}
 		fmt.Printf("device %d joining %s with %d samples\n", *user, *server, shards[*user].N())
-		if err := c.Run(); err != nil {
+		if err := c.RunContext(ctx); err != nil {
+			// A signal is a clean exit, not a failure: the server keeps the
+			// device's registration and dedups its uploads if it rejoins.
+			if errors.Is(err, context.Canceled) && ctx.Err() != nil {
+				fmt.Printf("device %d interrupted after %d trained rounds\n", *user, c.RoundsTrained)
+				return nil
+			}
 			return err
 		}
 		fmt.Printf("device %d done: trained %d rounds\n", *user, c.RoundsTrained)

@@ -1,0 +1,138 @@
+// Package checkpoint is the durable-state layer of the FLCC: guarded
+// snapshot files for campaign state and a small write-ahead log for
+// intra-round events. Both formats are stdlib-only and defensive — every
+// payload is covered by a CRC32 so a truncated, bit-flipped, or
+// wrong-version file is reported as an error, never silently accepted.
+//
+// Snapshot files are written atomically (write temp, fsync, rename, fsync
+// directory), so a crash during a write leaves the previous snapshot
+// intact. The WAL fsyncs per appended record, so an acknowledged record
+// survives a crash; a torn final record (crash mid-append) is discarded on
+// replay, while corruption anywhere else is an error.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot file layout, little-endian:
+//
+//	offset  size  field
+//	0       4     magic "HELK"
+//	4       4     format version
+//	8       8     payload length
+//	16      4     CRC32 (IEEE) of payload
+//	20      n     payload
+const (
+	snapMagic   = uint32(0x48454C4B) // "HELK"
+	snapVersion = uint32(1)
+	snapHdrLen  = 20
+)
+
+// maxPayload bounds declared payload sizes so corrupt headers cannot force
+// huge allocations (a full CNN snapshot is a few MB; 1 GiB is far above any
+// legitimate state).
+const maxPayload = 1 << 30
+
+// ErrCorrupt reports a snapshot or WAL whose bytes fail an integrity check
+// (bad magic, impossible length, or CRC mismatch). Match with errors.Is.
+var ErrCorrupt = errors.New("checkpoint: corrupt file")
+
+// ErrVersion reports a file written by an incompatible format version.
+var ErrVersion = errors.New("checkpoint: unsupported format version")
+
+// EncodeSnapshot frames a payload in the snapshot file format.
+func EncodeSnapshot(payload []byte) []byte {
+	out := make([]byte, snapHdrLen+len(payload))
+	binary.LittleEndian.PutUint32(out[0:4], snapMagic)
+	binary.LittleEndian.PutUint32(out[4:8], snapVersion)
+	binary.LittleEndian.PutUint64(out[8:16], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(out[16:20], crc32.ChecksumIEEE(payload))
+	copy(out[snapHdrLen:], payload)
+	return out
+}
+
+// DecodeSnapshot validates a framed snapshot and returns its payload.
+func DecodeSnapshot(raw []byte) ([]byte, error) {
+	if len(raw) < snapHdrLen {
+		return nil, fmt.Errorf("%w: %d bytes, header needs %d", ErrCorrupt, len(raw), snapHdrLen)
+	}
+	if binary.LittleEndian.Uint32(raw[0:4]) != snapMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(raw[4:8]); v != snapVersion {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrVersion, v, snapVersion)
+	}
+	n := binary.LittleEndian.Uint64(raw[8:16])
+	if n > maxPayload || int(n) != len(raw)-snapHdrLen {
+		return nil, fmt.Errorf("%w: declared payload %d, have %d bytes", ErrCorrupt, n, len(raw)-snapHdrLen)
+	}
+	payload := raw[snapHdrLen:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(raw[16:20]) {
+		return nil, fmt.Errorf("%w: payload CRC mismatch", ErrCorrupt)
+	}
+	return payload, nil
+}
+
+// WriteFile durably replaces the snapshot at path with the framed payload:
+// the bytes go to a temp file in the same directory, are fsynced, renamed
+// over path, and the directory entry is fsynced. A crash at any point
+// leaves either the old snapshot or the new one, never a mix.
+func WriteFile(path string, payload []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: create temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	if _, err := tmp.Write(EncodeSnapshot(payload)); err != nil {
+		cleanup()
+		return fmt.Errorf("checkpoint: write temp: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("checkpoint: sync temp: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: close temp: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// ReadFile loads and validates the snapshot at path, returning its payload.
+// A missing file surfaces as an os.ErrNotExist-wrapping error.
+func ReadFile(path string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := DecodeSnapshot(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return payload, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable. Some
+// platforms refuse to fsync directories; those errors are ignored (the
+// rename itself is still atomic).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}

@@ -1,0 +1,90 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	payload := []byte("campaign state bytes \x00\x01\x02")
+	if err := WriteFile(path, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload mismatch: got %q want %q", got, payload)
+	}
+}
+
+func TestSnapshotOverwriteKeepsLatest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	for i := 0; i < 3; i++ {
+		payload := bytes.Repeat([]byte{byte(i)}, 10+i)
+		if err := WriteFile(path, payload); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("write %d: payload mismatch", i)
+		}
+	}
+	// No temp droppings left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d entries, want only the snapshot", len(entries))
+	}
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	valid := EncodeSnapshot([]byte("payload"))
+
+	t.Run("truncated", func(t *testing.T) {
+		for cut := 1; cut <= len(valid); cut++ {
+			if _, err := DecodeSnapshot(valid[:len(valid)-cut]); err == nil {
+				t.Fatalf("truncation of %d bytes accepted", cut)
+			}
+		}
+	})
+	t.Run("bit-flips", func(t *testing.T) {
+		for i := range valid {
+			raw := append([]byte(nil), valid...)
+			raw[i] ^= 0x40
+			if _, err := DecodeSnapshot(raw); err == nil {
+				t.Fatalf("bit flip at byte %d accepted", i)
+			}
+		}
+	})
+	t.Run("wrong-version", func(t *testing.T) {
+		raw := append([]byte(nil), valid...)
+		raw[4] = 0xFE
+		_, err := DecodeSnapshot(raw)
+		if !errors.Is(err, ErrVersion) {
+			t.Fatalf("wrong version: got %v, want ErrVersion", err)
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if _, err := DecodeSnapshot(nil); !errors.Is(err, ErrCorrupt) {
+			t.Fatal("empty input accepted")
+		}
+	})
+}
+
+func TestSnapshotReadMissingFile(t *testing.T) {
+	_, err := ReadFile(filepath.Join(t.TempDir(), "absent.ckpt"))
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file: got %v, want os.ErrNotExist", err)
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"helcfl/internal/device"
+	"helcfl/internal/wireless"
+)
+
+func stateTestFleet(t *testing.T, n int) []*device.Device {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	devs := make([]*device.Device, n)
+	for q := range devs {
+		devs[q] = &device.Device{
+			ID:              q,
+			FMin:            device.DefaultFMin,
+			FMax:            device.FMaxLow + (device.FMaxHigh-device.FMaxLow)*rng.Float64(),
+			CyclesPerSample: device.DefaultCyclesPerSample,
+			Kappa:           device.DefaultKappa,
+			TxPower:         0.2,
+			ChannelGain:     0.5 + rng.Float64(),
+			NumSamples:      20 + rng.Intn(30),
+		}
+	}
+	return devs
+}
+
+// TestSchedulerStateRoundTrip pins the resume contract: export mid-campaign,
+// import into a freshly initialized scheduler, and every subsequent
+// selection and frequency plan is identical to the uninterrupted scheduler.
+func TestSchedulerStateRoundTrip(t *testing.T) {
+	devs := stateTestFleet(t, 12)
+	ch := wireless.DefaultChannel()
+	bits := 1e5
+	params := Params{Eta: 0.7, Fraction: 0.25, StepsPerRound: 1, Clamp: true}
+
+	ref, err := NewScheduler(devs, ch, bits, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := NewScheduler(devs, ch, bits, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const split, total = 5, 12
+	for j := 0; j < split; j++ {
+		ref.PlanRound(ch, bits)
+		live.PlanRound(ch, bits)
+	}
+	st := live.ExportState()
+	// Mutating the export must not alias the scheduler.
+	if len(st.Alpha) > 0 {
+		st.Alpha[0] += 100
+		if ref.Appearances()[0] == st.Alpha[0] {
+			t.Fatal("export aliases scheduler state")
+		}
+		st.Alpha[0] -= 100
+	}
+
+	resumed, err := NewScheduler(devs, ch, bits, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.ImportState(st); err != nil {
+		t.Fatal(err)
+	}
+	for j := split; j < total; j++ {
+		wantSel, wantFreqs := ref.PlanRound(ch, bits)
+		gotSel, gotFreqs := resumed.PlanRound(ch, bits)
+		if len(wantSel) != len(gotSel) {
+			t.Fatalf("round %d: cohort size %d vs %d", j, len(gotSel), len(wantSel))
+		}
+		for i := range wantSel {
+			if wantSel[i] != gotSel[i] {
+				t.Fatalf("round %d: selection diverges at slot %d: %d vs %d", j, i, gotSel[i], wantSel[i])
+			}
+			if math.Float64bits(wantFreqs[i]) != math.Float64bits(gotFreqs[i]) {
+				t.Fatalf("round %d: frequency diverges at slot %d", j, i)
+			}
+		}
+	}
+}
+
+func TestSchedulerImportStateRejectsBadShapes(t *testing.T) {
+	devs := stateTestFleet(t, 4)
+	ch := wireless.DefaultChannel()
+	s, err := NewScheduler(devs, ch, 1e5, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ImportState(SchedulerState{Alpha: []int{1, 2}}); err == nil {
+		t.Fatal("short alpha accepted")
+	}
+	if err := s.ImportState(SchedulerState{Alpha: []int{0, -1, 0, 0}}); err == nil {
+		t.Fatal("negative alpha accepted")
+	}
+	if err := s.ImportState(SchedulerState{Alpha: []int{0, 0, 0, 0}, LastUtil: []float64{1}}); err == nil {
+		t.Fatal("short utility vector accepted")
+	}
+}
+
+// TestLossAwareStateRoundTrip does the same for the loss-aware extension,
+// whose selections additionally depend on observed local losses.
+func TestLossAwareStateRoundTrip(t *testing.T) {
+	devs := stateTestFleet(t, 10)
+	ch := wireless.DefaultChannel()
+	bits := 1e5
+	params := Params{Eta: 0.8, Fraction: 0.3, StepsPerRound: 1, Clamp: true}
+	build := func() *LossAwareScheduler {
+		base, err := NewScheduler(devs, ch, bits, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		la, err := NewLossAwareScheduler(base, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return la
+	}
+	feed := func(s *LossAwareScheduler, j int, sel []int) {
+		losses := make([]float64, len(sel))
+		for i, q := range sel {
+			losses[i] = 0.1 + 0.05*float64(q) + 0.01*float64(j)
+		}
+		s.ObserveRound(j, sel, losses)
+	}
+
+	ref, live := build(), build()
+	for j := 0; j < 4; j++ {
+		feed(ref, j, ref.SelectRound())
+		feed(live, j, live.SelectRound())
+	}
+	resumed := build()
+	if err := resumed.ImportState(live.ExportState()); err != nil {
+		t.Fatal(err)
+	}
+	for j := 4; j < 10; j++ {
+		want := ref.SelectRound()
+		got := resumed.SelectRound()
+		if len(want) != len(got) {
+			t.Fatalf("round %d: cohort size diverges", j)
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("round %d: selection diverges: %v vs %v", j, got, want)
+			}
+		}
+		feed(ref, j, want)
+		feed(resumed, j, got)
+	}
+}

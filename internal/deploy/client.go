@@ -59,6 +59,13 @@ type ClientConfig struct {
 	// attempt is retried like a transport error. 0 means no per-attempt
 	// timeout.
 	RequestTimeout time.Duration
+	// Reconnects is how many server outages the client survives: when a
+	// request exhausts its retry budget (ErrUnavailable — e.g. the FLCC
+	// crashed and is restarting from checkpoint), the client re-registers
+	// and resumes polling instead of giving up, up to this many times. The
+	// server's idempotent re-registration and upload dedup make the rejoin
+	// safe at any point in a round. 0 keeps the old fail-fast behaviour.
+	Reconnects int
 	// HTTPClient defaults to http.DefaultClient. Tests swap in a
 	// chaos-transport client here.
 	HTTPClient *http.Client
@@ -72,6 +79,9 @@ type Client struct {
 	rng   *rand.Rand // backoff jitter; seeded per user for reproducible runs
 	// RoundsTrained counts local updates whose upload was acknowledged.
 	RoundsTrained int
+	// Reconnections counts recoveries from a server outage (see
+	// ClientConfig.Reconnects).
+	Reconnections int
 }
 
 // NewClient validates the configuration.
@@ -85,6 +95,8 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		return nil, fmt.Errorf("deploy: bad training parameters")
 	case cfg.MaxRetries < 0:
 		return nil, fmt.Errorf("deploy: negative retry budget %d", cfg.MaxRetries)
+	case cfg.Reconnects < 0:
+		return nil, fmt.Errorf("deploy: negative reconnect budget %d", cfg.Reconnects)
 	}
 	if cfg.HTTPClient == nil {
 		cfg.HTTPClient = http.DefaultClient
@@ -107,8 +119,35 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 func (c *Client) Run() error { return c.RunContext(context.Background()) }
 
 // RunContext is Run bounded by a context: cancellation stops the client
-// cleanly between (and inside) requests with ctx.Err().
+// cleanly between (and inside) requests with ctx.Err(). When the server
+// becomes unreachable the client re-registers and resumes, up to
+// ClientConfig.Reconnects times; each successful request resets nothing —
+// the budget bounds distinct outages survived over the client's lifetime.
 func (c *Client) RunContext(ctx context.Context) error {
+	left := c.cfg.Reconnects
+	for {
+		err := c.session(ctx)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, ErrUnavailable) || left <= 0 || ctx.Err() != nil {
+			return err
+		}
+		left--
+		c.Reconnections++
+		// Give the FLCC time to come back before re-registering: a restart
+		// takes longer than a request, and a tight loop would burn the whole
+		// reconnect budget inside one outage window.
+		if err := c.backoff(ctx, c.Reconnections); err != nil {
+			return err
+		}
+	}
+}
+
+// session is one connected stint: register (idempotent on the server, so a
+// rejoin mid-campaign is acknowledged rather than rejected) and participate
+// until done or until the server becomes unreachable.
+func (c *Client) session(ctx context.Context) error {
 	if err := c.register(ctx); err != nil {
 		return err
 	}

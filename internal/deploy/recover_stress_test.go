@@ -1,0 +1,75 @@
+//go:build chaos
+
+package deploy
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Exhaustive kill-point sweep, opt-in via `-tags chaos` (make recover): one
+// campaign per possible crash offset — after every accepted upload and at
+// every round boundary — each restarted from checkpoint and required to
+// reproduce the uninterrupted trajectory bit-for-bit. The tier-1 recovery
+// tests pin a handful of representative points; this sweep covers all of
+// them.
+func TestRecoverStressEveryKillPoint(t *testing.T) {
+	env := newConfEnv(t, 4, 3)
+	ref := cleanReference(t, env)
+	totalUploads := 0
+	for _, s := range ref {
+		totalUploads += len(s.Uploaded)
+	}
+
+	// Crash after the k-th accepted upload, for every k. k landing on a
+	// round's final upload is a boundary kill (the next round is planned and
+	// snapshotted before the ack returns); every other k is mid-round.
+	for k := 1; k < totalUploads; k++ {
+		k := k
+		t.Run(fmt.Sprintf("after-upload-%d", k), func(t *testing.T) {
+			rig := newRecoveryRig(t, env)
+			fired := false
+			rig.proxy.trigger = func() bool {
+				if !fired && rig.proxy.uploads >= k {
+					fired = true
+					return true
+				}
+				return false
+			}
+			for q, err := range rig.run() {
+				if err != nil {
+					t.Fatalf("client %d: %v", q, err)
+				}
+			}
+			rig.verify(ref)
+			if !bitsEqual(rig.lastServer().Global().GetFlatParams(), ref[len(ref)-1].Global) {
+				t.Fatal("final global model diverges from uninterrupted run")
+			}
+		})
+	}
+
+	// Crash at every round-closure boundary.
+	for closed := 1; closed < env.rounds; closed++ {
+		closed := closed
+		t.Run(fmt.Sprintf("after-round-%d", closed-1), func(t *testing.T) {
+			rig := newRecoveryRig(t, env)
+			fired := false
+			rig.proxy.trigger = func() bool {
+				if !fired && rig.roundsClosed() >= closed {
+					fired = true
+					return true
+				}
+				return false
+			}
+			for q, err := range rig.run() {
+				if err != nil {
+					t.Fatalf("client %d: %v", q, err)
+				}
+			}
+			rig.verify(ref)
+			if !bitsEqual(rig.lastServer().Global().GetFlatParams(), ref[len(ref)-1].Global) {
+				t.Fatal("final global model diverges from uninterrupted run")
+			}
+		})
+	}
+}

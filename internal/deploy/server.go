@@ -2,6 +2,7 @@ package deploy
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -10,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"helcfl/internal/checkpoint"
 	"helcfl/internal/device"
 	"helcfl/internal/fl"
 	"helcfl/internal/nn"
@@ -69,6 +71,15 @@ type ServerConfig struct {
 	Metrics *obs.Registry
 	// Log receives request and panic log lines; nil disables logging.
 	Log Logf
+	// CheckpointDir, when non-empty, enables durable state: a snapshot file
+	// written at every round boundary and a write-ahead log of accepted
+	// uploads, via internal/checkpoint. See persist.go for the recovery
+	// contract.
+	CheckpointDir string
+	// Resume restores the campaign from CheckpointDir at construction. A
+	// missing snapshot is not an error (first incarnation starts fresh); a
+	// corrupt one is.
+	Resume bool
 }
 
 // Server is the FLCC: an http.Handler exposing the FL protocol.
@@ -79,15 +90,22 @@ type Server struct {
 	metrics *obs.Registry
 
 	// Server-level metrics, registered once at construction.
-	mReqs      *obs.CounterVec
-	mPanics    *obs.Counter
-	mUploads   *obs.Counter
-	mAggs      *obs.Counter
-	mPartial   *obs.Counter
-	mDropouts  *obs.Counter
-	mRound     *obs.Gauge
-	mBytesUp   *obs.Counter
-	mBytesDown *obs.Counter
+	mReqs        *obs.CounterVec
+	mPanics      *obs.Counter
+	mUploads     *obs.Counter
+	mAggs        *obs.Counter
+	mPartial     *obs.Counter
+	mDropouts    *obs.Counter
+	mRound       *obs.Gauge
+	mBytesUp     *obs.Counter
+	mBytesDown   *obs.Counter
+	mRejected    *obs.Counter
+	mCkptWrites  *obs.Counter
+	mCkptErrors  *obs.Counter
+	mRestores    *obs.Counter
+	mWALAppends  *obs.Counter
+	mWALReplays  *obs.Counter
+	mRecoverySec *obs.Gauge
 
 	mu         sync.Mutex
 	phase      Phase
@@ -106,6 +124,7 @@ type Server struct {
 	bytesUp    int64
 	bytesDown  int64
 	lastLoss   float64
+	wal        *checkpoint.WAL // nil when CheckpointDir is unset
 }
 
 // NewServer validates the configuration and returns a server ready to
@@ -146,6 +165,13 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	s.mRound = s.metrics.Gauge("helcfl_server_round", "Current training round.")
 	s.mBytesUp = s.metrics.Counter("helcfl_server_bytes_up_total", "Model payload bytes received from users.")
 	s.mBytesDown = s.metrics.Counter("helcfl_server_bytes_down_total", "Model payload bytes broadcast to users.")
+	s.mRejected = s.metrics.Counter("helcfl_server_rejected_uploads_total", "Uploads rejected as malformed or non-finite.")
+	s.mCkptWrites = s.metrics.Counter("helcfl_checkpoint_writes_total", "Durable snapshots written.")
+	s.mCkptErrors = s.metrics.Counter("helcfl_checkpoint_errors_total", "Snapshot writes that failed (state retried at the next boundary).")
+	s.mRestores = s.metrics.Counter("helcfl_checkpoint_restores_total", "Campaign restores from a snapshot.")
+	s.mWALAppends = s.metrics.Counter("helcfl_wal_records_total", "Upload records appended to the write-ahead log.")
+	s.mWALReplays = s.metrics.Counter("helcfl_wal_replayed_total", "Upload records re-applied from the write-ahead log during recovery.")
+	s.mRecoverySec = s.metrics.Gauge("helcfl_recovery_seconds", "Wall-clock duration of the last restore, including WAL replay.")
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/register", s.handleRegister)
 	s.mux.HandleFunc("/poll", s.handlePoll)
@@ -154,6 +180,14 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	s.mux.HandleFunc("/status", s.handleStatus)
 	obs.MountDebug(s.mux, s.metrics)
 	s.handler = Middleware(s.mux, cfg.Log, s.mReqs, s.mPanics)
+	if cfg.CheckpointDir != "" {
+		s.mu.Lock()
+		err := s.initDurabilityLocked()
+		s.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
@@ -163,14 +197,22 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.S
 // Metrics returns the registry backing the server's /metrics endpoint.
 func (s *Server) Metrics() *obs.Registry { return s.metrics }
 
-// Close stops the straggler-deadline timer. A closed server still answers
-// requests; Close only quiesces background work (call it from test cleanup
-// or alongside the HTTP listener shutdown).
+// Close quiesces the server: the straggler-deadline timer stops, the WAL
+// file handle closes, and protocol handlers begin answering 503 so retrying
+// clients fail over (or reconnect to the next incarnation). Call it from
+// test cleanup or alongside the HTTP listener shutdown; pair with
+// CheckpointNow first for a graceful handoff.
 func (s *Server) Close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.closed = true
 	s.stopTimerLocked()
+	if s.wal != nil {
+		if err := s.wal.Close(); err != nil {
+			s.logf("checkpoint: wal close: %v", err)
+		}
+		s.wal = nil
+	}
 }
 
 // Global returns a clone of the current global model (safe at any time).
@@ -204,6 +246,10 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		httpError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
 	if s.phase != PhaseRegistering {
 		// Idempotent re-registration: a device retrying after its original
 		// acknowledgement was lost must not be rejected — it is already part
@@ -284,6 +330,10 @@ func (s *Server) planRoundLocked() error {
 		s.cfg.Sink.OnRoundStart(obs.RoundStartEvent{Round: s.round})
 		s.cfg.Sink.OnSelection(obs.SelectionEvent{Round: s.round, Selected: sel, Freqs: freqs})
 	}
+	// Durable round boundary: the snapshot captures the post-PlanRound
+	// planner state together with the planned cohort, so a restart never
+	// re-runs PlanRound (which would double-apply the α decay).
+	s.checkpointLocked(true)
 	s.armDeadlineLocked()
 	return nil
 }
@@ -340,6 +390,10 @@ func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		httpError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
 	resp := PollResponse{Phase: s.phase, Round: s.round}
 	if s.phase == PhaseTraining {
 		if f, ok := s.selected[user]; ok {
@@ -361,6 +415,10 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		httpError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
 	if s.phase != PhaseTraining {
 		httpError(w, http.StatusConflict, "not training")
 		return
@@ -394,6 +452,10 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		httpError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
 	if s.phase != PhaseTraining {
 		httpError(w, http.StatusConflict, "not training")
 		return
@@ -413,13 +475,39 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
-	// Decode the payload through a scratch model to validate its shape.
+	// Decode the payload through a scratch model to validate its shape, then
+	// screen the parameters: one NaN or Inf smuggled into FedAvg would poison
+	// the global model for the whole fleet.
 	scratch := s.global.Clone()
 	if err := nn.LoadParamBytes(scratch, body); err != nil {
-		httpError(w, http.StatusBadRequest, "bad payload: %v", err)
+		code := http.StatusBadRequest // malformed framing
+		if errors.Is(err, nn.ErrShapeMismatch) {
+			code = http.StatusUnprocessableEntity // valid framing, wrong model
+		}
+		s.rejectUploadLocked(w, code, user, "bad payload: %v", err)
 		return
 	}
-	s.uploads[user] = scratch.GetFlatParams()
+	flat := scratch.GetFlatParams()
+	for i, v := range flat {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			s.rejectUploadLocked(w, http.StatusUnprocessableEntity, user, "non-finite parameter %d (%v)", i, v)
+			return
+		}
+	}
+	// Durably log the accepted upload BEFORE acknowledging it: a crash after
+	// the WAL fsync replays this exact payload, so the client's retry
+	// deduplicates instead of aggregating twice (at-most-once aggregation).
+	if s.wal != nil {
+		if err := s.wal.Append(checkpoint.Record{
+			Type: checkpoint.RecordUpload, Round: round, User: user, Payload: body,
+		}); err != nil {
+			s.logf("checkpoint: wal append user %d round %d: %v", user, round, err)
+			httpError(w, http.StatusInternalServerError, "durable log unavailable")
+			return
+		}
+		s.mWALAppends.Inc()
+	}
+	s.uploads[user] = flat
 	s.bytesUp += int64(len(body))
 	s.mUploads.Inc()
 	s.mBytesUp.Add(float64(len(body)))
@@ -427,6 +515,18 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		s.aggregateLocked()
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// rejectUploadLocked answers an invalid upload: the error status, the
+// rejection counter, and a dropout event (the user was selected but its
+// contribution is discarded). Caller holds mu.
+func (s *Server) rejectUploadLocked(w http.ResponseWriter, code, user int, format string, args ...interface{}) {
+	s.mRejected.Inc()
+	if s.cfg.Sink != nil {
+		s.cfg.Sink.OnDropout(obs.DropoutEvent{Round: s.round, User: user})
+	}
+	s.logf("upload rejected: user=%d round=%d: %s", user, s.round, fmt.Sprintf(format, args...))
+	httpError(w, code, format, args...)
 }
 
 // aggregateLocked runs FedAvg over the round's uploads — walked in planner
@@ -494,6 +594,7 @@ func (s *Server) finishLocked() {
 	s.selected = nil
 	s.uploads = nil
 	s.stopTimerLocked()
+	s.checkpointLocked(true)
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {

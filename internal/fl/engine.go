@@ -189,13 +189,52 @@ type Result struct {
 	HaltedByDeadFleet bool
 }
 
-// Run executes Algorithm 1: initialization, then iterative rounds of
-// selection, broadcast, parallel local updates, sequential TDMA uploads, and
-// FedAvg aggregation, with the deadline and convergence exits.
-func Run(cfg Config) (*Result, error) {
+// Engine executes Algorithm 1 one round at a time, exposing the campaign
+// state between rounds so a long-horizon run can be checkpointed
+// (Snapshot) and resumed elsewhere (RestoreEngine) without perturbing the
+// training trajectory. fl.Run wraps it for callers that want the whole
+// campaign in one call; both paths execute byte-identical mathematics.
+type Engine struct {
+	cfg     Config
+	rng     *rand.Rand
+	rngUsed uint64 // post-initialization Float64 draws (dropout sampling)
+
+	global    *nn.Sequential
+	modelBits float64
+	flatten   bool
+	clients   []*Client
+	evalEvery int
+
+	res           *Result
+	cumTime       float64
+	cumEnergy     float64
+	bestLoss      float64
+	sinceImproved int
+	spentJ        []float64
+
+	round    int  // next round to execute
+	stopped  bool // an exit condition fired
+	finished bool // OnRunEnd emitted
+}
+
+// NewEngine validates the configuration, runs the initialization phase of
+// Algorithm 1 (lines 1–2), and returns an engine positioned before round 0.
+func NewEngine(cfg Config) (*Engine, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	e, err := newEngineState(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.emitRunStart()
+	return e, nil
+}
+
+// newEngineState builds everything deterministic about an engine — model,
+// clients, RNG at its post-initialization position — without emitting
+// events. Shared by NewEngine and RestoreEngine.
+func newEngineState(cfg Config) (*Engine, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	global := cfg.Spec.Build(rng)
 	modelBits := nn.ModelBits(global)
@@ -219,282 +258,347 @@ func Run(cfg Config) (*Result, error) {
 	if evalEvery <= 0 {
 		evalEvery = 1
 	}
+	return &Engine{
+		cfg:       cfg,
+		rng:       rng,
+		global:    global,
+		modelBits: modelBits,
+		flatten:   flatten,
+		clients:   clients,
+		evalEvery: evalEvery,
+		res:       &Result{Scheme: cfg.Planner.Name(), ModelBits: modelBits},
+		bestLoss:  math.Inf(1),
+		spentJ:    make([]float64, len(cfg.Devices)),
+	}, nil
+}
 
-	res := &Result{Scheme: cfg.Planner.Name(), ModelBits: modelBits}
-	if cfg.Sink != nil {
-		cfg.Sink.OnRunStart(obs.RunStartEvent{
-			Scheme:    res.Scheme,
-			Users:     len(cfg.Devices),
-			MaxRounds: cfg.MaxRounds,
-			ModelBits: modelBits,
+func (e *Engine) emitRunStart() {
+	if e.cfg.Sink != nil {
+		e.cfg.Sink.OnRunStart(obs.RunStartEvent{
+			Scheme:    e.res.Scheme,
+			Users:     len(e.cfg.Devices),
+			MaxRounds: e.cfg.MaxRounds,
+			ModelBits: e.modelBits,
 		})
 	}
-	cumTime, cumEnergy := 0.0, 0.0
-	bestLoss := math.Inf(1)
-	sinceImproved := 0
-	spentJ := make([]float64, len(cfg.Devices))
-	alive := func(q int) bool {
-		return cfg.BatteryCapacityJ <= 0 || spentJ[q] < cfg.BatteryCapacityJ
+}
+
+// Round returns the index of the next round the engine would execute.
+func (e *Engine) Round() int { return e.round }
+
+// Done reports that no further round will execute (budget exhausted or an
+// exit condition fired).
+func (e *Engine) Done() bool { return e.stopped || e.round >= e.cfg.MaxRounds }
+
+// drawDropout samples the per-user upload-loss coin, counting the draw so
+// a snapshot can re-position the RNG stream exactly.
+func (e *Engine) drawDropout() float64 {
+	e.rngUsed++
+	return e.rng.Float64()
+}
+
+func (e *Engine) alive(q int) bool {
+	return e.cfg.BatteryCapacityJ <= 0 || e.spentJ[q] < e.cfg.BatteryCapacityJ
+}
+
+// Step executes the next training round of Algorithm 1: selection,
+// broadcast, parallel local updates, sequential TDMA uploads, and FedAvg
+// aggregation, with the deadline and convergence exits. It returns whether
+// a round was executed; false with a nil error means the campaign is done.
+func (e *Engine) Step() (bool, error) {
+	if e.Done() {
+		return false, nil
 	}
-
-	for j := 0; j < cfg.MaxRounds; j++ {
-		if cfg.Sink != nil {
-			cfg.Sink.OnRoundStart(obs.RoundStartEvent{Round: j})
-		}
-		selected, freqs := cfg.Planner.PlanRound(j)
-		if len(selected) == 0 {
-			return nil, fmt.Errorf("fl: planner %q selected no users in round %d", cfg.Planner.Name(), j)
-		}
-		if cfg.BatteryCapacityJ > 0 {
-			// Shut-down devices no longer respond to the broadcast; the
-			// FLCC proceeds with the survivors of the selection.
-			keptSel := selected[:0:len(selected)]
-			keptFreqs := freqs[:0:len(freqs)]
-			for i, q := range selected {
-				if alive(q) {
-					keptSel = append(keptSel, q)
-					keptFreqs = append(keptFreqs, freqs[i])
-				}
-			}
-			selected, freqs = keptSel, keptFreqs
-			if len(selected) == 0 {
-				// The planner's entire cohort is dead; training halts.
-				res.HaltedByDeadFleet = true
-				break
-			}
-		}
-		if cfg.Sink != nil {
-			ev := obs.SelectionEvent{Round: j, Selected: selected, Freqs: freqs}
-			if dd, ok := cfg.Planner.(DecisionDetailer); ok {
-				if util, alpha := dd.SelectionDetail(); util != nil && alpha != nil {
-					ev.Utilities = make([]float64, len(selected))
-					ev.Appearances = make([]int, len(selected))
-					for i, q := range selected {
-						ev.Utilities[i] = util[q]
-						ev.Appearances[i] = alpha[q]
-					}
-				}
-			}
-			cfg.Sink.OnSelection(ev)
-		}
-		selDevs := make([]*device.Device, len(selected))
+	cfg := &e.cfg
+	j := e.round
+	if cfg.Sink != nil {
+		cfg.Sink.OnRoundStart(obs.RoundStartEvent{Round: j})
+	}
+	selected, freqs := cfg.Planner.PlanRound(j)
+	if len(selected) == 0 {
+		return false, fmt.Errorf("fl: planner %q selected no users in round %d", cfg.Planner.Name(), j)
+	}
+	if cfg.BatteryCapacityJ > 0 {
+		// Shut-down devices no longer respond to the broadcast; the
+		// FLCC proceeds with the survivors of the selection.
+		keptSel := selected[:0:len(selected)]
+		keptFreqs := freqs[:0:len(freqs)]
 		for i, q := range selected {
-			selDevs[i] = cfg.Devices[q]
-		}
-		var gains []float64
-		if cfg.Gains != nil {
-			gains = make([]float64, len(selected))
-			for i, q := range selected {
-				gains[i] = cfg.Gains.Gain(j, q, cfg.Devices[q].ChannelGain)
+			if e.alive(q) {
+				keptSel = append(keptSel, q)
+				keptFreqs = append(keptFreqs, freqs[i])
 			}
 		}
-		round := sim.SimulateRoundGains(selDevs, freqs, cfg.Channel, modelBits, cfg.LocalSteps, gains)
-
-		// Parallel local updates (lines 6–9): clients are independent (own
-		// scratch model, shared read-only broadcast), so they train on a
-		// bounded worker pool. Results land at fixed indices, keeping the
-		// run bit-for-bit deterministic regardless of scheduling.
-		globalFlat := global.GetFlatParams()
-		if cfg.QuantizeBroadcast {
-			globalFlat = quantizeF32(globalFlat)
+		selected, freqs = keptSel, keptFreqs
+		if len(selected) == 0 {
+			// The planner's entire cohort is dead; training halts.
+			e.res.HaltedByDeadFleet = true
+			e.stopped = true
+			return false, nil
 		}
-		flats := make([][]float64, len(selected))
-		lossesByUser := make([]float64, len(selected))
-		var wallSec []float64
-		if cfg.Sink != nil {
-			wallSec = make([]float64, len(selected))
-		}
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-		for si, q := range selected {
-			wg.Add(1)
-			go func(si, q int) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				if wallSec != nil {
-					t0 := time.Now()
-					flats[si], lossesByUser[si] = clients[q].LocalUpdateProx(globalFlat, cfg.LR, cfg.LocalSteps, cfg.ProxMu)
-					wallSec[si] = time.Since(t0).Seconds()
-					return
+	}
+	if cfg.Sink != nil {
+		ev := obs.SelectionEvent{Round: j, Selected: selected, Freqs: freqs}
+		if dd, ok := cfg.Planner.(DecisionDetailer); ok {
+			if util, alpha := dd.SelectionDetail(); util != nil && alpha != nil {
+				ev.Utilities = make([]float64, len(selected))
+				ev.Appearances = make([]int, len(selected))
+				for i, q := range selected {
+					ev.Utilities[i] = util[q]
+					ev.Appearances[i] = alpha[q]
 				}
-				flats[si], lossesByUser[si] = clients[q].LocalUpdateProx(globalFlat, cfg.LR, cfg.LocalSteps, cfg.ProxMu)
-			}(si, q)
-		}
-		wg.Wait()
-
-		if cfg.Sink != nil {
-			// The realized frequency outcome and per-user spans. round.Users
-			// is in TDMA transmission order with User = device ID (== fleet
-			// index, the same identification the battery accounting uses).
-			cfg.Sink.OnFrequency(obs.FrequencyEvent{
-				Round: j, Users: selected, Freqs: freqs, SlackSec: round.TotalSlack,
-			})
-			siOf := make(map[int]int, len(selected))
-			for i, q := range selected {
-				siOf[q] = i
-			}
-			for _, u := range round.Users {
-				si, ok := siOf[u.User]
-				if !ok {
-					continue
-				}
-				cfg.Sink.OnLocalUpdate(obs.LocalUpdateEvent{
-					Round: j, User: u.User,
-					FreqHz: u.Freq, SimSec: u.ComputeDelay, EnergyJ: u.ComputeEnergy,
-					WallSec: wallSec[si], Loss: lossesByUser[si],
-				})
-				cfg.Sink.OnUpload(obs.UploadEvent{
-					Round: j, User: u.User,
-					SimSec: u.UploadDelay, EnergyJ: u.UploadEnergy,
-					StartSec: u.UploadStart, EndSec: u.UploadEnd, WaitSec: u.Wait,
-				})
 			}
 		}
+		cfg.Sink.OnSelection(ev)
+	}
+	selDevs := make([]*device.Device, len(selected))
+	for i, q := range selected {
+		selDevs[i] = cfg.Devices[q]
+	}
+	var gains []float64
+	if cfg.Gains != nil {
+		gains = make([]float64, len(selected))
+		for i, q := range selected {
+			gains[i] = cfg.Gains.Gain(j, q, cfg.Devices[q].ChannelGain)
+		}
+	}
+	round := sim.SimulateRoundGains(selDevs, freqs, cfg.Channel, e.modelBits, cfg.LocalSteps, gains)
 
-		// Sequential post-processing and FedAvg (line 10).
-		uploads := make([][]float64, 0, len(selected))
-		weights := make([]int, 0, len(selected))
-		lossSum := 0.0
-		failed := 0
-		for si, q := range selected {
-			flat := flats[si]
-			lossSum += lossesByUser[si]
-			if cfg.DropoutProb > 0 && rng.Float64() < cfg.DropoutProb {
-				// The user computed and transmitted, but the FLCC never
-				// receives a usable model; costs are already accounted in
-				// the round simulation.
-				failed++
-				if cfg.Sink != nil {
-					cfg.Sink.OnDropout(obs.DropoutEvent{Round: j, User: q})
-				}
+	// Parallel local updates (lines 6–9): clients are independent (own
+	// scratch model, shared read-only broadcast), so they train on a
+	// bounded worker pool. Results land at fixed indices, keeping the
+	// run bit-for-bit deterministic regardless of scheduling.
+	globalFlat := e.global.GetFlatParams()
+	if cfg.QuantizeBroadcast {
+		globalFlat = quantizeF32(globalFlat)
+	}
+	flats := make([][]float64, len(selected))
+	lossesByUser := make([]float64, len(selected))
+	var wallSec []float64
+	if cfg.Sink != nil {
+		wallSec = make([]float64, len(selected))
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for si, q := range selected {
+		wg.Add(1)
+		go func(si, q int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if wallSec != nil {
+				t0 := time.Now()
+				flats[si], lossesByUser[si] = e.clients[q].LocalUpdateProx(globalFlat, cfg.LR, cfg.LocalSteps, cfg.ProxMu)
+				wallSec[si] = time.Since(t0).Seconds()
+				return
+			}
+			flats[si], lossesByUser[si] = e.clients[q].LocalUpdateProx(globalFlat, cfg.LR, cfg.LocalSteps, cfg.ProxMu)
+		}(si, q)
+	}
+	wg.Wait()
+
+	if cfg.Sink != nil {
+		// The realized frequency outcome and per-user spans. round.Users
+		// is in TDMA transmission order with User = device ID (== fleet
+		// index, the same identification the battery accounting uses).
+		cfg.Sink.OnFrequency(obs.FrequencyEvent{
+			Round: j, Users: selected, Freqs: freqs, SlackSec: round.TotalSlack,
+		})
+		siOf := make(map[int]int, len(selected))
+		for i, q := range selected {
+			siOf[q] = i
+		}
+		for _, u := range round.Users {
+			si, ok := siOf[u.User]
+			if !ok {
 				continue
 			}
-			if cfg.Compressor != nil {
-				// Compression operates on the model update Δ = θ_q − θ_G
-				// (the standard practice for sparsification/quantization:
-				// deltas concentrate energy in few coordinates, raw weights
-				// do not). The server reconstructs θ_G + C(Δ).
-				delta := make([]float64, len(flat))
-				for j := range flat {
-					delta[j] = flat[j] - globalFlat[j]
-				}
-				delta = cfg.Compressor.Apply(delta)
-				for j := range flat {
-					flat[j] = globalFlat[j] + delta[j]
-				}
-			}
-			if cfg.QuantizeUploads {
-				flat = quantizeF32(flat)
-			}
-			uploads = append(uploads, flat)
-			weights = append(weights, cfg.UserData[q].N())
-		}
-		if len(uploads) > 0 {
-			global.SetFlatParams(FedAvg(uploads, weights))
-			if cfg.Sink != nil {
-				cfg.Sink.OnAggregate(obs.AggregateEvent{
-					Round: j, Uploads: len(uploads), Failed: failed,
-					TrainLoss: lossSum / float64(len(selected)),
-				})
-			}
-		}
-		if obs, ok := cfg.Planner.(Observer); ok {
-			obs.ObserveRound(j, selected, lossesByUser)
-		}
-
-		cumTime += round.Makespan
-		cumEnergy += round.TotalEnergy
-		aliveCount := len(cfg.Devices)
-		if cfg.BatteryCapacityJ > 0 {
-			for _, u := range round.Users {
-				wasAlive := alive(u.User)
-				spentJ[u.User] += u.ComputeEnergy + u.UploadEnergy
-				if cfg.Sink != nil && wasAlive && !alive(u.User) {
-					cfg.Sink.OnBattery(obs.BatteryEvent{Round: j, User: u.User, SpentJ: spentJ[u.User]})
-				}
-			}
-			aliveCount = 0
-			for q := range cfg.Devices {
-				if alive(q) {
-					aliveCount++
-				}
-			}
-		}
-		rec := RoundRecord{
-			Round:         j,
-			Selected:      selected,
-			Freqs:         freqs,
-			Delay:         round.Makespan,
-			Energy:        round.TotalEnergy,
-			ComputeEnergy: round.ComputeEnergy,
-			UploadEnergy:  round.UploadEnergy,
-			Slack:         round.TotalSlack,
-			CumTime:       cumTime,
-			CumEnergy:     cumEnergy,
-			TrainLoss:     lossSum / float64(len(selected)),
-			Failed:        failed,
-			AliveDevices:  aliveCount,
-		}
-
-		lastRound := j == cfg.MaxRounds-1
-		deadlineHit := cfg.DeadlineSec > 0 && cumTime >= cfg.DeadlineSec
-		if j%evalEvery == 0 || lastRound || deadlineHit {
-			tl, ta := Evaluate(global, cfg.Test, flatten)
-			rec.Evaluated = true
-			rec.TestLoss, rec.TestAccuracy = tl, ta
-			if ta > res.BestAccuracy {
-				res.BestAccuracy = ta
-			}
-			res.FinalAccuracy = ta
-			if cfg.TargetAccuracy > 0 && ta >= cfg.TargetAccuracy {
-				res.ReachedTarget = true
-			}
-			if cfg.ConvergePatience > 0 {
-				if tl < bestLoss-cfg.ConvergeDelta {
-					bestLoss = tl
-					sinceImproved = 0
-				} else {
-					sinceImproved++
-					if sinceImproved >= cfg.ConvergePatience {
-						res.Converged = true
-					}
-				}
-			}
-		}
-		if cfg.Sink != nil {
-			cfg.Sink.OnRoundEnd(obs.RoundEndEvent{
-				Round: rec.Round, Selected: rec.Selected,
-				Failed: rec.Failed, Alive: rec.AliveDevices,
-				DelaySec: rec.Delay, EnergyJ: rec.Energy,
-				ComputeJ: rec.ComputeEnergy, UploadJ: rec.UploadEnergy,
-				SlackSec: rec.Slack, CumTimeSec: rec.CumTime, CumEnergyJ: rec.CumEnergy,
-				TrainLoss: rec.TrainLoss, Evaluated: rec.Evaluated,
-				TestLoss: rec.TestLoss, TestAccuracy: rec.TestAccuracy,
+			cfg.Sink.OnLocalUpdate(obs.LocalUpdateEvent{
+				Round: j, User: u.User,
+				FreqHz: u.Freq, SimSec: u.ComputeDelay, EnergyJ: u.ComputeEnergy,
+				WallSec: wallSec[si], Loss: lossesByUser[si],
+			})
+			cfg.Sink.OnUpload(obs.UploadEvent{
+				Round: j, User: u.User,
+				SimSec: u.UploadDelay, EnergyJ: u.UploadEnergy,
+				StartSec: u.UploadStart, EndSec: u.UploadEnd, WaitSec: u.Wait,
 			})
 		}
-		res.Records = append(res.Records, rec)
-		if deadlineHit {
-			res.StoppedByDeadline = true
-			break
+	}
+
+	// Sequential post-processing and FedAvg (line 10).
+	uploads := make([][]float64, 0, len(selected))
+	weights := make([]int, 0, len(selected))
+	lossSum := 0.0
+	failed := 0
+	for si, q := range selected {
+		flat := flats[si]
+		lossSum += lossesByUser[si]
+		if cfg.DropoutProb > 0 && e.drawDropout() < cfg.DropoutProb {
+			// The user computed and transmitted, but the FLCC never
+			// receives a usable model; costs are already accounted in
+			// the round simulation.
+			failed++
+			if cfg.Sink != nil {
+				cfg.Sink.OnDropout(obs.DropoutEvent{Round: j, User: q})
+			}
+			continue
 		}
-		if res.ReachedTarget || res.Converged {
-			break
+		if cfg.Compressor != nil {
+			// Compression operates on the model update Δ = θ_q − θ_G
+			// (the standard practice for sparsification/quantization:
+			// deltas concentrate energy in few coordinates, raw weights
+			// do not). The server reconstructs θ_G + C(Δ).
+			delta := make([]float64, len(flat))
+			for j := range flat {
+				delta[j] = flat[j] - globalFlat[j]
+			}
+			delta = cfg.Compressor.Apply(delta)
+			for j := range flat {
+				flat[j] = globalFlat[j] + delta[j]
+			}
+		}
+		if cfg.QuantizeUploads {
+			flat = quantizeF32(flat)
+		}
+		uploads = append(uploads, flat)
+		weights = append(weights, cfg.UserData[q].N())
+	}
+	if len(uploads) > 0 {
+		e.global.SetFlatParams(FedAvg(uploads, weights))
+		if cfg.Sink != nil {
+			cfg.Sink.OnAggregate(obs.AggregateEvent{
+				Round: j, Uploads: len(uploads), Failed: failed,
+				TrainLoss: lossSum / float64(len(selected)),
+			})
 		}
 	}
-	res.Model = global
-	res.TotalTime = cumTime
-	res.TotalEnergy = cumEnergy
+	if obs, ok := cfg.Planner.(Observer); ok {
+		obs.ObserveRound(j, selected, lossesByUser)
+	}
+
+	e.cumTime += round.Makespan
+	e.cumEnergy += round.TotalEnergy
+	aliveCount := len(cfg.Devices)
+	if cfg.BatteryCapacityJ > 0 {
+		for _, u := range round.Users {
+			wasAlive := e.alive(u.User)
+			e.spentJ[u.User] += u.ComputeEnergy + u.UploadEnergy
+			if cfg.Sink != nil && wasAlive && !e.alive(u.User) {
+				cfg.Sink.OnBattery(obs.BatteryEvent{Round: j, User: u.User, SpentJ: e.spentJ[u.User]})
+			}
+		}
+		aliveCount = 0
+		for q := range cfg.Devices {
+			if e.alive(q) {
+				aliveCount++
+			}
+		}
+	}
+	rec := RoundRecord{
+		Round:         j,
+		Selected:      selected,
+		Freqs:         freqs,
+		Delay:         round.Makespan,
+		Energy:        round.TotalEnergy,
+		ComputeEnergy: round.ComputeEnergy,
+		UploadEnergy:  round.UploadEnergy,
+		Slack:         round.TotalSlack,
+		CumTime:       e.cumTime,
+		CumEnergy:     e.cumEnergy,
+		TrainLoss:     lossSum / float64(len(selected)),
+		Failed:        failed,
+		AliveDevices:  aliveCount,
+	}
+
+	lastRound := j == cfg.MaxRounds-1
+	deadlineHit := cfg.DeadlineSec > 0 && e.cumTime >= cfg.DeadlineSec
+	if j%e.evalEvery == 0 || lastRound || deadlineHit {
+		tl, ta := Evaluate(e.global, cfg.Test, e.flatten)
+		rec.Evaluated = true
+		rec.TestLoss, rec.TestAccuracy = tl, ta
+		if ta > e.res.BestAccuracy {
+			e.res.BestAccuracy = ta
+		}
+		e.res.FinalAccuracy = ta
+		if cfg.TargetAccuracy > 0 && ta >= cfg.TargetAccuracy {
+			e.res.ReachedTarget = true
+		}
+		if cfg.ConvergePatience > 0 {
+			if tl < e.bestLoss-cfg.ConvergeDelta {
+				e.bestLoss = tl
+				e.sinceImproved = 0
+			} else {
+				e.sinceImproved++
+				if e.sinceImproved >= cfg.ConvergePatience {
+					e.res.Converged = true
+				}
+			}
+		}
+	}
 	if cfg.Sink != nil {
-		cfg.Sink.OnRunEnd(obs.RunEndEvent{
-			Scheme: res.Scheme, Rounds: len(res.Records),
-			TotalTimeSec: res.TotalTime, TotalEnergyJ: res.TotalEnergy,
-			FinalAccuracy: res.FinalAccuracy, BestAccuracy: res.BestAccuracy,
-			StoppedByDeadline: res.StoppedByDeadline, ReachedTarget: res.ReachedTarget,
-			Converged: res.Converged, HaltedByDeadFleet: res.HaltedByDeadFleet,
+		cfg.Sink.OnRoundEnd(obs.RoundEndEvent{
+			Round: rec.Round, Selected: rec.Selected,
+			Failed: rec.Failed, Alive: rec.AliveDevices,
+			DelaySec: rec.Delay, EnergyJ: rec.Energy,
+			ComputeJ: rec.ComputeEnergy, UploadJ: rec.UploadEnergy,
+			SlackSec: rec.Slack, CumTimeSec: rec.CumTime, CumEnergyJ: rec.CumEnergy,
+			TrainLoss: rec.TrainLoss, Evaluated: rec.Evaluated,
+			TestLoss: rec.TestLoss, TestAccuracy: rec.TestAccuracy,
 		})
 	}
-	return res, nil
+	e.res.Records = append(e.res.Records, rec)
+	if deadlineHit {
+		e.res.StoppedByDeadline = true
+		e.stopped = true
+	}
+	if e.res.ReachedTarget || e.res.Converged {
+		e.stopped = true
+	}
+	e.round++
+	return true, nil
+}
+
+// Result finalizes and returns the run: totals are rolled up and, on the
+// first call after the campaign finished, the RunEnd event fires. Calling
+// it mid-campaign returns the in-progress result (no RunEnd).
+func (e *Engine) Result() *Result {
+	e.res.Model = e.global
+	e.res.TotalTime = e.cumTime
+	e.res.TotalEnergy = e.cumEnergy
+	if e.Done() && !e.finished {
+		e.finished = true
+		if e.cfg.Sink != nil {
+			e.cfg.Sink.OnRunEnd(obs.RunEndEvent{
+				Scheme: e.res.Scheme, Rounds: len(e.res.Records),
+				TotalTimeSec: e.res.TotalTime, TotalEnergyJ: e.res.TotalEnergy,
+				FinalAccuracy: e.res.FinalAccuracy, BestAccuracy: e.res.BestAccuracy,
+				StoppedByDeadline: e.res.StoppedByDeadline, ReachedTarget: e.res.ReachedTarget,
+				Converged: e.res.Converged, HaltedByDeadFleet: e.res.HaltedByDeadFleet,
+			})
+		}
+	}
+	return e.res
+}
+
+// Run executes Algorithm 1: initialization, then iterative rounds of
+// selection, broadcast, parallel local updates, sequential TDMA uploads, and
+// FedAvg aggregation, with the deadline and convergence exits.
+func Run(cfg Config) (*Result, error) {
+	e, err := NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		ok, err := e.Step()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+	}
+	return e.Result(), nil
 }
 
 // quantizeF32 round-trips a parameter vector through float32, the upload

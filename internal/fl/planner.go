@@ -42,6 +42,20 @@ type DecisionDetailer interface {
 	SelectionDetail() (utilities []float64, appearances []int)
 }
 
+// StatefulPlanner is an optional Planner extension for checkpoint/resume:
+// planners whose decisions depend on cross-round mutable state (the HELCFL
+// α_q decay counters, loss-feedback memory) expose it as an opaque blob so
+// an engine snapshot can restore the exact selection sequence. Stateless
+// planners (FedCS, fixed policies) need not implement it.
+type StatefulPlanner interface {
+	Planner
+	// ExportState serializes the planner's cross-round mutable state.
+	ExportState() ([]byte, error)
+	// ImportState restores a previously exported state into a freshly
+	// constructed planner of the same kind and fleet.
+	ImportState([]byte) error
+}
+
 // Composed glues an independent selection strategy and frequency policy
 // into a Planner; most baselines are expressed this way.
 type Composed struct {

@@ -3,9 +3,16 @@ package nn
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 )
+
+// ErrShapeMismatch reports a structurally valid parameter payload whose
+// declared parameter count does not fit the receiving model — a protocol
+// violation distinct from a malformed payload, so servers can answer it
+// with 422 rather than 400.
+var ErrShapeMismatch = errors.New("nn: payload shape mismatch")
 
 // Parameter serialization defines the FL upload payload. The wire format is
 // what a real deployment would send: a magic header, the parameter count,
@@ -43,7 +50,7 @@ func LoadParamBytes(m *Sequential, payload []byte) error {
 	}
 	n := int(binary.LittleEndian.Uint32(payload[4:8]))
 	if n != m.NumParams() {
-		return fmt.Errorf("nn: payload has %d params, model has %d", n, m.NumParams())
+		return fmt.Errorf("%w: payload has %d params, model has %d", ErrShapeMismatch, n, m.NumParams())
 	}
 	if len(payload) != 8+4*n {
 		return fmt.Errorf("nn: payload length %d, want %d", len(payload), 8+4*n)

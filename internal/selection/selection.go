@@ -13,6 +13,8 @@
 package selection
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"math"
 	"math/rand"
@@ -230,6 +232,20 @@ func (h *HELCFLPlanner) PlanRound(j int) ([]int, []float64) {
 // and reports).
 func (h *HELCFLPlanner) Scheduler() *core.Scheduler { return h.sched }
 
+// ExportState implements fl.StatefulPlanner: the Algorithm 2 decay state.
+func (h *HELCFLPlanner) ExportState() ([]byte, error) {
+	return gobEncode(h.sched.ExportState())
+}
+
+// ImportState implements fl.StatefulPlanner.
+func (h *HELCFLPlanner) ImportState(raw []byte) error {
+	var st core.SchedulerState
+	if err := gobDecode(raw, &st); err != nil {
+		return err
+	}
+	return h.sched.ImportState(st)
+}
+
 // SelectionDetail implements fl.DecisionDetailer: the Eq. (20) utilities of
 // the last planned round and the α_q decay counters.
 func (h *HELCFLPlanner) SelectionDetail() ([]float64, []int) {
@@ -283,4 +299,34 @@ func (h *HELCFLLossAware) ObserveRound(j int, selected []int, losses []float64) 
 // utilities.
 func (h *HELCFLLossAware) SelectionDetail() ([]float64, []int) {
 	return h.sched.LastUtilities(), h.sched.Appearances()
+}
+
+// ExportState implements fl.StatefulPlanner: decay state plus loss memory.
+func (h *HELCFLLossAware) ExportState() ([]byte, error) {
+	return gobEncode(h.sched.ExportState())
+}
+
+// ImportState implements fl.StatefulPlanner.
+func (h *HELCFLLossAware) ImportState(raw []byte) error {
+	var st core.LossAwareState
+	if err := gobDecode(raw, &st); err != nil {
+		return err
+	}
+	return h.sched.ImportState(st)
+}
+
+// gobEncode/gobDecode are the planner-state wire helpers.
+func gobEncode(v interface{}) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("selection: encode planner state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func gobDecode(raw []byte, v interface{}) error {
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(v); err != nil {
+		return fmt.Errorf("selection: decode planner state: %w", err)
+	}
+	return nil
 }
