@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race chaos recover fmt vet check
+.PHONY: build test race chaos recover fmt vet lint check
 
 build:
 	$(GO) build ./...
@@ -23,9 +23,16 @@ recover:
 	$(GO) test -race -tags chaos -run 'Recover' ./internal/deploy/ -v
 
 fmt:
-	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+	@out=$$(gofmt -s -l .); if [ -n "$$out" ]; then echo "gofmt -s needed:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
 
-check: build vet fmt race
+# In-tree static analysis (internal/lint): determinism, map-order,
+# float-comparison, durability, and context-flow invariants. Exit is
+# nonzero on any finding not covered by a justified //helcfl:allow.
+# See docs/STATIC_ANALYSIS.md.
+lint:
+	$(GO) run ./cmd/helcfl-lint ./...
+
+check: build vet fmt lint race

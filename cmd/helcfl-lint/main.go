@@ -1,0 +1,90 @@
+// Command helcfl-lint runs the in-tree static-analysis suite
+// (internal/lint) over the module: the determinism, map-order,
+// float-comparison, durability, and context-flow invariants the repo's
+// bit-identity and crash-recovery guarantees rest on.
+//
+// Usage:
+//
+//	helcfl-lint [-show-suppressed] [-list] [./...]
+//
+// The only supported pattern is the whole module (./..., the default); the
+// tool walks up from the working directory to go.mod and lints every
+// package. Exit status: 0 clean, 1 findings, 2 load failure. Suppress a
+// finding with a justified directive on or directly above the offending
+// line:
+//
+//	//helcfl:allow(rule) reason
+//
+// See docs/STATIC_ANALYSIS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"helcfl/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("helcfl-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	showSuppressed := fs.Bool("show-suppressed", false, "also print findings silenced by //helcfl:allow directives, with their reasons")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	dir := fs.String("C", ".", "change to this directory before resolving the module")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	for _, pat := range fs.Args() {
+		if pat != "./..." {
+			fmt.Fprintf(stderr, "helcfl-lint: unsupported pattern %q (only ./... is supported)\n", pat)
+			return 2
+		}
+	}
+
+	root, err := lint.FindModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "helcfl-lint: %v\n", err)
+		return 2
+	}
+	pkgs, err := lint.NewLoader().LoadModule(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "helcfl-lint: %v\n", err)
+		return 2
+	}
+	findings := lint.Run(pkgs, lint.Analyzers())
+	failed := false
+	suppressed := 0
+	for _, f := range findings {
+		if f.Suppressed {
+			suppressed++
+			if *showSuppressed {
+				fmt.Fprintln(stdout, f)
+			}
+			continue
+		}
+		failed = true
+		fmt.Fprintln(stdout, f)
+	}
+	if failed {
+		fmt.Fprintf(stderr, "helcfl-lint: findings in %d package(s); fix them or annotate with //helcfl:allow(rule) reason\n", len(pkgs))
+		return 1
+	}
+	if *showSuppressed || suppressed > 0 {
+		fmt.Fprintf(stderr, "helcfl-lint: ok (%d package(s), %d suppressed finding(s))\n", len(pkgs), suppressed)
+	} else {
+		fmt.Fprintf(stderr, "helcfl-lint: ok (%d package(s))\n", len(pkgs))
+	}
+	return 0
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRealModuleClean runs the driver the way `make lint` does — over the
+// real repository — and requires a clean exit: zero unsuppressed findings
+// across every package in the module.
+func TestRealModuleClean(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("helcfl-lint ./... over the real module exited %d\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "helcfl-lint: ok") {
+		t.Errorf("missing ok summary in stderr: %q", stderr.String())
+	}
+}
+
+// TestSeededViolationFails pins the acceptance check from the issue: a
+// module whose internal/fl contains a deliberate time.Now() must fail the
+// lint with a nondeterminism finding.
+func TestSeededViolationFails(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-C", "testdata/badmodule", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code %d over testdata/badmodule, want 1\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "nondeterminism: time.Now reads the wall clock in deterministic package helcfl/internal/fl") {
+		t.Errorf("missing nondeterminism finding in stdout: %q", stdout.String())
+	}
+}
+
+// TestListAnalyzers and TestBadPattern cover the driver's small CLI surface.
+func TestListAnalyzers(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, name := range []string{"nondeterminism", "maporder", "floatcompare", "durability", "ctxflow"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", name, stdout.String())
+		}
+	}
+}
+
+func TestBadPattern(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"helcfl/internal/fl"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unsupported pattern exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unsupported pattern") {
+		t.Errorf("missing diagnostic in stderr: %q", stderr.String())
+	}
+}

@@ -1,0 +1,10 @@
+// Fixture module for the driver test: a deliberate wall-clock read in the
+// deterministic package helcfl/internal/fl must make helcfl-lint exit 1.
+package fl
+
+import "time"
+
+// RoundStart leaks the wall clock into the deterministic core.
+func RoundStart() int64 {
+	return time.Now().UnixNano()
+}

@@ -90,7 +90,7 @@ func WriteFile(path string, payload []byte) error {
 		return fmt.Errorf("checkpoint: create temp: %w", err)
 	}
 	tmpName := tmp.Name()
-	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	cleanup := func() { _ = tmp.Close(); _ = os.Remove(tmpName) }
 	if _, err := tmp.Write(EncodeSnapshot(payload)); err != nil {
 		cleanup()
 		return fmt.Errorf("checkpoint: write temp: %w", err)
@@ -132,7 +132,7 @@ func syncDir(dir string) error {
 	if err != nil {
 		return nil
 	}
-	defer d.Close()
+	defer d.Close() //helcfl:allow(durability) read-only directory handle; closing it cannot lose data
 	_ = d.Sync()
 	return nil
 }

@@ -82,18 +82,18 @@ func OpenWAL(path string) (*WAL, []Record, error) {
 	w := &WAL{path: path, f: f}
 	if len(raw) == 0 {
 		if err := w.writeHeader(); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, nil, err
 		}
 		return w, nil, nil
 	}
 	// Drop a torn tail so the next append starts on a record boundary.
 	if err := f.Truncate(int64(intact)); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, nil, fmt.Errorf("checkpoint: truncate torn wal tail: %w", err)
 	}
 	if _, err := f.Seek(int64(intact), io.SeekStart); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, nil, fmt.Errorf("checkpoint: seek wal: %w", err)
 	}
 	return w, records, nil

@@ -197,10 +197,13 @@ type httpResult struct {
 
 // do issues the request built by build, retrying transient failures
 // (transport errors, per-attempt timeouts, 5xx) up to MaxRetries times with
-// jittered exponential backoff. build is called per attempt so request
-// bodies are fresh. Context cancellation aborts immediately with ctx.Err();
-// exhausting the retry budget returns an error wrapping ErrUnavailable.
-func (c *Client) do(ctx context.Context, what string, build func() (*http.Request, error)) (*httpResult, error) {
+// jittered exponential backoff. build is called per attempt — so request
+// bodies are fresh — with the attempt's own context (the caller's ctx,
+// bounded by RequestTimeout when set), which it must attach via
+// http.NewRequestWithContext. Context cancellation aborts immediately with
+// ctx.Err(); exhausting the retry budget returns an error wrapping
+// ErrUnavailable.
+func (c *Client) do(ctx context.Context, what string, build func(ctx context.Context) (*http.Request, error)) (*httpResult, error) {
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
@@ -208,16 +211,17 @@ func (c *Client) do(ctx context.Context, what string, build func() (*http.Reques
 				return nil, err
 			}
 		}
-		req, err := build()
-		if err != nil {
-			return nil, err
-		}
 		attemptCtx := ctx
 		cancel := context.CancelFunc(func() {})
 		if c.cfg.RequestTimeout > 0 {
 			attemptCtx, cancel = context.WithTimeout(ctx, c.cfg.RequestTimeout)
 		}
-		resp, err := c.cfg.HTTPClient.Do(req.WithContext(attemptCtx))
+		req, err := build(attemptCtx)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		resp, err := c.cfg.HTTPClient.Do(req)
 		if err != nil {
 			cancel()
 			if ctx.Err() != nil {
@@ -227,7 +231,7 @@ func (c *Client) do(ctx context.Context, what string, build func() (*http.Reques
 			continue
 		}
 		body, readErr := io.ReadAll(resp.Body)
-		resp.Body.Close()
+		_ = resp.Body.Close()
 		cancel()
 		if readErr != nil {
 			if ctx.Err() != nil {
@@ -270,8 +274,8 @@ func (c *Client) register(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	res, err := c.do(ctx, "register", func() (*http.Request, error) {
-		req, err := http.NewRequest(http.MethodPost, c.cfg.BaseURL+"/register", bytes.NewReader(payload))
+	res, err := c.do(ctx, "register", func(ctx context.Context) (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+"/register", bytes.NewReader(payload))
 		if err != nil {
 			return nil, err
 		}
@@ -289,8 +293,8 @@ func (c *Client) register(ctx context.Context) error {
 
 func (c *Client) poll(ctx context.Context) (*PollResponse, error) {
 	url := fmt.Sprintf("%s/poll?user=%d", c.cfg.BaseURL, c.cfg.Info.User)
-	res, err := c.do(ctx, "poll", func() (*http.Request, error) {
-		return http.NewRequest(http.MethodGet, url, nil)
+	res, err := c.do(ctx, "poll", func(ctx context.Context) (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	})
 	if err != nil {
 		return nil, err
@@ -309,8 +313,8 @@ func (c *Client) poll(ctx context.Context) (*PollResponse, error) {
 // and uploads the result. freqHz is the FLCC-assigned DVFS frequency.
 func (c *Client) trainRound(ctx context.Context, round int, freqHz float64) error {
 	modelURL := fmt.Sprintf("%s/model?round=%d", c.cfg.BaseURL, round)
-	res, err := c.do(ctx, "model fetch", func() (*http.Request, error) {
-		return http.NewRequest(http.MethodGet, modelURL, nil)
+	res, err := c.do(ctx, "model fetch", func(ctx context.Context) (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, modelURL, nil)
 	})
 	if err != nil {
 		return err
@@ -353,8 +357,8 @@ func (c *Client) trainRound(ctx context.Context, round int, freqHz float64) erro
 
 	payload := nn.ParamBytes(c.model)
 	uploadURL := fmt.Sprintf("%s/upload?user=%d&round=%d", c.cfg.BaseURL, c.cfg.Info.User, round)
-	up, err := c.do(ctx, "upload", func() (*http.Request, error) {
-		req, err := http.NewRequest(http.MethodPost, uploadURL, bytes.NewReader(payload))
+	up, err := c.do(ctx, "upload", func(ctx context.Context) (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, uploadURL, bytes.NewReader(payload))
 		if err != nil {
 			return nil, err
 		}

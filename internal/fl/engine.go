@@ -387,9 +387,12 @@ func (e *Engine) Step() (bool, error) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			if wallSec != nil {
-				t0 := time.Now()
+				// Wall-clock span for obs telemetry only: it never feeds a
+				// decision, a record, or the model, so replay determinism
+				// holds (the conformance tests pin this).
+				t0 := time.Now() //helcfl:allow(nondeterminism) telemetry-only span; no control-flow or model effect
 				flats[si], lossesByUser[si] = e.clients[q].LocalUpdateProx(globalFlat, cfg.LR, cfg.LocalSteps, cfg.ProxMu)
-				wallSec[si] = time.Since(t0).Seconds()
+				wallSec[si] = time.Since(t0).Seconds() //helcfl:allow(nondeterminism) telemetry-only span; no control-flow or model effect
 				return
 			}
 			flats[si], lossesByUser[si] = e.clients[q].LocalUpdateProx(globalFlat, cfg.LR, cfg.LocalSteps, cfg.ProxMu)

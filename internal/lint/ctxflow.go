@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CtxFlow keeps the deployment layer cancellable: every HTTP request must
+// carry a caller's context (http.NewRequestWithContext, never
+// http.NewRequest or the http.Get/Post/PostForm/Head conveniences), and
+// waits must race a context — time.Sleep is banned, and time.After is legal
+// only inside a select that also receives from a Done() channel. A
+// context-free request or sleep survives shutdown and deadlines, which is
+// exactly how graceful drain and per-request timeouts rot.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "require context propagation for HTTP requests and waits in deploy code",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(p *Pass) {
+	if !IsContextScoped(p.Path) {
+		return
+	}
+	for _, f := range p.Files {
+		guarded := ctxGuardedSelects(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn := pkgFunc(p, sel)
+			if fn == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "net/http":
+				switch fn.Name() {
+				case "Get", "Post", "PostForm", "Head":
+					p.Reportf(sel.Pos(), "http.%s has no context; build the request with http.NewRequestWithContext", fn.Name())
+				case "NewRequest":
+					p.Reportf(sel.Pos(), "http.NewRequest drops the caller's context; use http.NewRequestWithContext")
+				}
+			case "time":
+				switch fn.Name() {
+				case "Sleep":
+					p.Reportf(sel.Pos(), "time.Sleep cannot be cancelled; select on a timer against ctx.Done()")
+				case "After":
+					if !insideSpan(guarded, sel.Pos()) {
+						p.Reportf(sel.Pos(), "time.After outside a select that also receives ctx.Done(); the wait would survive cancellation")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// ctxGuardedSelects returns the source spans of every select statement that
+// has a case receiving from a Done() channel.
+func ctxGuardedSelects(f *ast.File) [][2]token.Pos {
+	var spans [][2]token.Pos
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, clause := range sel.Body.List {
+			comm, ok := clause.(*ast.CommClause)
+			if !ok || comm.Comm == nil {
+				continue
+			}
+			if commReceivesDone(comm.Comm) {
+				spans = append(spans, [2]token.Pos{sel.Pos(), sel.End()})
+				break
+			}
+		}
+		return true
+	})
+	return spans
+}
+
+// commReceivesDone reports whether stmt receives from a channel expression
+// containing a .Done() call (ctx.Done() and equivalents).
+func commReceivesDone(stmt ast.Stmt) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" && len(call.Args) == 0 {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

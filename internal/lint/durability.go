@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Durability enforces the fsync discipline in the persistence packages
+// (policy.DurabilityPackages), where "the write returned nil" must mean
+// "the bytes survive a crash":
+//
+//   - a function that calls os.Rename must also fsync in that function
+//     (write temp → Sync → Close → Rename → sync dir, as
+//     checkpoint.WriteFile does);
+//   - a function that writes an *os.File and closes it must Sync before
+//     relying on Close;
+//   - os.WriteFile is banned outright (it never fsyncs);
+//   - a Close/Sync/Flush whose error result is silently discarded — a bare
+//     call statement or a bare defer — is flagged. An explicit `_ = f.Close()`
+//     is visible intent and passes.
+var Durability = &Analyzer{
+	Name: "durability",
+	Doc:  "enforce fsync-before-rename and checked Close/Sync/Flush in persistence code",
+	Run:  runDurability,
+}
+
+func runDurability(p *Pass) {
+	if !IsDurability(p.Path) {
+		return
+	}
+	for _, f := range p.Files {
+		// Discarded error results, anywhere in the file (including
+		// closures): a dropped Close error on a written file is lost data.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok {
+					reportDiscarded(p, call, "")
+				}
+			case *ast.DeferStmt:
+				reportDiscarded(p, stmt.Call, "defer ")
+			}
+			return true
+		})
+		// Per-function sequencing rules.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSyncDiscipline(p, fd)
+		}
+	}
+}
+
+// reportDiscarded flags call when it is a Close/Sync/Flush returning an
+// error that the surrounding statement drops.
+func reportDiscarded(p *Pass, call *ast.CallExpr, prefix string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+	if name != "Close" && name != "Sync" && name != "Flush" {
+		return
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return
+	}
+	if named, ok := sig.Results().At(0).Type().(*types.Named); !ok || named.Obj().Name() != "error" {
+		return
+	}
+	p.Reportf(call.Pos(), "%s%s.%s() discards its error; in persistence code a dropped %s error is lost data — handle it or assign to _ explicitly",
+		prefix, types.ExprString(sel.X), name, name)
+}
+
+// checkSyncDiscipline applies the per-function fsync sequencing rules.
+func checkSyncDiscipline(p *Pass, fd *ast.FuncDecl) {
+	var (
+		renamePos  ast.Expr
+		writeFile  ast.Expr
+		osWritePos ast.Expr
+		hasSync    bool
+		hasClose   bool
+	)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if fn := pkgFunc(p, sel); fn != nil && fn.Pkg().Path() == "os" {
+			switch fn.Name() {
+			case "Rename":
+				renamePos = call.Fun
+			case "WriteFile":
+				osWritePos = call.Fun
+			}
+			return true
+		}
+		// Method calls: classify by receiver type and name.
+		switch sel.Sel.Name {
+		case "Sync":
+			hasSync = true
+		case "Close":
+			if isOSFile(p.Info.TypeOf(sel.X)) {
+				hasClose = true
+			}
+		case "Write", "WriteString", "WriteAt":
+			if isOSFile(p.Info.TypeOf(sel.X)) {
+				writeFile = call.Fun
+			}
+		}
+		return true
+	})
+	if osWritePos != nil {
+		p.Reportf(osWritePos.Pos(), "os.WriteFile never fsyncs; use checkpoint.WriteFile (write temp, Sync, Close, Rename, sync dir) for durable writes")
+	}
+	if renamePos != nil && !hasSync {
+		p.Reportf(renamePos.Pos(), "os.Rename without an fsync in %s: the renamed bytes may not be durable when this returns", fd.Name.Name)
+	}
+	if writeFile != nil && hasClose && !hasSync {
+		p.Reportf(writeFile.Pos(), "%s writes and closes an *os.File without Sync: a crash after return can lose the acknowledged bytes", fd.Name.Name)
+	}
+}
+
+// isOSFile reports whether t is *os.File (or os.File).
+func isOSFile(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "os" && named.Obj().Name() == "File"
+}

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCompare flags == and != between floating-point operands everywhere
+// in the module: exact float equality between computed values is almost
+// always a rounding-sensitive bug. Three shapes are exempt because they are
+// deliberate and well-defined:
+//
+//   - comparison against a compile-time constant (sentinel checks such as
+//     cfg.Quorum == 0 compare a stored, never-computed value),
+//   - x != x and x == x (the NaN idiom),
+//   - the bodies of approved tolerance helpers (policy.ToleranceHelpers),
+//     whose whole job is comparing floats,
+//   - sort comparators (func literals passed to sort.Slice/SliceStable and
+//     slices.SortFunc/SortStableFunc): exact inequality there is the
+//     deterministic tie-break idiom — bitwise-equal keys must fall through
+//     to the ID tie-break, and an epsilon would make the order
+//     input-order-dependent.
+var FloatCompare = &Analyzer{
+	Name: "floatcompare",
+	Doc:  "ban exact float equality outside approved tolerance helpers",
+	Run:  runFloatCompare,
+}
+
+func runFloatCompare(p *Pass) {
+	for _, f := range p.Files {
+		comparators := comparatorSpans(p, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fd, ok := n.(*ast.FuncDecl); ok && ToleranceHelpers[qualifiedName(p, fd)] {
+				return false // approved helper: skip its whole body
+			}
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(p.Info.TypeOf(be.X)) && !isFloat(p.Info.TypeOf(be.Y)) {
+				return true
+			}
+			if isConst(p, be.X) || isConst(p, be.Y) {
+				return true
+			}
+			if exprString(be.X) == exprString(be.Y) {
+				return true // NaN idiom: x != x
+			}
+			if insideSpan(comparators, be.OpPos) {
+				return true // sort-comparator tie-break
+			}
+			p.Reportf(be.OpPos, "exact float comparison (%s); use a tolerance helper or compare with an epsilon", be.Op)
+			return true
+		})
+	}
+}
+
+// isConst reports whether e is a compile-time constant expression.
+func isConst(p *Pass, e ast.Expr) bool {
+	return p.Info.Types[e].Value != nil
+}
+
+// qualifiedName renders fd as policy.ToleranceHelpers keys it:
+// "path.Func" or "path.Type.Method".
+func qualifiedName(p *Pass, fd *ast.FuncDecl) string {
+	name := fd.Name.Name
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		t := fd.Recv.List[0].Type
+		if st, ok := t.(*ast.StarExpr); ok {
+			t = st.X
+		}
+		if ix, ok := t.(*ast.IndexExpr); ok { // generic receiver
+			t = ix.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			name = id.Name + "." + name
+		}
+	}
+	return p.Path + "." + name
+}
+
+// exprString renders an expression for structural comparison.
+func exprString(e ast.Expr) string { return types.ExprString(e) }
+
+// comparatorSpans collects the source spans of func literals passed to the
+// stdlib sort entry points, where exact float comparison is the
+// deterministic tie-break idiom.
+func comparatorSpans(p *Pass, f *ast.File) [][2]token.Pos {
+	var spans [][2]token.Pos
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn := pkgFunc(p, sel)
+		if fn == nil {
+			return true
+		}
+		sorter := false
+		switch fn.Pkg().Path() {
+		case "sort":
+			sorter = fn.Name() == "Slice" || fn.Name() == "SliceStable" || fn.Name() == "Search"
+		case "slices":
+			sorter = fn.Name() == "SortFunc" || fn.Name() == "SortStableFunc" || fn.Name() == "BinarySearchFunc"
+		}
+		if !sorter {
+			return true
+		}
+		for _, arg := range call.Args {
+			if fl, ok := arg.(*ast.FuncLit); ok {
+				spans = append(spans, [2]token.Pos{fl.Pos(), fl.End()})
+			}
+		}
+		return true
+	})
+	return spans
+}
+
+// insideSpan reports whether pos falls inside any span.
+func insideSpan(spans [][2]token.Pos, pos token.Pos) bool {
+	for _, s := range spans {
+		if s[0] <= pos && pos <= s[1] {
+			return true
+		}
+	}
+	return false
+}

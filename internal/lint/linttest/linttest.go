@@ -1,0 +1,135 @@
+// Package linttest is a hand-rolled analysistest-style harness for the
+// helcfl lint suite: it loads a GOPATH-style corpus tree
+// (testdata/<rule>/src/<import/path>/*.go), runs one analyzer over every
+// package in it, and checks the produced diagnostics against
+//
+//	// want "regexp"
+//
+// expectation comments. A diagnostic must be matched by a want on its exact
+// file and line, every want must be consumed, and suppressed findings
+// (covered by a justified //helcfl:allow) must not be matched by any want —
+// which is how the corpora also pin the escape hatch's behaviour. Findings
+// from the framework rules ("allow", "policy") participate like any other,
+// so a corpus can assert that a reason-less directive is itself reported.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"helcfl/internal/lint"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// expectation is one parsed want comment.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads the corpus tree rooted at dir (which must contain src/) and
+// checks analyzer's diagnostics — plus the framework's directive and policy
+// findings — against the tree's want comments.
+func Run(t *testing.T, dir string, analyzer *lint.Analyzer) {
+	t.Helper()
+	loader := lint.NewLoader()
+	pkgs, err := loader.LoadTree(dir + "/src")
+	if err != nil {
+		t.Fatalf("load corpus %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("corpus %s is empty", dir)
+	}
+	findings := lint.Run(pkgs, []*lint.Analyzer{analyzer})
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, raw := range splitQuoted(m[1]) {
+						re, err := regexp.Compile(raw)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, raw, err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+					}
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		if f.Suppressed {
+			continue // a justified allow must silence the diagnostic
+		}
+		if w := match(wants, f); w != nil {
+			w.matched = true
+			continue
+		}
+		t.Errorf("unexpected diagnostic %s", f)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+func match(wants []*expectation, f lint.Finding) *expectation {
+	for _, w := range wants {
+		if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+			return w
+		}
+	}
+	return nil
+}
+
+// splitQuoted extracts the double- or back-quoted segments of a want
+// payload: `"a" "b"` → a, b.
+func splitQuoted(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := strings.Index(s[1:], `"`)
+			if end < 0 {
+				return append(out, s[1:])
+			}
+			out = append(out, s[1:1+end])
+			s = strings.TrimSpace(s[end+2:])
+		case '`':
+			end := strings.Index(s[1:], "`")
+			if end < 0 {
+				return append(out, s[1:])
+			}
+			out = append(out, s[1:1+end])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			// Unquoted tail (trailing prose): stop.
+			return out
+		}
+	}
+	return out
+}
+
+// Sprint renders findings one per line for debugging corpus failures.
+func Sprint(findings []lint.Finding) string {
+	var b strings.Builder
+	for _, f := range findings {
+		fmt.Fprintln(&b, f)
+	}
+	return b.String()
+}

@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags range loops over maps whose bodies are sensitive to
+// iteration order: appending to a slice that outlives the loop, writing
+// output, or accumulating a float with a compound assignment (float
+// addition is not associative, so even a "symmetric" sum diverges between
+// runs). Order-independent bodies pass: indexed writes keyed by the loop
+// variables, counting, deleting. The fix is to iterate a sorted key slice;
+// ranging over sortedKeys(m) is a slice range and never flagged.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "ban order-sensitive work inside map iteration on deterministic paths",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	if !IsMapOrderScoped(p.Path) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRangeBody(p, rs)
+			return true
+		})
+	}
+}
+
+func checkMapRangeBody(p *Pass, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			switch stmt.Tok {
+			case token.ASSIGN, token.DEFINE:
+				for i, rhs := range stmt.Rhs {
+					if !isAppendCall(p, rhs) || i >= len(stmt.Lhs) {
+						continue
+					}
+					if orderSensitiveWrite(p, stmt.Lhs[i], rs) {
+						p.Reportf(stmt.Pos(), "append to a slice that outlives this map range: element order follows map iteration; range over sorted keys instead")
+					}
+				}
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				lhs := stmt.Lhs[0]
+				if isFloat(p.Info.TypeOf(lhs)) && orderSensitiveWrite(p, lhs, rs) {
+					p.Reportf(stmt.Pos(), "float accumulation inside a map range is order-dependent (FP addition is not associative); range over sorted keys instead")
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := stmt.Fun.(*ast.SelectorExpr); ok {
+				if fn := pkgFunc(p, sel); fn != nil && writesOutput(fn) {
+					p.Reportf(stmt.Pos(), "%s.%s inside a map range emits output in map-iteration order; range over sorted keys instead", fn.Pkg().Name(), fn.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isAppendCall reports whether e is a call to the append builtin.
+func isAppendCall(p *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := p.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// orderSensitiveWrite reports whether a write through expr both survives
+// the loop and depends on iteration order. Writes to loop-local variables
+// do not survive; writes indexed by the loop's own key/value land in a
+// per-key slot regardless of visit order.
+func orderSensitiveWrite(p *Pass, expr ast.Expr, rs *ast.RangeStmt) bool {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			obj := p.Info.Uses[e]
+			if obj == nil {
+				obj = p.Info.Defs[e]
+			}
+			if obj == nil || obj.Name() == "_" {
+				return false
+			}
+			return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			if mentionsLoopVar(p, e.Index, rs) {
+				return false
+			}
+			expr = e.X
+		case *ast.SelectorExpr:
+			expr = e.X
+		default:
+			return true
+		}
+	}
+}
+
+// mentionsLoopVar reports whether expr references the range statement's key
+// or value variable.
+func mentionsLoopVar(p *Pass, expr ast.Expr, rs *ast.RangeStmt) bool {
+	vars := map[types.Object]bool{}
+	for _, v := range []ast.Expr{rs.Key, rs.Value} {
+		id, ok := v.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if obj := p.Info.Defs[id]; obj != nil {
+			vars[obj] = true
+		} else if obj := p.Info.Uses[id]; obj != nil {
+			vars[obj] = true
+		}
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && vars[p.Info.Uses[id]] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// writesOutput reports whether fn is a fmt print function or
+// io.WriteString.
+func writesOutput(fn *types.Func) bool {
+	switch fn.Pkg().Path() {
+	case "fmt":
+		switch fn.Name() {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return true
+		}
+	case "io":
+		return fn.Name() == "WriteString"
+	}
+	return false
+}
+
+// isFloat reports whether t's underlying type is a floating-point type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Nondeterminism bans wall-clock reads and ambient randomness inside the
+// deterministic packages (policy.go): time.Now/Since/Until, every
+// package-level math/rand and math/rand/v2 function (they draw from the
+// global, non-replayable source), and all of crypto/rand. Seeded generators
+// — rand.New(rand.NewSource(seed)) with a seed injected through config —
+// are the approved pattern; a rand.NewSource whose seed expression touches
+// the time package is flagged directly in case the wall-clock read hides in
+// a helper.
+var Nondeterminism = &Analyzer{
+	Name: "nondeterminism",
+	Doc:  "ban wall clock and global randomness in replayable-from-seed packages",
+	Run:  runNondeterminism,
+}
+
+// seededConstructors are the math/rand entry points that consume an
+// explicit source or seed rather than the global one.
+var seededConstructors = map[string]bool{
+	// math/rand
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runNondeterminism(p *Pass) {
+	if !IsDeterministic(p.Path) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn := pkgFunc(p, sel)
+			if fn == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				switch fn.Name() {
+				case "Now", "Since", "Until":
+					p.Reportf(sel.Pos(), "time.%s reads the wall clock in deterministic package %s", fn.Name(), p.Path)
+				}
+			case "math/rand", "math/rand/v2":
+				if seededConstructors[fn.Name()] {
+					break
+				}
+				p.Reportf(sel.Pos(), "global %s.%s is not replayable from a seed; inject a *rand.Rand instead", fn.Pkg().Path(), fn.Name())
+			case "crypto/rand":
+				p.Reportf(sel.Pos(), "crypto/rand.%s is nondeterministic by definition; deterministic package %s must use a seeded math/rand", fn.Name(), p.Path)
+			}
+			return true
+		})
+		// A seeded constructor whose seed expression itself reads the clock
+		// defeats the injection pattern even if the time call is wrapped.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn := pkgFunc(p, sel)
+			if fn == nil || fn.Name() != "NewSource" {
+				return true
+			}
+			if pp := fn.Pkg().Path(); pp != "math/rand" && pp != "math/rand/v2" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if usesTime(p, arg) {
+					p.Reportf(arg.Pos(), "rand.NewSource seeded from the time package; inject the seed through configuration")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// pkgFunc resolves sel to a package-level function (methods and non-func
+// objects return nil).
+func pkgFunc(p *Pass, sel *ast.SelectorExpr) *types.Func {
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil
+	}
+	return fn
+}
+
+// usesTime reports whether expr references anything from package time.
+func usesTime(p *Pass, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := p.Info.Uses[id]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "time" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

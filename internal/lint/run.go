@@ -1,0 +1,80 @@
+package lint
+
+import "sort"
+
+// Analyzers returns the full suite in its canonical order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{Nondeterminism, MapOrder, FloatCompare, Durability, CtxFlow}
+}
+
+// RuleNames returns the set of rule names an //helcfl:allow directive may
+// reference.
+func RuleNames(analyzers []*Analyzer) map[string]bool {
+	names := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		names[a.Name] = true
+	}
+	return names
+}
+
+// Run applies the analyzers to every package and resolves //helcfl:allow
+// directives, returning all findings (suppressed ones included, marked)
+// sorted by position. Beyond the analyzers themselves it reports:
+//
+//   - rule "allow": a malformed directive — no parseable rule, an unknown
+//     rule, or a missing reason;
+//   - rule "policy": a module package absent from the policy table
+//     (policy.go), so new packages must be classified explicitly.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	rules := RuleNames(analyzers)
+	var out []Finding
+	for _, pkg := range pkgs {
+		dirs, bad := collectDirectives(pkg.Fset, pkg.Files, rules)
+		out = append(out, bad...)
+		if !Classified(pkg.Path) {
+			out = append(out, Finding{
+				Rule:    "policy",
+				Pos:     pkg.Fset.Position(pkg.Files[0].Package),
+				Message: "package " + pkg.Path + " is not classified in internal/lint/policy.go; add it as deterministic or runtime",
+			})
+		}
+		for _, a := range analyzers {
+			pass := &Pass{Path: pkg.Path, Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info}
+			a.Run(pass)
+			for _, d := range pass.diags {
+				f := Finding{Rule: a.Name, Pos: pkg.Fset.Position(d.Pos), Message: d.Message}
+				if dir, ok := suppression(dirs, a.Name, f.Pos); ok {
+					f.Suppressed = true
+					f.Reason = dir.reason
+				}
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// Unsuppressed filters findings to those no justified allow directive
+// covers — the set that fails the build.
+func Unsuppressed(findings []Finding) []Finding {
+	var out []Finding
+	for _, f := range findings {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+package lint_test
+
+import (
+	"testing"
+
+	"helcfl/internal/lint"
+)
+
+// TestModuleLintsClean is the suite's own gate on the live tree: the whole
+// module must produce zero unsuppressed findings, and every suppression
+// must carry a reason. A regression anywhere in the repo — a stray
+// time.Now() in the deterministic core, a missed fsync in checkpoint —
+// fails this test, not just `make lint`.
+func TestModuleLintsClean(t *testing.T) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("find module root: %v", err)
+	}
+	pkgs, err := lint.NewLoader().LoadModule(root)
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("module loaded zero packages")
+	}
+	findings := lint.Run(pkgs, lint.Analyzers())
+	for _, f := range lint.Unsuppressed(findings) {
+		t.Errorf("unsuppressed finding: %s", f)
+	}
+	for _, f := range findings {
+		if f.Suppressed && f.Reason == "" {
+			t.Errorf("suppressed finding without a reason: %s", f)
+		}
+	}
+}

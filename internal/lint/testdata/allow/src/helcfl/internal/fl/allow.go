@@ -1,0 +1,29 @@
+// Corpus for the //helcfl:allow escape hatch itself: a directive with no
+// reason, an unknown rule, or unparseable syntax is a finding of rule
+// "allow", and a malformed directive does NOT suppress the underlying
+// diagnostic. directive_test.go asserts on this file directly rather than
+// through want comments, because a directive line cannot also carry a want.
+package fl
+
+import "time"
+
+// Missing reason: the directive is reported and the time.Now finding below
+// it stays unsuppressed.
+//
+//helcfl:allow(nondeterminism)
+func noReason() time.Time { return time.Now() }
+
+// Unknown rule: reported, and the finding stays unsuppressed.
+//
+//helcfl:allow(clockness) clocks are fine here
+func unknownRule() time.Time { return time.Now() }
+
+// Unparseable: no (rule) at all.
+//
+//helcfl:allow please
+func malformed() int { return 0 }
+
+// Well-formed: rule and reason present, so the finding below is suppressed.
+//
+//helcfl:allow(nondeterminism) corpus fixture: justified suppression for contrast
+func justified() time.Time { return time.Now() }

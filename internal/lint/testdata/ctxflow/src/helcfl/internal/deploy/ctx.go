@@ -1,0 +1,61 @@
+// Corpus for the ctxflow analyzer: helcfl/internal/deploy is a context
+// package, so context-free HTTP requests and uncancellable waits are
+// findings; NewRequestWithContext and ctx-guarded selects pass.
+package deploy
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// The http conveniences carry no context.
+func fetch(url string) (*http.Response, error) {
+	return http.Get(url) // want `http.Get has no context`
+}
+
+func push(url string) (*http.Response, error) {
+	return http.Post(url, "application/octet-stream", nil) // want `http.Post has no context`
+}
+
+// http.NewRequest drops the caller's context.
+func buildPlain(url string) (*http.Request, error) {
+	return http.NewRequest(http.MethodGet, url, nil) // want `http.NewRequest drops the caller's context`
+}
+
+// The approved shape threads the context into the request.
+func buildCtx(ctx context.Context, url string) (*http.Request, error) {
+	return http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+}
+
+// time.Sleep cannot be cancelled.
+func backoff(d time.Duration) {
+	time.Sleep(d) // want `time.Sleep cannot be cancelled`
+}
+
+// time.After outside a ctx-guarded select waits out its full duration even
+// after cancellation.
+func waitPlain(d time.Duration) {
+	<-time.After(d) // want `time.After outside a select`
+}
+
+// Inside a select that also receives ctx.Done(), time.After races the
+// context and passes.
+func waitGuarded(ctx context.Context, d time.Duration) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(d):
+		return nil
+	}
+}
+
+// Timer types and arithmetic are fine; only the blocking calls are flagged.
+func deadline(now time.Time, d time.Duration) time.Time {
+	return now.Add(d)
+}
+
+// A justified allow suppresses the finding.
+func settle() {
+	time.Sleep(time.Millisecond) //helcfl:allow(ctxflow) corpus fixture: sub-millisecond scheduler yield in a shutdown path
+}

@@ -1,0 +1,13 @@
+// Corpus scoping check: helcfl/internal/obs is not a context package, so
+// the same calls produce no findings there.
+package obs
+
+import (
+	"net/http"
+	"time"
+)
+
+func probe(url string) (*http.Response, error) {
+	time.Sleep(time.Millisecond)
+	return http.Get(url)
+}

@@ -1,0 +1,96 @@
+// Corpus for the durability analyzer: helcfl/internal/checkpoint is a
+// persistence package, so missed fsyncs and silently dropped
+// Close/Sync/Flush errors are findings; the full write-temp → Sync → Close
+// → Rename → sync-dir sequence passes.
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// os.WriteFile never fsyncs.
+func writeFast(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `os.WriteFile never fsyncs`
+}
+
+// Renaming without an fsync leaves the new bytes in the page cache.
+func swapIn(tmp, path string) error {
+	return os.Rename(tmp, path) // want `os.Rename without an fsync in swapIn`
+}
+
+// Writing and closing a file without Sync can lose acknowledged bytes; the
+// bare closes also drop their errors.
+func writeUnsynced(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil { // want `writeUnsynced writes and closes an \*os.File without Sync`
+		f.Close() // want `f.Close\(\) discards its error`
+		return err
+	}
+	return f.Close()
+}
+
+// A bare deferred Close drops the error too.
+func readBack(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() // want `defer f.Close\(\) discards its error`
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, st.Size())
+	_, err = f.Read(buf)
+	return buf, err
+}
+
+// The approved sequence: every error handled, Sync before Close, Rename
+// only after the temp file is durable, then the directory entry.
+func writeDurable(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "dur*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	fail := func(err error) error {
+		_ = tmp.Close()
+		_ = os.Remove(name)
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, path); err != nil {
+		_ = os.Remove(name)
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	syncErr := d.Sync()
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("close dir: %w", err)
+	}
+	return syncErr
+}
+
+// A justified allow suppresses the finding.
+func closeQuiet(f *os.File) {
+	defer f.Close() //helcfl:allow(durability) corpus fixture: read-only handle; closing it cannot lose data
+	_, _ = f.Seek(0, 0)
+}

@@ -1,0 +1,9 @@
+// Corpus scoping check: helcfl/internal/sim is not a durability package, so
+// the same convenience write produces no findings there.
+package sim
+
+import "os"
+
+func exportCSV(path string, rows []byte) error {
+	return os.WriteFile(path, rows, 0o644)
+}

@@ -1,0 +1,66 @@
+// Corpus for the floatcompare analyzer: exact == / != between computed
+// floats is a finding everywhere in the module; constant sentinels, the NaN
+// idiom, sort-comparator tie-breaks, and approved tolerance helpers pass.
+package metrics
+
+import (
+	"slices"
+	"sort"
+)
+
+// Exact equality between computed floats is rounding-sensitive.
+func converged(prev, cur float64) bool {
+	return prev == cur // want "exact float comparison"
+}
+
+func moved(prev, cur float32) bool {
+	return prev != cur // want "exact float comparison"
+}
+
+// Comparison against a compile-time constant is a sentinel check on a
+// stored, never-computed value.
+func unset(quorum float64) bool {
+	const sentinel = -1.0
+	return quorum == 0 || quorum == sentinel
+}
+
+// The NaN idiom compares an expression to itself.
+func isNaN(x float64) bool {
+	return x != x
+}
+
+// Ordered comparisons are not equality and pass.
+func better(a, b float64) bool {
+	return a < b
+}
+
+// Sort comparators may tie-break with exact inequality: bitwise-equal keys
+// must fall through to the deterministic ID tie-break.
+func rank(score []float64, id []int) {
+	sort.Slice(id, func(i, j int) bool {
+		if score[id[i]] != score[id[j]] {
+			return score[id[i]] > score[id[j]]
+		}
+		return id[i] < id[j]
+	})
+	slices.SortFunc(id, func(a, b int) int {
+		if score[a] == score[b] {
+			return a - b
+		}
+		if score[a] > score[b] {
+			return -1
+		}
+		return 1
+	})
+}
+
+// Outside the comparator literal the same comparison is still a finding.
+func sortThenCompare(xs []float64) bool {
+	sort.Float64s(xs)
+	return xs[0] == xs[len(xs)-1] // want "exact float comparison"
+}
+
+// A justified allow suppresses the finding.
+func degenerate(lo, hi float64) bool {
+	return lo == hi //helcfl:allow(floatcompare) corpus fixture: exact degenerate-range guard before dividing by the span
+}

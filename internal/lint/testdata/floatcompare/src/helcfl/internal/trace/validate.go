@@ -1,0 +1,21 @@
+// Corpus exemption check: helcfl/internal/trace.Validate is listed in
+// policy.ToleranceHelpers — its whole job is screening floats — so exact
+// comparisons inside its body produce no findings. Other functions in the
+// same package stay covered.
+package trace
+
+func Validate(xs []float64) bool {
+	for i, x := range xs {
+		if x != x {
+			return false
+		}
+		if i > 0 && xs[i] == xs[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+func notExempt(a, b float64) bool {
+	return a == b // want "exact float comparison"
+}

@@ -1,0 +1,12 @@
+// Corpus scoping check: helcfl/internal/checkpoint is runtime but listed in
+// policy.MapOrderExtra — its serialized bytes feed durable state, so
+// map-order dependence is still a finding here.
+package checkpoint
+
+func serialize(state map[string]uint64) []uint64 {
+	var words []uint64
+	for _, w := range state {
+		words = append(words, w) // want "append to a slice that outlives this map range"
+	}
+	return words
+}

@@ -1,0 +1,11 @@
+// Corpus scoping check: helcfl/internal/obs is runtime and not in
+// policy.MapOrderExtra, so the same shape produces no findings.
+package obs
+
+func labels(m map[string]string) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

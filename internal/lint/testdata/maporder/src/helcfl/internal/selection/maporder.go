@@ -1,0 +1,78 @@
+// Corpus for the maporder analyzer: helcfl/internal/selection is on the
+// deterministic path, so map-iteration-order-sensitive bodies are findings
+// while order-independent ones pass.
+package selection
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Appending to a slice that outlives the loop records map iteration order.
+func collectIDs(devices map[int]float64) []int {
+	var ids []int
+	for id := range devices {
+		ids = append(ids, id) // want "append to a slice that outlives this map range"
+	}
+	return ids
+}
+
+// Float accumulation inside a map range is order-dependent: FP addition is
+// not associative.
+func totalCost(costs map[string]float64) float64 {
+	var sum float64
+	for _, c := range costs {
+		sum += c // want "float accumulation inside a map range is order-dependent"
+	}
+	return sum
+}
+
+// Emitting output per iteration prints in map order.
+func dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "inside a map range emits output in map-iteration order"
+	}
+}
+
+// The approved shape: iterate a sorted key slice. The inner range is over a
+// slice, so nothing is flagged.
+func collectSorted(devices map[int]float64) []int {
+	keys := make([]int, 0, len(devices))
+	for id := range devices {
+		keys = append(keys, id) // want "append to a slice that outlives this map range"
+	}
+	sort.Ints(keys)
+	ids := make([]int, 0, len(keys))
+	for _, id := range keys {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// Order-independent bodies pass: integer counting, keyed writes landing in
+// a per-key slot, deletes, and appends to loop-local slices.
+func orderFree(m map[string][]float64, drop string) (int, map[string]int) {
+	n := 0
+	lengths := make(map[string]int, len(m))
+	for k, vs := range m {
+		n += len(vs)
+		lengths[k] = len(vs)
+		m[k] = append(m[k], 0)
+		local := make([]float64, 0, len(vs))
+		local = append(local, vs...)
+		lengths[k] += len(local)
+	}
+	delete(m, drop)
+	return n, lengths
+}
+
+// A justified allow suppresses the finding.
+func keysUnordered(m map[int]bool) []int {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k) //helcfl:allow(maporder) corpus fixture: caller sorts the result before use
+	}
+	sort.Ints(ks)
+	return ks
+}

@@ -1,0 +1,59 @@
+// Corpus for the nondeterminism analyzer: helcfl/internal/fl is
+// classified deterministic, so wall-clock reads and global randomness are
+// findings here while seeded generators pass.
+package fl
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+// Wall-clock reads.
+func wallClock(start time.Time) (time.Time, float64, float64) {
+	now := time.Now()              // want "time.Now reads the wall clock"
+	elapsed := time.Since(start)   // want "time.Since reads the wall clock"
+	remaining := time.Until(start) // want "time.Until reads the wall clock"
+	return now, elapsed.Seconds(), remaining.Seconds()
+}
+
+// Global math/rand and math/rand/v2 draw from a non-replayable source.
+func globalRand() (int, float64, uint64) {
+	a := rand.Intn(10)                 // want `global math/rand.Intn is not replayable`
+	b := randv2.Float64()              // want `global math/rand/v2.Float64 is not replayable`
+	c := randv2.Uint64()               // want `global math/rand/v2.Uint64 is not replayable`
+	rand.Shuffle(a, func(i, j int) {}) // want `global math/rand.Shuffle is not replayable`
+	return a, b, c
+}
+
+// crypto/rand is nondeterministic by definition.
+func cryptoRand(buf []byte) (int, error) {
+	return crand.Read(buf) // want `crypto/rand.Read is nondeterministic by definition`
+}
+
+// Seeding a generator from the clock defeats injection even when the
+// constructor itself is approved; the line carries both findings.
+func clockSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "time.Now reads the wall clock" "seeded from the time package"
+}
+
+// The approved pattern: generators built from a seed injected by the
+// caller are replayable and pass untouched.
+func seeded(seed int64, pcgA, pcgB uint64) (float64, uint64) {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.1, 1.0, 100)
+	v2 := randv2.New(randv2.NewPCG(pcgA, pcgB))
+	return rng.Float64() + float64(zipf.Uint64()), v2.Uint64()
+}
+
+// Non-call uses of package time (types, constants, arithmetic) are fine.
+func duration(steps int) time.Duration {
+	return time.Duration(steps) * time.Millisecond
+}
+
+// A justified allow suppresses the finding; the corpus harness checks
+// that no diagnostic escapes for this line.
+func telemetry() time.Time {
+	return time.Now() //helcfl:allow(nondeterminism) corpus fixture: telemetry-only span with no control-flow effect
+}

@@ -1,0 +1,5 @@
+// Corpus policy check: this package is absent from the policy table, which
+// is itself a finding — new packages must be classified explicitly.
+package mystery // want "not classified in internal/lint/policy.go"
+
+func Two() int { return 2 }

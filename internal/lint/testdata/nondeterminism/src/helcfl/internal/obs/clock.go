@@ -1,0 +1,13 @@
+// Corpus scoping check: helcfl/internal/obs is classified runtime, so the
+// nondeterminism analyzer does not apply and the same wall-clock and
+// global-randomness calls produce no findings.
+package obs
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() (time.Time, int) {
+	return time.Now(), rand.Intn(10)
+}

@@ -140,10 +140,10 @@ func (c *LineChart) String() string {
 			ymax = math.Max(ymax, s.Y[i])
 		}
 	}
-	if xmax == xmin {
+	if xmax == xmin { //helcfl:allow(floatcompare) exact degenerate-axis guard before dividing by the span
 		xmax = xmin + 1
 	}
-	if ymax == ymin {
+	if ymax == ymin { //helcfl:allow(floatcompare) exact degenerate-axis guard before dividing by the span
 		ymax = ymin + 1
 	}
 	grid := make([][]byte, c.Height)

@@ -125,7 +125,7 @@ func WinRate(a, b []float64, lowerWins bool) float64 {
 	wins := 0.0
 	for i := range a {
 		switch {
-		case a[i] == b[i]:
+		case a[i] == b[i]: //helcfl:allow(floatcompare) exact ties score half a win by definition
 			wins += 0.5
 		case (a[i] < b[i]) == lowerWins:
 			wins++
