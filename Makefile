@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race chaos recover fmt vet lint check
+.PHONY: build test race chaos recover fmt vet lint check bench
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,11 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Time the full campaign grid serially vs on all cores and record the
+# speedup in BENCH_experiments.json (see docs/GRID.md).
+bench:
+	$(GO) run ./cmd/helcfl bench -preset tiny -experiment all -bench-out BENCH_experiments.json
 
 # In-tree static analysis (internal/lint): determinism, map-order,
 # float-comparison, durability, and context-flow invariants. Exit is

@@ -4,7 +4,7 @@
 //
 //	helcfl <experiment> [flags]
 //
-// Experiments:
+// Experiments (grid campaigns, run on a parallel worker pool):
 //
 //	fig1      reproduce the Fig. 1 slack illustration on one scheduled round
 //	fig2      accuracy vs iteration for all five schemes (both settings)
@@ -15,36 +15,55 @@
 //	seeds     multi-seed robustness of all orderings
 //	budget    best accuracy under a training deadline (constraint 14)
 //	battery   fleet lifetime under finite device batteries
+//	all       fig1+fig2+table1+fig3+ablation plus the headline summary,
+//	          deduplicated into one campaign grid
+//	bench     time an experiment serially vs in parallel, write JSON
+//
+// Bespoke commands (single runs, not grids):
+//
 //	trace     JSONL round telemetry for one scheme
 //	train     train one scheme and save the global model to -model
 //	eval      evaluate a saved model on a preset's test set
-//	all       fig1+fig2+table1+fig3+ablation plus the headline summary
 //
 // Flags:
 //
 //	-preset        paper | fast | tiny      (default fast)
 //	-seed          deterministic seed       (default 1)
 //	-out           directory for CSV/JSONL  (default: none / stdout)
+//	-parallel      grid worker count, 0 = GOMAXPROCS (grid experiments)
 //	-setting       iid | noniid             (trace/train/eval)
 //	-scheme        HELCFL | ClassicFL | FedCS | FEDL | HELCFL-noDVFS
 //	-model         model file path          (train/eval)
 //	-n             seed count               (seeds)
+//	-experiment    experiment to time       (bench; default all)
+//	-bench-out     bench JSON path          (bench)
 //	-metrics-addr  serve live /metrics, /healthz and /debug/pprof on this
 //	               address for the duration of the run (e.g. :8080)
-//	-v             per-round progress lines on stderr
+//	-v             progress lines on stderr (per cell for grid experiments,
+//	               per round for trace/train)
+//
+// SIGINT/SIGTERM cancel the running campaign: in-flight cells finish,
+// unstarted cells are skipped, and the command exits nonzero.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"runtime"
+	"syscall"
+	"time"
 
 	"helcfl/internal/experiments"
 	"helcfl/internal/fl"
+	"helcfl/internal/grid"
 	"helcfl/internal/metrics"
 	"helcfl/internal/nn"
 	"helcfl/internal/obs"
@@ -55,27 +74,37 @@ import (
 var stderr io.Writer = os.Stderr
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := runCtx(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "helcfl:", err)
 		os.Exit(1)
 	}
 }
 
+// run is runCtx without cancellation — the test entry point.
 func run(args []string) error {
+	return runCtx(context.Background(), args)
+}
+
+func runCtx(ctx context.Context, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: helcfl <fig1|fig2|table1|fig3|ablation|seeds|trace|all> [-preset paper|fast|tiny] [-seed N] [-out dir]")
+		return fmt.Errorf("usage: helcfl <fig1|fig2|table1|fig3|ablation|seeds|budget|battery|all|bench|trace|train|eval> [-preset paper|fast|tiny] [-seed N] [-parallel N] [-out dir]")
 	}
 	cmd := args[0]
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	presetName := fs.String("preset", "fast", "experiment preset: paper, fast, or tiny")
 	seed := fs.Int64("seed", 1, "deterministic seed")
 	outDir := fs.String("out", "", "directory to write CSV artifacts into (optional)")
+	parallel := fs.Int("parallel", 0, "grid worker count; 0 means GOMAXPROCS")
 	nSeeds := fs.Int("n", 5, "seed count for the seeds experiment")
 	scheme := fs.String("scheme", "HELCFL", "scheme for the trace experiment")
 	settingName := fs.String("setting", "iid", "data setting for the trace/train/eval experiments: iid or noniid")
 	modelPath := fs.String("model", "model.helcfl", "model file for train/eval")
+	benchName := fs.String("experiment", "all", "experiment to time for the bench command")
+	benchOut := fs.String("bench-out", "BENCH_experiments.json", "path for the bench JSON report")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address during the run")
-	verbose := fs.Bool("v", false, "print per-round progress lines to stderr")
+	verbose := fs.Bool("v", false, "print progress lines to stderr")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
@@ -92,45 +121,181 @@ func run(args []string) error {
 		return fmt.Errorf("unknown preset %q", *presetName)
 	}
 
+	var reg *obs.Registry
 	if *metricsAddr != "" {
-		reg, err := serveObservability(*metricsAddr)
+		var err error
+		reg, err = serveObservability(*metricsAddr)
 		if err != nil {
 			return err
 		}
 		preset.Sink = obs.Multi(preset.Sink, obs.NewMetricsSink(reg))
 	}
-	if *verbose {
-		preset.Sink = obs.Multi(preset.Sink, &progressSink{w: stderr})
-	}
 
+	opt := experiments.Options{Seeds: *nSeeds}
 	switch cmd {
-	case "fig1":
-		return runFig1(preset, *seed)
-	case "fig2":
-		return runFig2(preset, *seed, *outDir, nil)
-	case "table1":
-		return runTable1(preset, *seed, nil)
-	case "fig3":
-		return runFig3(preset, *seed)
-	case "ablation":
-		return runAblation(preset, *seed)
-	case "seeds":
-		return runSeeds(preset, *seed, *nSeeds)
-	case "budget":
-		return runBudget(preset, *seed)
-	case "battery":
-		return runBattery(preset, *seed)
 	case "trace":
+		if *verbose {
+			preset.Sink = obs.Multi(preset.Sink, &progressSink{w: stderr})
+		}
 		return runTrace(preset, *seed, *scheme, *settingName, *outDir)
 	case "train":
+		if *verbose {
+			preset.Sink = obs.Multi(preset.Sink, &progressSink{w: stderr})
+		}
 		return runTrain(preset, *seed, *scheme, *settingName, *modelPath)
 	case "eval":
 		return runEval(preset, *seed, *settingName, *modelPath)
-	case "all":
-		return runAll(preset, *seed, *outDir)
-	default:
+	case "bench":
+		return runBench(ctx, preset, *seed, *benchName, *benchOut, opt)
+	}
+
+	def, ok := experiments.LookupExperiment(cmd)
+	if !ok {
 		return fmt.Errorf("unknown experiment %q", cmd)
 	}
+	return runGrid(ctx, def, preset, *seed, opt, gridConfig{
+		parallel: *parallel,
+		outDir:   *outDir,
+		metrics:  reg,
+		verbose:  *verbose,
+		announce: true,
+	})
+}
+
+// gridConfig carries the dispatcher knobs for one grid campaign.
+type gridConfig struct {
+	parallel int
+	outDir   string
+	metrics  *obs.Registry
+	verbose  bool
+	announce bool
+}
+
+// runGrid expands a registry definition and executes it on the worker pool.
+func runGrid(ctx context.Context, def experiments.Definition, preset experiments.Preset, seed int64, opt experiments.Options, cfg gridConfig) error {
+	// Cells capture the preset by value and their engines run concurrently,
+	// so any shared sink must be serialized before the plan is built.
+	preset.Sink = obs.Synchronized(preset.Sink)
+	plan, err := def.Plan(preset, seed, opt)
+	if err != nil {
+		return err
+	}
+	runner := &grid.Runner{Parallel: cfg.parallel, Metrics: cfg.metrics}
+	if cfg.verbose {
+		runner.Progress = func(ev grid.Event) {
+			if !ev.Done {
+				fmt.Fprintf(stderr, "cell %s …\n", ev.Key)
+				return
+			}
+			status := "ok"
+			if ev.Err != nil {
+				status = fmt.Sprintf("error: %v", ev.Err)
+			}
+			fmt.Fprintf(stderr, "cell [%d/%d] %s: %s\n", ev.Completed+ev.Failed, ev.Total, ev.Key, status)
+		}
+	}
+	if cfg.announce {
+		fmt.Fprintf(stderr, "%s: %d cells on %d workers\n", def.Name, len(plan.Cells), runner.Workers(len(plan.Cells)))
+	}
+	res, err := runner.Run(ctx, plan.Cells)
+	if err != nil {
+		return err
+	}
+	return plan.Render(res, newOutput(cfg.outDir))
+}
+
+// newOutput renders to stdout and, when outDir is set, writes named
+// artifacts there.
+func newOutput(outDir string) experiments.Output {
+	out := experiments.Output{W: os.Stdout}
+	if outDir != "" {
+		out.WriteArtifact = func(name string, data []byte) error {
+			if err := os.MkdirAll(outDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(outDir, name)
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Println("wrote", path)
+			return nil
+		}
+	}
+	return out
+}
+
+// benchReport is the JSON written by the bench command.
+type benchReport struct {
+	Experiment      string  `json:"experiment"`
+	Preset          string  `json:"preset"`
+	Seed            int64   `json:"seed"`
+	Cells           int     `json:"cells"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	Workers         int     `json:"workers"`
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+}
+
+// runBench times one experiment at -parallel 1 and at GOMAXPROCS and writes
+// the comparison as JSON. Rendering goes to io.Discard; only wall clock is
+// reported.
+func runBench(ctx context.Context, preset experiments.Preset, seed int64, name, outPath string, opt experiments.Options) error {
+	def, ok := experiments.LookupExperiment(name)
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	preset.Sink = obs.Synchronized(preset.Sink)
+	plan, err := def.Plan(preset, seed, opt)
+	if err != nil {
+		return err
+	}
+	workers := (&grid.Runner{}).Workers(len(plan.Cells))
+	fmt.Fprintf(stderr, "bench %s: %d cells, serial then %d workers\n", def.Name, len(plan.Cells), workers)
+	timeRun := func(parallel int) (float64, error) {
+		runtime.GC() // don't charge one run's garbage to the other's clock
+		start := time.Now()
+		res, err := (&grid.Runner{Parallel: parallel}).Run(ctx, plan.Cells)
+		if err != nil {
+			return 0, err
+		}
+		if err := plan.Render(res, experiments.Output{W: io.Discard}); err != nil {
+			return 0, err
+		}
+		return time.Since(start).Seconds(), nil
+	}
+	serial, err := timeRun(1)
+	if err != nil {
+		return err
+	}
+	par, err := timeRun(0)
+	if err != nil {
+		return err
+	}
+	rep := benchReport{
+		Experiment:      def.Name,
+		Preset:          preset.Name,
+		Seed:            seed,
+		Cells:           len(plan.Cells),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Workers:         workers,
+		SerialSeconds:   serial,
+		ParallelSeconds: par,
+	}
+	if par > 0 {
+		rep.Speedup = serial / par
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench %s (%s): %d cells, serial %.2fs, parallel %.2fs on %d workers (%.2fx)\n",
+		rep.Experiment, rep.Preset, rep.Cells, rep.SerialSeconds, rep.ParallelSeconds, rep.Workers, rep.Speedup)
+	fmt.Println("wrote", outPath)
+	return nil
 }
 
 // serveObservability starts the live metrics endpoint for the process
@@ -153,7 +318,8 @@ func serveObservability(addr string) (*obs.Registry, error) {
 	return reg, nil
 }
 
-// progressSink prints one line per finished round — the -v flag.
+// progressSink prints one line per finished round — the -v flag on the
+// bespoke single-run commands (trace, train).
 type progressSink struct {
 	obs.NopSink
 	w       io.Writer
@@ -182,236 +348,6 @@ func (p *progressSink) OnRoundEnd(ev obs.RoundEndEvent) {
 func (p *progressSink) OnRunEnd(ev obs.RunEndEvent) {
 	fmt.Fprintf(p.w, "%s: done after %d rounds, %.1fs simulated, %.1fJ, best acc %.2f%%\n",
 		ev.Scheme, ev.Rounds, ev.TotalTimeSec, ev.TotalEnergyJ, ev.BestAccuracy*100)
-}
-
-func runFig1(p experiments.Preset, seed int64) error {
-	demo, err := experiments.RunFig1Demo(p, seed)
-	if err != nil {
-		return err
-	}
-	maxG, dvfsG := demo.RenderGantt()
-	fmt.Println(maxG)
-	fmt.Println(dvfsG)
-	maxTbl, dvfsTbl := demo.Render()
-	fmt.Println(maxTbl)
-	fmt.Println(dvfsTbl)
-	fmt.Printf("compute energy: %.2f J at max frequency → %.2f J with Algorithm 3 (%.1f%% saved)\n",
-		demo.MaxFreq.ComputeEnergy, demo.WithDVFS.ComputeEnergy,
-		(1-demo.WithDVFS.ComputeEnergy/demo.MaxFreq.ComputeEnergy)*100)
-	return nil
-}
-
-// runFig2 executes both settings; when sink is non-nil the results are also
-// stored there for reuse (table1, headline).
-func runFig2(p experiments.Preset, seed int64, outDir string, sink map[experiments.Setting]*experiments.Fig2Result) error {
-	for _, s := range []experiments.Setting{experiments.IID, experiments.NonIID} {
-		fmt.Printf("running Fig. 2 (%s) on preset %q …\n", s, p.Name)
-		fig, err := experiments.RunFig2(p, s, seed)
-		if err != nil {
-			return err
-		}
-		if sink != nil {
-			sink[s] = fig
-		}
-		chart, tbl := experiments.RenderFig2(fig)
-		fmt.Println(chart)
-		fmt.Println(tbl)
-		if outDir != "" {
-			name := filepath.Join(outDir, fmt.Sprintf("fig2_%s_%s.csv", p.Name, s))
-			if err := os.WriteFile(name, []byte(experiments.Fig2CSV(fig)), 0o644); err != nil {
-				return err
-			}
-			fmt.Println("wrote", name)
-		}
-	}
-	return nil
-}
-
-func runTable1(p experiments.Preset, seed int64, figs map[experiments.Setting]*experiments.Fig2Result) error {
-	if figs == nil {
-		figs = map[experiments.Setting]*experiments.Fig2Result{}
-		for _, s := range []experiments.Setting{experiments.IID, experiments.NonIID} {
-			fmt.Printf("running campaign for Table I (%s) …\n", s)
-			f, err := experiments.RunFig2(p, s, seed)
-			if err != nil {
-				return err
-			}
-			figs[s] = f
-		}
-	}
-	tbl := experiments.BuildTableI(p, figs)
-	for _, blk := range tbl.Settings {
-		fmt.Println(blk.Render())
-		for i, target := range blk.Targets {
-			sp := blk.Speedups(i)
-			if len(sp) == 0 {
-				continue
-			}
-			fmt.Printf("  speedups at %.0f%%:", target*100)
-			for _, scheme := range experiments.SchemeOrder {
-				if v, ok := sp[scheme]; ok {
-					fmt.Printf(" %s %.1f%%", scheme, v)
-				}
-			}
-			fmt.Println()
-		}
-		fmt.Println()
-	}
-	return nil
-}
-
-func runFig3(p experiments.Preset, seed int64) error {
-	for _, s := range []experiments.Setting{experiments.IID, experiments.NonIID} {
-		fmt.Printf("running Fig. 3 (%s) …\n", s)
-		f3, err := experiments.RunFig3(p, s, seed)
-		if err != nil {
-			return err
-		}
-		bars, tbl := f3.Render()
-		fmt.Println(bars)
-		fmt.Println(tbl)
-	}
-	fmt.Println("slack-rich regime (maximal DVFS savings; see DESIGN.md):")
-	f3u, err := experiments.RunFig3(experiments.SlackRich(p), experiments.IID, seed)
-	if err != nil {
-		return err
-	}
-	_, tbl := f3u.Render()
-	fmt.Println(tbl)
-	return nil
-}
-
-func runAblation(p experiments.Preset, seed int64) error {
-	fmt.Println("η sweep …")
-	etaAb, err := experiments.RunEtaAblation(p, experiments.NonIID, seed, []float64{0.5, 0.7, 0.9, 0.99})
-	if err != nil {
-		return err
-	}
-	fmt.Println(etaAb.Render())
-
-	fmt.Println("selection-fraction sweep …")
-	frAb, err := experiments.RunFractionAblation(p, experiments.IID, seed, []float64{0.05, 0.1, 0.2})
-	if err != nil {
-		return err
-	}
-	fmt.Println(frAb.Render())
-
-	fmt.Println("Algorithm 3 clamping study …")
-	clAb, err := experiments.RunClampAblation(p, experiments.IID, seed, 100)
-	if err != nil {
-		return err
-	}
-	fmt.Println(clAb.Render())
-
-	fmt.Println("upload compression vs scheduling …")
-	cAb, err := experiments.RunCompressionAblation(p, experiments.IID, seed, experiments.DefaultCompressors())
-	if err != nil {
-		return err
-	}
-	fmt.Println(cAb.Render())
-
-	fmt.Println("upload-failure injection …")
-	dAb, err := experiments.RunDropoutAblation(p, experiments.IID, seed, []float64{0, 0.1, 0.3})
-	if err != nil {
-		return err
-	}
-	fmt.Println(dAb.Render())
-
-	fmt.Println("block-fading channel …")
-	fAb, err := experiments.RunFadingAblation(p, experiments.IID, seed, []float64{0, 0.3, 0.6})
-	if err != nil {
-		return err
-	}
-	fmt.Println(fAb.Render())
-
-	fmt.Println("loss-aware utility extension …")
-	ext, err := experiments.RunLossAwareExtension(p, experiments.NonIID, seed, []float64{0.5, 1.0})
-	if err != nil {
-		return err
-	}
-	fmt.Println(ext.Render())
-
-	fmt.Println("RB interpretation (serial vs parallel sub-channels) …")
-	rb, err := experiments.RunRBAblation(p, seed, 100, []int{1, 2, 5, 10})
-	if err != nil {
-		return err
-	}
-	fmt.Println(rb.Render())
-
-	fmt.Println("model architecture (C_model coupling) …")
-	ma, err := experiments.RunModelAblation(p, experiments.IID, seed, []string{"logistic", "mlp"})
-	if err != nil {
-		return err
-	}
-	fmt.Println(ma.Render())
-
-	fmt.Println("partition family (shards vs Dirichlet) …")
-	pa, err := experiments.RunPartitionAblation(p, seed, []float64{0.2, 1.0, 5.0})
-	if err != nil {
-		return err
-	}
-	fmt.Println(pa.Render())
-
-	fmt.Println("discrete DVFS levels …")
-	dl, err := experiments.RunDVFSLevelsAblation(p, experiments.IID, seed, []int{0, 16, 8, 4, 2})
-	if err != nil {
-		return err
-	}
-	fmt.Println(dl.Render())
-
-	fmt.Println("selection fairness …")
-	fa, err := experiments.RunFairnessStudy(p, seed, 200)
-	if err != nil {
-		return err
-	}
-	fmt.Println(fa.Render())
-	return nil
-}
-
-func runBudget(p experiments.Preset, seed int64) error {
-	// Budgets at roughly 1/8 and 1/2 of a full campaign's duration.
-	for _, budget := range []float64{180, 720} {
-		for _, s := range []experiments.Setting{experiments.IID, experiments.NonIID} {
-			fmt.Printf("running deadline-budget campaign (%s, %.0f s) …\n", s, budget)
-			db, err := experiments.RunDeadlineBudget(p, s, seed, budget)
-			if err != nil {
-				return err
-			}
-			fmt.Println(db.Render())
-		}
-	}
-	return nil
-}
-
-func runBattery(p experiments.Preset, seed int64) error {
-	for _, s := range []experiments.Setting{experiments.IID, experiments.NonIID} {
-		fmt.Printf("running battery campaign (%s) …\n", s)
-		bc, err := experiments.RunBatteryCampaign(p, s, seed, 8)
-		if err != nil {
-			return err
-		}
-		fmt.Println(bc.Render())
-	}
-	return nil
-}
-
-func runSeeds(p experiments.Preset, seed int64, n int) error {
-	if n <= 0 {
-		return fmt.Errorf("seed count %d must be positive", n)
-	}
-	seeds := make([]int64, n)
-	for i := range seeds {
-		seeds[i] = seed + int64(i)
-	}
-	for _, s := range []experiments.Setting{experiments.IID, experiments.NonIID} {
-		fmt.Printf("running %d-seed campaign (%s) …\n", n, s)
-		ms, err := experiments.RunMultiSeed(p, s, seeds)
-		if err != nil {
-			return err
-		}
-		fmt.Println(ms.Render())
-	}
-	return nil
 }
 
 func runTrace(p experiments.Preset, seed int64, scheme, settingName, outDir string) error {
@@ -496,36 +432,5 @@ func runEval(p experiments.Preset, seed int64, settingName, modelPath string) er
 	fmt.Printf("%s on %s/%s test set: loss %.4f, accuracy %.2f%%\n",
 		modelPath, p.Name, setting, loss, acc*100)
 	fmt.Println(metrics.ConfusionOf(model, env.Synth.Test, spec.Classes, spec.FlattensInput()))
-	return nil
-}
-
-func runAll(p experiments.Preset, seed int64, outDir string) error {
-	if err := runFig1(p, seed); err != nil {
-		return err
-	}
-	figs := map[experiments.Setting]*experiments.Fig2Result{}
-	if err := runFig2(p, seed, outDir, figs); err != nil {
-		return err
-	}
-	if err := runTable1(p, seed, figs); err != nil {
-		return err
-	}
-	fig3s := map[experiments.Setting]*experiments.Fig3Result{}
-	for _, s := range []experiments.Setting{experiments.IID, experiments.NonIID} {
-		fmt.Printf("running Fig. 3 (%s) …\n", s)
-		f3, err := experiments.RunFig3(p, s, seed)
-		if err != nil {
-			return err
-		}
-		fig3s[s] = f3
-		bars, tbl := f3.Render()
-		fmt.Println(bars)
-		fmt.Println(tbl)
-	}
-	if err := runAblation(p, seed); err != nil {
-		return err
-	}
-	tbl := experiments.BuildTableI(p, figs)
-	fmt.Println(experiments.BuildHeadline(figs, tbl, fig3s).Render())
 	return nil
 }

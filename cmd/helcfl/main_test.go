@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"os"
@@ -189,5 +192,38 @@ func TestRunAllTiny(t *testing.T) {
 	matches, _ := filepath.Glob(filepath.Join(dir, "fig2_tiny_*.csv"))
 	if len(matches) != 2 {
 		t.Fatalf("fig2 CSVs = %v", matches)
+	}
+}
+
+func TestRunParallelFlag(t *testing.T) {
+	if err := run([]string{"fig2", "-preset", "tiny", "-parallel", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := runCtx(ctx, []string{"fig2", "-preset", "tiny"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled context: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunBenchWritesReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"bench", "-preset", "tiny", "-experiment", "fig1", "-bench-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("bench report is not valid JSON: %v", err)
+	}
+	if rep.Experiment != "fig1" || rep.Cells != 1 || rep.SerialSeconds <= 0 || rep.ParallelSeconds <= 0 {
+		t.Fatalf("implausible bench report: %+v", rep)
 	}
 }

@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 
 	"helcfl/internal/core"
 	"helcfl/internal/device"
+	"helcfl/internal/grid"
 	"helcfl/internal/metrics"
 	"helcfl/internal/report"
 	"helcfl/internal/selection"
@@ -20,24 +23,47 @@ type EtaAblation struct {
 	TimeSec []float64
 }
 
-// RunEtaAblation trains HELCFL once per η on a shared environment.
-func RunEtaAblation(p Preset, s Setting, seed int64, etas []float64) (*EtaAblation, error) {
-	out := &EtaAblation{Setting: s, Etas: etas}
+// EtaCells returns one HELCFL training cell per η value. The variant names
+// the preset mutation so the keys stay distinct from unmutated runs.
+func EtaCells(p Preset, s Setting, seed int64, etas []float64) []grid.Cell {
+	cells := make([]grid.Cell, 0, len(etas))
 	for _, eta := range etas {
 		pp := p
 		pp.Eta = eta
-		env, err := BuildEnv(pp, s, seed)
+		cells = append(cells, trainCell(pp, s, seed, "HELCFL", fmt.Sprintf("eta=%g", eta), nil))
+	}
+	return cells
+}
+
+// AssembleEtaAblation folds EtaCells results into the sweep.
+func AssembleEtaAblation(s Setting, etas []float64, res []any) (*EtaAblation, error) {
+	if len(res) != len(etas) {
+		return nil, fmt.Errorf("experiments: eta sweep got %d results, want %d", len(res), len(etas))
+	}
+	out := &EtaAblation{Setting: s, Etas: etas}
+	for i := range etas {
+		r, err := cellResult[schemeRun](res, i)
 		if err != nil {
 			return nil, err
 		}
-		curve, res, err := RunScheme(env, "HELCFL")
-		if err != nil {
-			return nil, fmt.Errorf("eta %g: %w", eta, err)
-		}
-		out.Best = append(out.Best, curve.Best())
-		out.TimeSec = append(out.TimeSec, res.TotalTime)
+		out.Best = append(out.Best, r.Curve.Best())
+		out.TimeSec = append(out.TimeSec, r.Res.TotalTime)
 	}
 	return out, nil
+}
+
+// RunEtaAblationGrid runs the η sweep through a grid runner.
+func RunEtaAblationGrid(ctx context.Context, r *grid.Runner, p Preset, s Setting, seed int64, etas []float64) (*EtaAblation, error) {
+	res, err := runCells(ctx, r, EtaCells(p, s, seed, etas))
+	if err != nil {
+		return nil, err
+	}
+	return AssembleEtaAblation(s, etas, res)
+}
+
+// RunEtaAblation trains HELCFL once per η.
+func RunEtaAblation(p Preset, s Setting, seed int64, etas []float64) (*EtaAblation, error) {
+	return RunEtaAblationGrid(context.Background(), nil, p, s, seed, etas)
 }
 
 // Render produces the η-sweep table.
@@ -61,25 +87,47 @@ type FractionAblation struct {
 	EnergyJ   []float64
 }
 
-// RunFractionAblation trains HELCFL once per fraction.
-func RunFractionAblation(p Preset, s Setting, seed int64, fractions []float64) (*FractionAblation, error) {
-	out := &FractionAblation{Setting: s, Fractions: fractions}
+// FractionCells returns one HELCFL training cell per selection fraction.
+func FractionCells(p Preset, s Setting, seed int64, fractions []float64) []grid.Cell {
+	cells := make([]grid.Cell, 0, len(fractions))
 	for _, c := range fractions {
 		pp := p
 		pp.Fraction = c
-		env, err := BuildEnv(pp, s, seed)
+		cells = append(cells, trainCell(pp, s, seed, "HELCFL", fmt.Sprintf("C=%g", c), nil))
+	}
+	return cells
+}
+
+// AssembleFractionAblation folds FractionCells results into the sweep.
+func AssembleFractionAblation(s Setting, fractions []float64, res []any) (*FractionAblation, error) {
+	if len(res) != len(fractions) {
+		return nil, fmt.Errorf("experiments: fraction sweep got %d results, want %d", len(res), len(fractions))
+	}
+	out := &FractionAblation{Setting: s, Fractions: fractions}
+	for i := range fractions {
+		r, err := cellResult[schemeRun](res, i)
 		if err != nil {
 			return nil, err
 		}
-		curve, res, err := RunScheme(env, "HELCFL")
-		if err != nil {
-			return nil, fmt.Errorf("fraction %g: %w", c, err)
-		}
-		out.Best = append(out.Best, curve.Best())
-		out.TimeSec = append(out.TimeSec, res.TotalTime)
-		out.EnergyJ = append(out.EnergyJ, res.TotalEnergy)
+		out.Best = append(out.Best, r.Curve.Best())
+		out.TimeSec = append(out.TimeSec, r.Res.TotalTime)
+		out.EnergyJ = append(out.EnergyJ, r.Res.TotalEnergy)
 	}
 	return out, nil
+}
+
+// RunFractionAblationGrid runs the C sweep through a grid runner.
+func RunFractionAblationGrid(ctx context.Context, r *grid.Runner, p Preset, s Setting, seed int64, fractions []float64) (*FractionAblation, error) {
+	res, err := runCells(ctx, r, FractionCells(p, s, seed, fractions))
+	if err != nil {
+		return nil, err
+	}
+	return AssembleFractionAblation(s, fractions, res)
+}
+
+// RunFractionAblation trains HELCFL once per fraction.
+func RunFractionAblation(p Preset, s Setting, seed int64, fractions []float64) (*FractionAblation, error) {
+	return RunFractionAblationGrid(context.Background(), nil, p, s, seed, fractions)
 }
 
 // Render produces the C-sweep table.
@@ -105,9 +153,47 @@ type ClampAblation struct {
 	WorstAbovePct float64 // worst relative overshoot above f_max
 }
 
+// ClampCells wraps the clamping study as a single cell: the replay is one
+// indivisible computation, not a sweep.
+func ClampCells(p Preset, s Setting, seed int64, rounds int) []grid.Cell {
+	return []grid.Cell{{
+		Experiment: "clamp",
+		Preset:     p.Name,
+		Setting:    string(s),
+		Scheme:     "HELCFL",
+		Variant:    fmt.Sprintf("rounds=%d", rounds),
+		Seed:       seed,
+		Run: func(context.Context, *rand.Rand) (any, error) {
+			return clampStudy(p, s, seed, rounds)
+		},
+	}}
+}
+
+// AssembleClampAblation extracts the single clamp-study result.
+func AssembleClampAblation(res []any) (*ClampAblation, error) {
+	if len(res) != 1 {
+		return nil, fmt.Errorf("experiments: clamp study got %d results, want 1", len(res))
+	}
+	return cellResult[*ClampAblation](res, 0)
+}
+
+// RunClampAblationGrid runs the clamping study through a grid runner.
+func RunClampAblationGrid(ctx context.Context, r *grid.Runner, p Preset, s Setting, seed int64, rounds int) (*ClampAblation, error) {
+	res, err := runCells(ctx, r, ClampCells(p, s, seed, rounds))
+	if err != nil {
+		return nil, err
+	}
+	return AssembleClampAblation(res)
+}
+
 // RunClampAblation replays HELCFL's selection for `rounds` rounds and
 // evaluates the literal Algorithm 3 output on each selected cohort.
 func RunClampAblation(p Preset, s Setting, seed int64, rounds int) (*ClampAblation, error) {
+	return RunClampAblationGrid(context.Background(), nil, p, s, seed, rounds)
+}
+
+// clampStudy is the serial body of the clamping study.
+func clampStudy(p Preset, s Setting, seed int64, rounds int) (*ClampAblation, error) {
 	env, err := BuildEnv(p, s, seed)
 	if err != nil {
 		return nil, err
@@ -164,8 +250,44 @@ type Fig1Demo struct {
 	WithDVFS sim.RoundResult
 }
 
+// Fig1Cells wraps the Fig. 1 demonstration as a single cell.
+func Fig1Cells(p Preset, seed int64) []grid.Cell {
+	return []grid.Cell{{
+		Experiment: "fig1",
+		Preset:     p.Name,
+		Setting:    string(IID),
+		Scheme:     "HELCFL",
+		Seed:       seed,
+		Run: func(context.Context, *rand.Rand) (any, error) {
+			return fig1Demo(p, seed)
+		},
+	}}
+}
+
+// AssembleFig1Demo extracts the single Fig. 1 result.
+func AssembleFig1Demo(res []any) (*Fig1Demo, error) {
+	if len(res) != 1 {
+		return nil, fmt.Errorf("experiments: fig1 demo got %d results, want 1", len(res))
+	}
+	return cellResult[*Fig1Demo](res, 0)
+}
+
+// RunFig1DemoGrid runs the demonstration through a grid runner.
+func RunFig1DemoGrid(ctx context.Context, r *grid.Runner, p Preset, seed int64) (*Fig1Demo, error) {
+	res, err := runCells(ctx, r, Fig1Cells(p, seed))
+	if err != nil {
+		return nil, err
+	}
+	return AssembleFig1Demo(res)
+}
+
 // RunFig1Demo builds the demonstration on a fresh environment.
 func RunFig1Demo(p Preset, seed int64) (*Fig1Demo, error) {
+	return RunFig1DemoGrid(context.Background(), nil, p, seed)
+}
+
+// fig1Demo is the serial body of the demonstration.
+func fig1Demo(p Preset, seed int64) (*Fig1Demo, error) {
 	env, err := BuildEnv(p, IID, seed)
 	if err != nil {
 		return nil, err

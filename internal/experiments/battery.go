@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 
 	"helcfl/internal/core"
 	"helcfl/internal/device"
 	"helcfl/internal/fl"
+	"helcfl/internal/grid"
 	"helcfl/internal/metrics"
 	"helcfl/internal/report"
 	"helcfl/internal/selection"
@@ -51,48 +54,108 @@ func EstimateSelectedUserRoundEnergy(env *Env) (float64, error) {
 	return round.TotalEnergy / float64(len(sel)), nil
 }
 
-// RunBatteryCampaign gives every device a battery worth selectionsOfBudget
-// max-frequency selections and trains every scheme to its round budget or
-// fleet death.
-func RunBatteryCampaign(p Preset, s Setting, seed int64, selectionsOfBudget float64) (*BatteryCampaign, error) {
+// batteryRun is one scheme's cell result; CapacityJ and Fleet repeat the
+// shared (deterministically re-derived) campaign parameters.
+type batteryRun struct {
+	CapacityJ float64
+	Fleet     int
+	Run       schemeRun
+}
+
+// BatteryCells returns one finite-battery training cell per scheme. Each
+// cell re-derives the capacity from its own environment rebuild — the
+// estimate is deterministic in (preset, setting, seed), so every cell
+// agrees with the historical shared-environment computation.
+func BatteryCells(p Preset, s Setting, seed int64, selectionsOfBudget float64) ([]grid.Cell, error) {
 	if selectionsOfBudget <= 0 {
 		return nil, fmt.Errorf("experiments: non-positive battery budget %g", selectionsOfBudget)
 	}
-	env, err := BuildEnv(p, s, seed)
-	if err != nil {
-		return nil, err
+	cells := make([]grid.Cell, 0, len(batterySchemes))
+	for _, sc := range batterySchemes {
+		scheme := sc
+		cells = append(cells, grid.Cell{
+			Experiment: "battery",
+			Preset:     p.Name,
+			Setting:    string(s),
+			Scheme:     scheme,
+			Variant:    fmt.Sprintf("sel=%g", selectionsOfBudget),
+			Seed:       seed,
+			Run: func(context.Context, *rand.Rand) (any, error) {
+				env, err := BuildEnv(p, s, seed)
+				if err != nil {
+					return nil, err
+				}
+				perSel, err := EstimateSelectedUserRoundEnergy(env)
+				if err != nil {
+					return nil, err
+				}
+				capacity := selectionsOfBudget * perSel
+				curve, res, err := RunSchemeWith(env, scheme, func(c *fl.Config) {
+					c.BatteryCapacityJ = capacity
+				})
+				if err != nil {
+					return nil, err
+				}
+				return batteryRun{
+					CapacityJ: capacity,
+					Fleet:     len(env.Devices),
+					Run:       schemeRun{Curve: curve, Res: res},
+				}, nil
+			},
+		})
 	}
-	perSel, err := EstimateSelectedUserRoundEnergy(env)
-	if err != nil {
-		return nil, err
+	return cells, nil
+}
+
+// AssembleBatteryCampaign folds BatteryCells results into the campaign.
+func AssembleBatteryCampaign(s Setting, res []any) (*BatteryCampaign, error) {
+	if len(res) != len(batterySchemes) {
+		return nil, fmt.Errorf("experiments: battery campaign got %d results, want %d", len(res), len(batterySchemes))
 	}
-	capacity := selectionsOfBudget * perSel
 	out := &BatteryCampaign{
 		Setting:    s,
-		CapacityJ:  capacity,
 		Best:       map[string]float64{},
 		FinalAlive: map[string]int{},
 		RoundsDone: map[string]int{},
 		Halted:     map[string]bool{},
-		Fleet:      len(env.Devices),
 	}
-	for _, scheme := range batterySchemes {
-		curve, res, err := RunSchemeWith(env, scheme, func(c *fl.Config) {
-			c.BatteryCapacityJ = capacity
-		})
+	for i, scheme := range batterySchemes {
+		r, err := cellResult[batteryRun](res, i)
 		if err != nil {
-			return nil, fmt.Errorf("scheme %s: %w", scheme, err)
+			return nil, err
 		}
-		out.Best[scheme] = curve.Best()
-		out.RoundsDone[scheme] = len(res.Records)
-		out.Halted[scheme] = res.HaltedByDeadFleet
-		if n := len(res.Records); n > 0 {
-			out.FinalAlive[scheme] = res.Records[n-1].AliveDevices
+		out.CapacityJ = r.CapacityJ
+		out.Fleet = r.Fleet
+		out.Best[scheme] = r.Run.Curve.Best()
+		out.RoundsDone[scheme] = len(r.Run.Res.Records)
+		out.Halted[scheme] = r.Run.Res.HaltedByDeadFleet
+		if n := len(r.Run.Res.Records); n > 0 {
+			out.FinalAlive[scheme] = r.Run.Res.Records[n-1].AliveDevices
 		} else {
-			out.FinalAlive[scheme] = len(env.Devices)
+			out.FinalAlive[scheme] = r.Fleet
 		}
 	}
 	return out, nil
+}
+
+// RunBatteryCampaignGrid runs the campaign through a grid runner.
+func RunBatteryCampaignGrid(ctx context.Context, r *grid.Runner, p Preset, s Setting, seed int64, selectionsOfBudget float64) (*BatteryCampaign, error) {
+	cells, err := BatteryCells(p, s, seed, selectionsOfBudget)
+	if err != nil {
+		return nil, err
+	}
+	res, err := runCells(ctx, r, cells)
+	if err != nil {
+		return nil, err
+	}
+	return AssembleBatteryCampaign(s, res)
+}
+
+// RunBatteryCampaign gives every device a battery worth selectionsOfBudget
+// max-frequency selections and trains every scheme to its round budget or
+// fleet death.
+func RunBatteryCampaign(p Preset, s Setting, seed int64, selectionsOfBudget float64) (*BatteryCampaign, error) {
+	return RunBatteryCampaignGrid(context.Background(), nil, p, s, seed, selectionsOfBudget)
 }
 
 // Render produces the lifetime-comparison table.

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"helcfl/internal/fl"
+	"helcfl/internal/grid"
+	"helcfl/internal/metrics"
+)
+
+// This file is the bridge between the experiment drivers and the campaign
+// grid (internal/grid): every driver expresses its study as cells — built
+// by a *Cells function — and folds the runner's results back into its
+// result type with an Assemble* function. The exported Run* entry points
+// keep their historical signatures and delegate to the cells through
+// runCells, so a library caller gets parallel execution for free while the
+// registry (registry.go) composes the same cells into larger campaigns.
+
+// defaultRunner backs the exported Run* drivers: full host parallelism, no
+// attached observability. Cells rebuild their environments from the seed,
+// so parallel execution is bit-identical to the historical serial loops.
+var defaultRunner = &grid.Runner{}
+
+// runCells executes cells on r, defaulting to the package runner; ctx may
+// be nil.
+func runCells(ctx context.Context, r *grid.Runner, cells []grid.Cell) ([]any, error) {
+	if r == nil {
+		r = defaultRunner
+	}
+	return r.Run(ctx, cells)
+}
+
+// schemeRun is the result of one standard training cell: the evaluated
+// curve plus the engine result the assemblers mine for totals. SL runs
+// carry a nil Res (the separated-learning engine has its own result type;
+// only the curve is comparable).
+type schemeRun struct {
+	Curve metrics.Curve
+	Res   *fl.Result
+}
+
+// cellResult extracts a typed cell result, reporting authoring bugs (an
+// assembler paired with the wrong cells) as errors rather than panics.
+func cellResult[T any](res []any, i int) (T, error) {
+	var zero T
+	if i < 0 || i >= len(res) {
+		return zero, fmt.Errorf("experiments: cell result %d out of range (%d results)", i, len(res))
+	}
+	v, ok := res[i].(T)
+	if !ok {
+		return zero, fmt.Errorf("experiments: cell result %d is %T, want %T", i, res[i], zero)
+	}
+	return v, nil
+}
+
+// trainCell is the workhorse cell: build the (preset, setting, seed)
+// environment, train one scheme, return a schemeRun. variant must name any
+// config mutation beyond the preset defaults (grid keys treat equal-key
+// cells as interchangeable); mutate may be nil. The "SL" scheme routes to
+// the separated-learning engine and ignores mutate.
+func trainCell(p Preset, s Setting, seed int64, scheme, variant string, mutate func(*fl.Config)) grid.Cell {
+	return grid.Cell{
+		Experiment: "train",
+		Preset:     p.Name,
+		Setting:    string(s),
+		Scheme:     scheme,
+		Variant:    variant,
+		Seed:       seed,
+		Run: func(context.Context, *rand.Rand) (any, error) {
+			env, err := BuildEnv(p, s, seed)
+			if err != nil {
+				return nil, err
+			}
+			if scheme == "SL" {
+				curve, err := runSL(env)
+				if err != nil {
+					return nil, err
+				}
+				return schemeRun{Curve: curve}, nil
+			}
+			curve, res, err := RunSchemeWith(env, scheme, mutate)
+			if err != nil {
+				return nil, err
+			}
+			return schemeRun{Curve: curve, Res: res}, nil
+		},
+	}
+}

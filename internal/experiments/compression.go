@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"helcfl/internal/compress"
 	"helcfl/internal/fl"
+	"helcfl/internal/grid"
 	"helcfl/internal/metrics"
 	"helcfl/internal/report"
 )
@@ -23,51 +25,103 @@ type CompressionAblation struct {
 	EnergyJ []float64
 }
 
-// RunCompressionAblation trains HELCFL once per compressor on a shared
-// environment. Both the cost model (C_model in Eq. 7) and the training
-// (lossy reconstructed uploads) see the compression.
-func RunCompressionAblation(p Preset, s Setting, seed int64, compressors []compress.Compressor) (*CompressionAblation, error) {
-	env, err := BuildEnv(p, s, seed)
-	if err != nil {
-		return nil, err
+// compressRun is one compressor's cell result.
+type compressRun struct {
+	Name  string
+	Ratio float64
+	Run   schemeRun
+}
+
+// CompressionCells returns one HELCFL training cell per compressor. Both
+// the cost model (C_model in Eq. 7) and the training (lossy reconstructed
+// uploads) see the compression.
+func CompressionCells(p Preset, s Setting, seed int64, compressors []compress.Compressor) []grid.Cell {
+	cells := make([]grid.Cell, 0, len(compressors))
+	for _, comp := range compressors {
+		c := comp
+		cells = append(cells, grid.Cell{
+			Experiment: "compress",
+			Preset:     p.Name,
+			Setting:    string(s),
+			Scheme:     "HELCFL",
+			Variant:    "compressor=" + c.Name(),
+			Seed:       seed,
+			Run: func(context.Context, *rand.Rand) (any, error) {
+				env, err := BuildEnv(p, s, seed)
+				if err != nil {
+					return nil, err
+				}
+				numParams := env.Spec.Build(rand.New(rand.NewSource(seed + 3))).NumParams()
+				// The planner must see the compressed upload size: it changes
+				// T_com in utility ranking, FedCS packing, and Algorithm 3 chains.
+				cenv := *env
+				cenv.ModelBits = c.BitsFor(numParams)
+				planner, err := newPlanner("HELCFL", &cenv, seed)
+				if err != nil {
+					return nil, err
+				}
+				res, err := fl.Run(fl.Config{
+					Spec:       cenv.Spec,
+					Devices:    cenv.Devices,
+					Channel:    cenv.Channel,
+					UserData:   cenv.UserData,
+					Test:       cenv.Synth.Test,
+					Planner:    planner,
+					LR:         p.LR,
+					LocalSteps: p.LocalSteps,
+					MaxRounds:  p.MaxRounds,
+					EvalEvery:  p.EvalEvery,
+					Compressor: c,
+					Seed:       seed + 100,
+					Sink:       p.Sink,
+				})
+				if err != nil {
+					return nil, err
+				}
+				return compressRun{
+					Name:  c.Name(),
+					Ratio: compress.Ratio(c, numParams),
+					Run:   schemeRun{Curve: metrics.CurveFromRecords(c.Name(), res.Records), Res: res},
+				}, nil
+			},
+		})
 	}
-	numParams := env.Spec.Build(rand.New(rand.NewSource(seed + 3))).NumParams()
+	return cells
+}
+
+// AssembleCompressionAblation folds CompressionCells results into the study.
+func AssembleCompressionAblation(s Setting, compressors []compress.Compressor, res []any) (*CompressionAblation, error) {
+	if len(res) != len(compressors) {
+		return nil, fmt.Errorf("experiments: compression study got %d results, want %d", len(res), len(compressors))
+	}
 	out := &CompressionAblation{Setting: s}
-	for _, c := range compressors {
-		// The planner must see the compressed upload size: it changes
-		// T_com in utility ranking, FedCS packing, and Algorithm 3 chains.
-		cenv := *env
-		cenv.ModelBits = c.BitsFor(numParams)
-		planner, err := newPlanner("HELCFL", &cenv, seed)
+	for i := range compressors {
+		r, err := cellResult[compressRun](res, i)
 		if err != nil {
 			return nil, err
 		}
-		res, err := fl.Run(fl.Config{
-			Spec:       cenv.Spec,
-			Devices:    cenv.Devices,
-			Channel:    cenv.Channel,
-			UserData:   cenv.UserData,
-			Test:       cenv.Synth.Test,
-			Planner:    planner,
-			LR:         p.LR,
-			LocalSteps: p.LocalSteps,
-			MaxRounds:  p.MaxRounds,
-			EvalEvery:  p.EvalEvery,
-			Compressor: c,
-			Seed:       seed + 100,
-			Sink:       p.Sink,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("compressor %s: %w", c.Name(), err)
-		}
-		curve := metrics.CurveFromRecords(c.Name(), res.Records)
-		out.Names = append(out.Names, c.Name())
-		out.Ratios = append(out.Ratios, compress.Ratio(c, numParams))
-		out.Best = append(out.Best, curve.Best())
-		out.TimeSec = append(out.TimeSec, res.TotalTime)
-		out.EnergyJ = append(out.EnergyJ, res.TotalEnergy)
+		out.Names = append(out.Names, r.Name)
+		out.Ratios = append(out.Ratios, r.Ratio)
+		out.Best = append(out.Best, r.Run.Curve.Best())
+		out.TimeSec = append(out.TimeSec, r.Run.Res.TotalTime)
+		out.EnergyJ = append(out.EnergyJ, r.Run.Res.TotalEnergy)
 	}
 	return out, nil
+}
+
+// RunCompressionAblationGrid runs the compression study through a grid
+// runner.
+func RunCompressionAblationGrid(ctx context.Context, r *grid.Runner, p Preset, s Setting, seed int64, compressors []compress.Compressor) (*CompressionAblation, error) {
+	res, err := runCells(ctx, r, CompressionCells(p, s, seed, compressors))
+	if err != nil {
+		return nil, err
+	}
+	return AssembleCompressionAblation(s, compressors, res)
+}
+
+// RunCompressionAblation trains HELCFL once per compressor.
+func RunCompressionAblation(p Preset, s Setting, seed int64, compressors []compress.Compressor) (*CompressionAblation, error) {
+	return RunCompressionAblationGrid(context.Background(), nil, p, s, seed, compressors)
 }
 
 // DefaultCompressors returns the comparison set: fp32 baseline, 10% top-k

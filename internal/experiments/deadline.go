@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"helcfl/internal/fl"
+	"helcfl/internal/grid"
 	"helcfl/internal/metrics"
 	"helcfl/internal/report"
 )
@@ -22,15 +24,35 @@ type DeadlineBudget struct {
 	Rounds map[string]int
 }
 
-// RunDeadlineBudget runs all five schemes under the deadline. SL uses its
-// own engine and is budgeted by truncating its trajectory at the deadline.
-func RunDeadlineBudget(p Preset, s Setting, seed int64, budgetSec float64) (*DeadlineBudget, error) {
+// deadlineSchemes are the engine-budgeted schemes; SL rides as a plain
+// training cell and is truncated post hoc.
+var deadlineSchemes = []string{"HELCFL", "ClassicFL", "FedCS", "FEDL"}
+
+// DeadlineCells returns the four engine-budgeted schemes followed by the
+// unbudgeted SL baseline. The SL cell is the same key as a plain SL run, so
+// composed campaigns share its execution.
+func DeadlineCells(p Preset, s Setting, seed int64, budgetSec float64) ([]grid.Cell, error) {
 	if budgetSec <= 0 {
 		return nil, fmt.Errorf("experiments: non-positive budget %g", budgetSec)
 	}
-	env, err := BuildEnv(p, s, seed)
-	if err != nil {
-		return nil, err
+	cells := make([]grid.Cell, 0, len(deadlineSchemes)+1)
+	for _, scheme := range deadlineSchemes {
+		cells = append(cells, trainCell(p, s, seed, scheme, fmt.Sprintf("deadline=%g", budgetSec),
+			func(c *fl.Config) {
+				c.DeadlineSec = budgetSec
+				// A generous round cap; the deadline is the binding constraint.
+				c.MaxRounds = p.MaxRounds * 10
+			}))
+	}
+	cells = append(cells, trainCell(p, s, seed, "SL", "", nil))
+	return cells, nil
+}
+
+// AssembleDeadlineBudget folds DeadlineCells results into the comparison,
+// truncating SL's trajectory at the budget.
+func AssembleDeadlineBudget(s Setting, budgetSec float64, res []any) (*DeadlineBudget, error) {
+	if len(res) != len(deadlineSchemes)+1 {
+		return nil, fmt.Errorf("experiments: deadline budget got %d results, want %d", len(res), len(deadlineSchemes)+1)
 	}
 	out := &DeadlineBudget{
 		Setting:   s,
@@ -38,26 +60,21 @@ func RunDeadlineBudget(p Preset, s Setting, seed int64, budgetSec float64) (*Dea
 		Best:      map[string]float64{},
 		Rounds:    map[string]int{},
 	}
-	for _, scheme := range []string{"HELCFL", "ClassicFL", "FedCS", "FEDL"} {
-		curve, res, err := RunSchemeWith(env, scheme, func(c *fl.Config) {
-			c.DeadlineSec = budgetSec
-			// A generous round cap; the deadline is the binding constraint.
-			c.MaxRounds = p.MaxRounds * 10
-		})
+	for i, scheme := range deadlineSchemes {
+		r, err := cellResult[schemeRun](res, i)
 		if err != nil {
-			return nil, fmt.Errorf("scheme %s: %w", scheme, err)
+			return nil, err
 		}
-		out.Best[scheme] = curve.Best()
-		out.Rounds[scheme] = len(res.Records)
+		out.Best[scheme] = r.Curve.Best()
+		out.Rounds[scheme] = len(r.Res.Records)
 	}
-	// SL: reuse the standard run and truncate at the budget.
-	slCurve, err := runSL(env)
+	sl, err := cellResult[schemeRun](res, len(deadlineSchemes))
 	if err != nil {
 		return nil, err
 	}
 	best := 0.0
 	rounds := 0
-	for _, pt := range slCurve.Points {
+	for _, pt := range sl.Curve.Points {
 		if pt.Time > budgetSec {
 			break
 		}
@@ -69,6 +86,25 @@ func RunDeadlineBudget(p Preset, s Setting, seed int64, budgetSec float64) (*Dea
 	out.Best["SL"] = best
 	out.Rounds["SL"] = rounds
 	return out, nil
+}
+
+// RunDeadlineBudgetGrid runs the budget comparison through a grid runner.
+func RunDeadlineBudgetGrid(ctx context.Context, r *grid.Runner, p Preset, s Setting, seed int64, budgetSec float64) (*DeadlineBudget, error) {
+	cells, err := DeadlineCells(p, s, seed, budgetSec)
+	if err != nil {
+		return nil, err
+	}
+	res, err := runCells(ctx, r, cells)
+	if err != nil {
+		return nil, err
+	}
+	return AssembleDeadlineBudget(s, budgetSec, res)
+}
+
+// RunDeadlineBudget runs all five schemes under the deadline. SL uses its
+// own engine and is budgeted by truncating its trajectory at the deadline.
+func RunDeadlineBudget(p Preset, s Setting, seed int64, budgetSec float64) (*DeadlineBudget, error) {
+	return RunDeadlineBudgetGrid(context.Background(), nil, p, s, seed, budgetSec)
 }
 
 // Render produces the budget-comparison table.

@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 
+	"helcfl/internal/grid"
 	"helcfl/internal/report"
 )
 
@@ -20,30 +23,60 @@ type DVFSLevelsAblation struct {
 	Reached      []bool
 }
 
-// RunDVFSLevelsAblation runs the Fig. 3 comparison once per level count
-// (0 = continuous).
-func RunDVFSLevelsAblation(p Preset, s Setting, seed int64, levelCounts []int) (*DVFSLevelsAblation, error) {
-	out := &DVFSLevelsAblation{Setting: s}
+// dvfsLevelLabel names one variant (0 = continuous).
+func dvfsLevelLabel(n int) string {
+	if n > 0 {
+		return fmt.Sprintf("%d levels", n)
+	}
+	return "continuous"
+}
+
+// DVFSLevelsCells returns one Fig. 3 comparison cell per level count
+// (0 = continuous); the level mutation applies to the cell's own
+// environment rebuild. Rejects level counts of 1.
+func DVFSLevelsCells(p Preset, s Setting, seed int64, levelCounts []int) ([]grid.Cell, error) {
+	cells := make([]grid.Cell, 0, len(levelCounts))
 	for _, n := range levelCounts {
-		env, err := BuildEnv(p, s, seed)
+		if n > 0 && n < 2 {
+			return nil, fmt.Errorf("experiments: need ≥2 DVFS levels, got %d", n)
+		}
+		levels := n
+		cells = append(cells, grid.Cell{
+			Experiment: "dvfslevels",
+			Preset:     p.Name,
+			Setting:    string(s),
+			Scheme:     "HELCFL",
+			Variant:    fmt.Sprintf("levels=%d", n),
+			Seed:       seed,
+			Run: func(context.Context, *rand.Rand) (any, error) {
+				env, err := BuildEnv(p, s, seed)
+				if err != nil {
+					return nil, err
+				}
+				if levels > 0 {
+					for _, d := range env.Devices {
+						d.UniformLevels(levels)
+					}
+				}
+				return RunFig3Env(env)
+			},
+		})
+	}
+	return cells, nil
+}
+
+// AssembleDVFSLevelsAblation folds DVFSLevelsCells results into the sweep.
+func AssembleDVFSLevelsAblation(s Setting, levelCounts []int, res []any) (*DVFSLevelsAblation, error) {
+	if len(res) != len(levelCounts) {
+		return nil, fmt.Errorf("experiments: DVFS-levels sweep got %d results, want %d", len(res), len(levelCounts))
+	}
+	out := &DVFSLevelsAblation{Setting: s}
+	for i, n := range levelCounts {
+		f3, err := cellResult[*Fig3Result](res, i)
 		if err != nil {
 			return nil, err
 		}
-		label := "continuous"
-		if n > 0 {
-			if n < 2 {
-				return nil, fmt.Errorf("experiments: need ≥2 DVFS levels, got %d", n)
-			}
-			label = fmt.Sprintf("%d levels", n)
-			for _, d := range env.Devices {
-				d.UniformLevels(n)
-			}
-		}
-		f3, err := RunFig3Env(env)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", label, err)
-		}
-		out.Labels = append(out.Labels, label)
+		out.Labels = append(out.Labels, dvfsLevelLabel(n))
 		if len(f3.Targets) > 0 && f3.Reached[0] {
 			out.ReductionPct = append(out.ReductionPct, f3.ReductionPct[0])
 			out.Reached = append(out.Reached, true)
@@ -53,6 +86,25 @@ func RunDVFSLevelsAblation(p Preset, s Setting, seed int64, levelCounts []int) (
 		}
 	}
 	return out, nil
+}
+
+// RunDVFSLevelsAblationGrid runs the sweep through a grid runner.
+func RunDVFSLevelsAblationGrid(ctx context.Context, r *grid.Runner, p Preset, s Setting, seed int64, levelCounts []int) (*DVFSLevelsAblation, error) {
+	cells, err := DVFSLevelsCells(p, s, seed, levelCounts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := runCells(ctx, r, cells)
+	if err != nil {
+		return nil, err
+	}
+	return AssembleDVFSLevelsAblation(s, levelCounts, res)
+}
+
+// RunDVFSLevelsAblation runs the Fig. 3 comparison once per level count
+// (0 = continuous).
+func RunDVFSLevelsAblation(p Preset, s Setting, seed int64, levelCounts []int) (*DVFSLevelsAblation, error) {
+	return RunDVFSLevelsAblationGrid(context.Background(), nil, p, s, seed, levelCounts)
 }
 
 // Render produces the level-count table.

@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 
 	"helcfl/internal/core"
 	"helcfl/internal/fl"
+	"helcfl/internal/grid"
 	"helcfl/internal/metrics"
 	"helcfl/internal/report"
 	"helcfl/internal/selection"
@@ -22,51 +25,98 @@ type LossAwareExtension struct {
 	RoundsToTop []int
 }
 
-// RunLossAwareExtension trains HELCFL once per λ (λ=0 is prepended as the
-// baseline if missing).
-func RunLossAwareExtension(p Preset, s Setting, seed int64, lambdas []float64) (*LossAwareExtension, error) {
+// normalizeLambdas prepends the λ=0 baseline when missing.
+func normalizeLambdas(lambdas []float64) []float64 {
 	if len(lambdas) == 0 || lambdas[0] != 0 {
-		lambdas = append([]float64{0}, lambdas...)
+		return append([]float64{0}, lambdas...)
+	}
+	return lambdas
+}
+
+// LossAwareCells returns one loss-aware training cell per λ. Callers must
+// pass normalized lambdas (see normalizeLambdas) for baseline-first order.
+func LossAwareCells(p Preset, s Setting, seed int64, lambdas []float64) []grid.Cell {
+	cells := make([]grid.Cell, 0, len(lambdas))
+	for _, l := range lambdas {
+		lambda := l
+		cells = append(cells, grid.Cell{
+			Experiment: "lossaware",
+			Preset:     p.Name,
+			Setting:    string(s),
+			Scheme:     "HELCFL",
+			Variant:    fmt.Sprintf("lambda=%g", l),
+			Seed:       seed,
+			Run: func(context.Context, *rand.Rand) (any, error) {
+				env, err := BuildEnv(p, s, seed)
+				if err != nil {
+					return nil, err
+				}
+				planner, err := selection.NewHELCFLLossAware(env.Devices, env.Channel, env.ModelBits, core.Params{
+					Eta: p.Eta, Fraction: p.Fraction, StepsPerRound: p.LocalSteps, Clamp: true,
+				}, lambda)
+				if err != nil {
+					return nil, err
+				}
+				res, err := fl.Run(fl.Config{
+					Spec:       env.Spec,
+					Devices:    env.Devices,
+					Channel:    env.Channel,
+					UserData:   env.UserData,
+					Test:       env.Synth.Test,
+					Planner:    planner,
+					LR:         p.LR,
+					LocalSteps: p.LocalSteps,
+					MaxRounds:  p.MaxRounds,
+					EvalEvery:  p.EvalEvery,
+					Seed:       seed + 100,
+					Sink:       p.Sink,
+				})
+				if err != nil {
+					return nil, err
+				}
+				return schemeRun{Curve: metrics.CurveFromRecords(planner.Name(), res.Records), Res: res}, nil
+			},
+		})
+	}
+	return cells
+}
+
+// AssembleLossAwareExtension folds LossAwareCells results into the sweep.
+func AssembleLossAwareExtension(p Preset, s Setting, lambdas []float64, res []any) (*LossAwareExtension, error) {
+	if len(res) != len(lambdas) {
+		return nil, fmt.Errorf("experiments: loss-aware sweep got %d results, want %d", len(res), len(lambdas))
 	}
 	topTarget := p.Targets(s)[len(p.Targets(s))-1]
 	out := &LossAwareExtension{Setting: s, Lambdas: lambdas}
-	for _, lambda := range lambdas {
-		env, err := BuildEnv(p, s, seed)
+	for i := range lambdas {
+		r, err := cellResult[schemeRun](res, i)
 		if err != nil {
 			return nil, err
 		}
-		planner, err := selection.NewHELCFLLossAware(env.Devices, env.Channel, env.ModelBits, core.Params{
-			Eta: p.Eta, Fraction: p.Fraction, StepsPerRound: p.LocalSteps, Clamp: true,
-		}, lambda)
-		if err != nil {
-			return nil, err
-		}
-		res, err := fl.Run(fl.Config{
-			Spec:       env.Spec,
-			Devices:    env.Devices,
-			Channel:    env.Channel,
-			UserData:   env.UserData,
-			Test:       env.Synth.Test,
-			Planner:    planner,
-			LR:         p.LR,
-			LocalSteps: p.LocalSteps,
-			MaxRounds:  p.MaxRounds,
-			EvalEvery:  p.EvalEvery,
-			Seed:       seed + 100,
-			Sink:       p.Sink,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("lambda %g: %w", lambda, err)
-		}
-		curve := metrics.CurveFromRecords(planner.Name(), res.Records)
 		rounds := -1
-		if r, ok := curve.RoundsToAccuracy(topTarget); ok {
-			rounds = r
+		if n, ok := r.Curve.RoundsToAccuracy(topTarget); ok {
+			rounds = n
 		}
-		out.Best = append(out.Best, curve.Best())
+		out.Best = append(out.Best, r.Curve.Best())
 		out.RoundsToTop = append(out.RoundsToTop, rounds)
 	}
 	return out, nil
+}
+
+// RunLossAwareExtensionGrid runs the λ sweep through a grid runner.
+func RunLossAwareExtensionGrid(ctx context.Context, r *grid.Runner, p Preset, s Setting, seed int64, lambdas []float64) (*LossAwareExtension, error) {
+	lambdas = normalizeLambdas(lambdas)
+	res, err := runCells(ctx, r, LossAwareCells(p, s, seed, lambdas))
+	if err != nil {
+		return nil, err
+	}
+	return AssembleLossAwareExtension(p, s, lambdas, res)
+}
+
+// RunLossAwareExtension trains HELCFL once per λ (λ=0 is prepended as the
+// baseline if missing).
+func RunLossAwareExtension(p Preset, s Setting, seed int64, lambdas []float64) (*LossAwareExtension, error) {
+	return RunLossAwareExtensionGrid(context.Background(), nil, p, s, seed, lambdas)
 }
 
 // Render produces the λ-sweep table.

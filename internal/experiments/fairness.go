@@ -1,12 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
-	"helcfl/internal/fl"
+	"helcfl/internal/grid"
 	"helcfl/internal/report"
-	"helcfl/internal/selection"
 	"helcfl/internal/stats"
 )
 
@@ -22,45 +22,99 @@ type FairnessStudy struct {
 	Coverage []float64 // fraction of users ever selected
 }
 
-// RunFairnessStudy replays `rounds` scheduling decisions per scheme (no
-// training — selection only).
-func RunFairnessStudy(p Preset, seed int64, rounds int) (*FairnessStudy, error) {
+// fairnessSchemes are the selection policies the study replays.
+var fairnessSchemes = []string{"HELCFL", "ClassicFL", "FedCS"}
+
+// fairnessRun is one scheme's replay outcome.
+type fairnessRun struct {
+	Jain     float64
+	Coverage float64
+}
+
+// FairnessCells returns one selection-replay cell per scheme (no training).
+// Each cell builds its own planner via newPlanner, matching the historical
+// per-scheme RNG streams (ClassicFL seed+11).
+func FairnessCells(p Preset, seed int64, rounds int) ([]grid.Cell, error) {
 	if rounds <= 0 {
 		return nil, fmt.Errorf("experiments: non-positive rounds %d", rounds)
 	}
-	env, err := BuildEnv(p, IID, seed)
-	if err != nil {
-		return nil, err
+	cells := make([]grid.Cell, 0, len(fairnessSchemes))
+	for _, sc := range fairnessSchemes {
+		scheme := sc
+		cells = append(cells, grid.Cell{
+			Experiment: "fairness",
+			Preset:     p.Name,
+			Setting:    string(IID),
+			Scheme:     scheme,
+			Variant:    fmt.Sprintf("rounds=%d", rounds),
+			Seed:       seed,
+			Run: func(context.Context, *rand.Rand) (any, error) {
+				env, err := BuildEnv(p, IID, seed)
+				if err != nil {
+					return nil, err
+				}
+				planner, err := newPlanner(scheme, env, seed)
+				if err != nil {
+					return nil, err
+				}
+				counts := make([]float64, len(env.Devices))
+				for j := 0; j < rounds; j++ {
+					sel, _ := planner.PlanRound(j)
+					for _, q := range sel {
+						counts[q]++
+					}
+				}
+				covered := 0
+				for _, c := range counts {
+					if c > 0 {
+						covered++
+					}
+				}
+				return fairnessRun{
+					Jain:     stats.JainIndex(counts),
+					Coverage: float64(covered) / float64(len(env.Devices)),
+				}, nil
+			},
+		})
 	}
-	planners := map[string]fl.Planner{}
-	h, err := newPlanner("HELCFL", env, seed)
-	if err != nil {
-		return nil, err
-	}
-	planners["HELCFL"] = h
-	planners["ClassicFL"] = selection.NewClassicFL(env.Devices, p.Fraction, rand.New(rand.NewSource(seed+11)))
-	planners["FedCS"] = selection.NewFedCS(env.Devices, env.Channel, env.ModelBits, p.FedCSDeadlineSec, p.LocalSteps)
+	return cells, nil
+}
 
+// AssembleFairnessStudy folds FairnessCells results into the study.
+func AssembleFairnessStudy(rounds int, res []any) (*FairnessStudy, error) {
+	if len(res) != len(fairnessSchemes) {
+		return nil, fmt.Errorf("experiments: fairness study got %d results, want %d", len(res), len(fairnessSchemes))
+	}
 	out := &FairnessStudy{Rounds: rounds}
-	for _, scheme := range []string{"HELCFL", "ClassicFL", "FedCS"} {
-		counts := make([]float64, len(env.Devices))
-		for j := 0; j < rounds; j++ {
-			sel, _ := planners[scheme].PlanRound(j)
-			for _, q := range sel {
-				counts[q]++
-			}
-		}
-		covered := 0
-		for _, c := range counts {
-			if c > 0 {
-				covered++
-			}
+	for i, scheme := range fairnessSchemes {
+		r, err := cellResult[fairnessRun](res, i)
+		if err != nil {
+			return nil, err
 		}
 		out.Schemes = append(out.Schemes, scheme)
-		out.Jain = append(out.Jain, stats.JainIndex(counts))
-		out.Coverage = append(out.Coverage, float64(covered)/float64(len(env.Devices)))
+		out.Jain = append(out.Jain, r.Jain)
+		out.Coverage = append(out.Coverage, r.Coverage)
 	}
 	return out, nil
+}
+
+// RunFairnessStudyGrid runs the study through a grid runner.
+func RunFairnessStudyGrid(ctx context.Context, r *grid.Runner, p Preset, seed int64, rounds int) (*FairnessStudy, error) {
+	cells, err := FairnessCells(p, seed, rounds)
+	if err != nil {
+		return nil, err
+	}
+	res, err := runCells(ctx, r, cells)
+	if err != nil {
+		return nil, err
+	}
+	return AssembleFairnessStudy(rounds, res)
+}
+
+// RunFairnessStudy replays `rounds` scheduling decisions per scheme (no
+// training — selection only).
+func RunFairnessStudy(p Preset, seed int64, rounds int) (*FairnessStudy, error) {
+	return RunFairnessStudyGrid(context.Background(), nil, p, seed, rounds)
 }
 
 // Render produces the fairness table.

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"helcfl/internal/core"
 	"helcfl/internal/fl"
+	"helcfl/internal/grid"
 	"helcfl/internal/metrics"
 	"helcfl/internal/selection"
 )
@@ -118,31 +120,45 @@ func runSL(env *Env) (metrics.Curve, error) {
 	return metrics.CurveFromRecords("SL", res.Records), nil
 }
 
-// RunFig2 reproduces one panel of Fig. 2: all five schemes trained on the
-// same environment, reporting accuracy vs training iteration.
-func RunFig2(p Preset, s Setting, seed int64) (*Fig2Result, error) {
-	env, err := BuildEnv(p, s, seed)
+// Fig2Cells returns one Fig. 2 panel as cells: the five schemes of
+// SchemeOrder, each training on its own deterministic rebuild of the
+// (preset, setting, seed) environment.
+func Fig2Cells(p Preset, s Setting, seed int64) []grid.Cell {
+	cells := make([]grid.Cell, 0, len(SchemeOrder))
+	for _, scheme := range SchemeOrder {
+		cells = append(cells, trainCell(p, s, seed, scheme, "", nil))
+	}
+	return cells
+}
+
+// AssembleFig2 folds Fig2Cells results back into a panel.
+func AssembleFig2(s Setting, res []any) (*Fig2Result, error) {
+	if len(res) != len(SchemeOrder) {
+		return nil, fmt.Errorf("experiments: fig2 panel got %d results, want %d", len(res), len(SchemeOrder))
+	}
+	out := &Fig2Result{Setting: s, Curves: map[string]metrics.Curve{}}
+	for i, scheme := range SchemeOrder {
+		r, err := cellResult[schemeRun](res, i)
+		if err != nil {
+			return nil, err
+		}
+		out.Curves[scheme] = r.Curve
+	}
+	return out, nil
+}
+
+// RunFig2Grid runs one Fig. 2 panel through a grid runner (nil r uses the
+// default full-parallelism runner; ctx may be nil).
+func RunFig2Grid(ctx context.Context, r *grid.Runner, p Preset, s Setting, seed int64) (*Fig2Result, error) {
+	res, err := runCells(ctx, r, Fig2Cells(p, s, seed))
 	if err != nil {
 		return nil, err
 	}
-	return RunFig2Env(env)
+	return AssembleFig2(s, res)
 }
 
-// RunFig2Env is RunFig2 over a pre-built environment (so Table I can reuse
-// the same runs).
-func RunFig2Env(env *Env) (*Fig2Result, error) {
-	out := &Fig2Result{Setting: env.Setting, Curves: map[string]metrics.Curve{}}
-	for _, scheme := range []string{"HELCFL", "ClassicFL", "FedCS", "FEDL"} {
-		curve, _, err := RunScheme(env, scheme)
-		if err != nil {
-			return nil, fmt.Errorf("scheme %s: %w", scheme, err)
-		}
-		out.Curves[scheme] = curve
-	}
-	slCurve, err := runSL(env)
-	if err != nil {
-		return nil, fmt.Errorf("scheme SL: %w", err)
-	}
-	out.Curves["SL"] = slCurve
-	return out, nil
+// RunFig2 reproduces one panel of Fig. 2: all five schemes trained on the
+// same environment geometry, reporting accuracy vs training iteration.
+func RunFig2(p Preset, s Setting, seed int64) (*Fig2Result, error) {
+	return RunFig2Grid(context.Background(), nil, p, s, seed)
 }

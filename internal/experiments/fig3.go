@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"helcfl/internal/grid"
 	"helcfl/internal/metrics"
 	"helcfl/internal/report"
 )
@@ -21,32 +23,41 @@ type Fig3Result struct {
 	ReductionPct []float64
 }
 
-// RunFig3 trains HELCFL twice on the same environment — once with
-// Algorithm 3 and once pinned to maximum frequencies — and compares the
-// energy needed to reach each desired accuracy. Selection is deterministic
-// (greedy-decay has no randomness), so both runs see identical selection
-// sequences and accuracy curves; only energy differs.
-func RunFig3(p Preset, s Setting, seed int64) (*Fig3Result, error) {
-	env, err := BuildEnv(p, s, seed)
+// fig3Schemes are the two variants Fig. 3 compares; the second pins every
+// selected device to its maximum frequency.
+var fig3Schemes = []string{"HELCFL", "HELCFL-noDVFS"}
+
+// Fig3Cells returns one Fig. 3 comparison as cells: HELCFL with and
+// without Algorithm 3, on the same environment geometry.
+func Fig3Cells(p Preset, s Setting, seed int64) []grid.Cell {
+	cells := make([]grid.Cell, 0, len(fig3Schemes))
+	for _, scheme := range fig3Schemes {
+		cells = append(cells, trainCell(p, s, seed, scheme, "", nil))
+	}
+	return cells
+}
+
+// AssembleFig3 folds Fig3Cells results into the energy comparison.
+func AssembleFig3(p Preset, s Setting, res []any) (*Fig3Result, error) {
+	if len(res) != len(fig3Schemes) {
+		return nil, fmt.Errorf("experiments: fig3 got %d results, want %d", len(res), len(fig3Schemes))
+	}
+	with, err := cellResult[schemeRun](res, 0)
 	if err != nil {
 		return nil, err
 	}
-	return RunFig3Env(env)
+	without, err := cellResult[schemeRun](res, 1)
+	if err != nil {
+		return nil, err
+	}
+	return fig3FromCurves(p, s, with.Curve, without.Curve), nil
 }
 
-// RunFig3Env is RunFig3 over a pre-built environment.
-func RunFig3Env(env *Env) (*Fig3Result, error) {
-	withCurve, _, err := RunScheme(env, "HELCFL")
-	if err != nil {
-		return nil, fmt.Errorf("HELCFL: %w", err)
-	}
-	withoutCurve, _, err := RunScheme(env, "HELCFL-noDVFS")
-	if err != nil {
-		return nil, fmt.Errorf("HELCFL-noDVFS: %w", err)
-	}
-	targets := env.Preset.Targets(env.Setting)
+// fig3FromCurves derives the Fig. 3 comparison from the two trajectories.
+func fig3FromCurves(p Preset, s Setting, withCurve, withoutCurve metrics.Curve) *Fig3Result {
+	targets := p.Targets(s)
 	out := &Fig3Result{
-		Setting:      env.Setting,
+		Setting:      s,
 		Targets:      targets,
 		WithDVFS:     make([]float64, len(targets)),
 		WithoutDVFS:  make([]float64, len(targets)),
@@ -62,7 +73,41 @@ func RunFig3Env(env *Env) (*Fig3Result, error) {
 			out.ReductionPct[i] = (1 - ew/eo) * 100
 		}
 	}
-	return out, nil
+	return out
+}
+
+// RunFig3Grid runs one Fig. 3 comparison through a grid runner (nil r uses
+// the default full-parallelism runner; ctx may be nil).
+func RunFig3Grid(ctx context.Context, r *grid.Runner, p Preset, s Setting, seed int64) (*Fig3Result, error) {
+	res, err := runCells(ctx, r, Fig3Cells(p, s, seed))
+	if err != nil {
+		return nil, err
+	}
+	return AssembleFig3(p, s, res)
+}
+
+// RunFig3 trains HELCFL twice on the same environment geometry — once with
+// Algorithm 3 and once pinned to maximum frequencies — and compares the
+// energy needed to reach each desired accuracy. Selection is deterministic
+// (greedy-decay has no randomness), so both runs see identical selection
+// sequences and accuracy curves; only energy differs.
+func RunFig3(p Preset, s Setting, seed int64) (*Fig3Result, error) {
+	return RunFig3Grid(context.Background(), nil, p, s, seed)
+}
+
+// RunFig3Env is RunFig3 over a pre-built (possibly mutated) environment —
+// the serial path the DVFS-levels ablation uses after editing the fleet's
+// operating points in place.
+func RunFig3Env(env *Env) (*Fig3Result, error) {
+	withCurve, _, err := RunScheme(env, "HELCFL")
+	if err != nil {
+		return nil, fmt.Errorf("HELCFL: %w", err)
+	}
+	withoutCurve, _, err := RunScheme(env, "HELCFL-noDVFS")
+	if err != nil {
+		return nil, fmt.Errorf("HELCFL-noDVFS: %w", err)
+	}
+	return fig3FromCurves(env.Preset, env.Setting, withCurve, withoutCurve), nil
 }
 
 // Render produces the Fig. 3 bar chart and companion table.

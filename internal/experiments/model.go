@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
+	"helcfl/internal/grid"
 	"helcfl/internal/metrics"
 	"helcfl/internal/nn"
 	"helcfl/internal/report"
@@ -23,31 +25,88 @@ type ModelAblation struct {
 	TimeSec []float64
 }
 
-// RunModelAblation trains HELCFL once per architecture. Supported kinds
-// are those of nn.ModelSpec: "logistic", "mlp", "squeezenet-mini".
-func RunModelAblation(p Preset, s Setting, seed int64, kinds []string) (*ModelAblation, error) {
+// modelRun is one architecture's cell result: the trained curve plus the
+// serialized size that drives C_model.
+type modelRun struct {
+	Params int
+	Bits   float64
+	Run    schemeRun
+}
+
+// ModelCells returns one HELCFL training cell per architecture kind.
+func ModelCells(p Preset, s Setting, seed int64, kinds []string) ([]grid.Cell, error) {
 	if len(kinds) == 0 {
 		return nil, fmt.Errorf("experiments: no model kinds")
 	}
-	out := &ModelAblation{Setting: s, Kinds: kinds}
-	for _, kind := range kinds {
+	cells := make([]grid.Cell, 0, len(kinds))
+	for _, k := range kinds {
+		kind := k
 		pp := p
 		pp.ModelKind = kind
-		env, err := BuildEnv(pp, s, seed)
+		cells = append(cells, grid.Cell{
+			Experiment: "model",
+			Preset:     p.Name,
+			Setting:    string(s),
+			Scheme:     "HELCFL",
+			Variant:    "model=" + kind,
+			Seed:       seed,
+			Run: func(context.Context, *rand.Rand) (any, error) {
+				env, err := BuildEnv(pp, s, seed)
+				if err != nil {
+					return nil, err
+				}
+				model := env.Spec.Build(rand.New(rand.NewSource(seed + 3)))
+				curve, res, err := RunScheme(env, "HELCFL")
+				if err != nil {
+					return nil, err
+				}
+				return modelRun{
+					Params: model.NumParams(),
+					Bits:   nn.ModelBits(model),
+					Run:    schemeRun{Curve: curve, Res: res},
+				}, nil
+			},
+		})
+	}
+	return cells, nil
+}
+
+// AssembleModelAblation folds ModelCells results into the study.
+func AssembleModelAblation(s Setting, kinds []string, res []any) (*ModelAblation, error) {
+	if len(res) != len(kinds) {
+		return nil, fmt.Errorf("experiments: model study got %d results, want %d", len(res), len(kinds))
+	}
+	out := &ModelAblation{Setting: s, Kinds: kinds}
+	for i := range kinds {
+		r, err := cellResult[modelRun](res, i)
 		if err != nil {
 			return nil, err
 		}
-		model := env.Spec.Build(rand.New(rand.NewSource(seed + 3)))
-		curve, res, err := RunScheme(env, "HELCFL")
-		if err != nil {
-			return nil, fmt.Errorf("model %s: %w", kind, err)
-		}
-		out.Params = append(out.Params, model.NumParams())
-		out.Bits = append(out.Bits, nn.ModelBits(model))
-		out.Best = append(out.Best, curve.Best())
-		out.TimeSec = append(out.TimeSec, res.TotalTime)
+		out.Params = append(out.Params, r.Params)
+		out.Bits = append(out.Bits, r.Bits)
+		out.Best = append(out.Best, r.Run.Curve.Best())
+		out.TimeSec = append(out.TimeSec, r.Run.Res.TotalTime)
 	}
 	return out, nil
+}
+
+// RunModelAblationGrid runs the architecture study through a grid runner.
+func RunModelAblationGrid(ctx context.Context, r *grid.Runner, p Preset, s Setting, seed int64, kinds []string) (*ModelAblation, error) {
+	cells, err := ModelCells(p, s, seed, kinds)
+	if err != nil {
+		return nil, err
+	}
+	res, err := runCells(ctx, r, cells)
+	if err != nil {
+		return nil, err
+	}
+	return AssembleModelAblation(s, kinds, res)
+}
+
+// RunModelAblation trains HELCFL once per architecture. Supported kinds
+// are those of nn.ModelSpec: "logistic", "mlp", "squeezenet-mini".
+func RunModelAblation(p Preset, s Setting, seed int64, kinds []string) (*ModelAblation, error) {
+	return RunModelAblationGrid(context.Background(), nil, p, s, seed, kinds)
 }
 
 // Render produces the architecture-comparison table.

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"helcfl/internal/grid"
 	"helcfl/internal/report"
 	"helcfl/internal/stats"
 )
@@ -18,10 +20,20 @@ type MultiSeed struct {
 	Best, TimeSec map[string][]float64
 }
 
-// RunMultiSeed executes RunFig2 once per seed.
-func RunMultiSeed(p Preset, s Setting, seeds []int64) (*MultiSeed, error) {
-	if len(seeds) == 0 {
-		return nil, fmt.Errorf("experiments: no seeds")
+// MultiSeedCells returns a full Fig. 2 panel of cells per seed, seed-major
+// order (AssembleMultiSeed relies on the layout).
+func MultiSeedCells(p Preset, s Setting, seeds []int64) []grid.Cell {
+	cells := make([]grid.Cell, 0, len(seeds)*len(SchemeOrder))
+	for _, seed := range seeds {
+		cells = append(cells, Fig2Cells(p, s, seed)...)
+	}
+	return cells
+}
+
+// AssembleMultiSeed folds MultiSeedCells results into the aggregate.
+func AssembleMultiSeed(s Setting, seeds []int64, res []any) (*MultiSeed, error) {
+	if len(res) != len(seeds)*len(SchemeOrder) {
+		return nil, fmt.Errorf("experiments: multiseed got %d results, want %d", len(res), len(seeds)*len(SchemeOrder))
 	}
 	out := &MultiSeed{
 		Setting: s,
@@ -29,19 +41,35 @@ func RunMultiSeed(p Preset, s Setting, seeds []int64) (*MultiSeed, error) {
 		Best:    map[string][]float64{},
 		TimeSec: map[string][]float64{},
 	}
-	for _, seed := range seeds {
-		fig, err := RunFig2(p, s, seed)
-		if err != nil {
-			return nil, fmt.Errorf("seed %d: %w", seed, err)
-		}
-		for _, scheme := range SchemeOrder {
-			c := fig.Curve(scheme)
-			out.Best[scheme] = append(out.Best[scheme], c.Best())
-			last := c.Points[len(c.Points)-1]
+	for si := range seeds {
+		for j, scheme := range SchemeOrder {
+			r, err := cellResult[schemeRun](res, si*len(SchemeOrder)+j)
+			if err != nil {
+				return nil, err
+			}
+			out.Best[scheme] = append(out.Best[scheme], r.Curve.Best())
+			last := r.Curve.Points[len(r.Curve.Points)-1]
 			out.TimeSec[scheme] = append(out.TimeSec[scheme], last.Time)
 		}
 	}
 	return out, nil
+}
+
+// RunMultiSeedGrid runs the multi-seed campaign through a grid runner.
+func RunMultiSeedGrid(ctx context.Context, r *grid.Runner, p Preset, s Setting, seeds []int64) (*MultiSeed, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiments: no seeds")
+	}
+	res, err := runCells(ctx, r, MultiSeedCells(p, s, seeds))
+	if err != nil {
+		return nil, err
+	}
+	return AssembleMultiSeed(s, seeds, res)
+}
+
+// RunMultiSeed executes a Fig. 2 panel once per seed.
+func RunMultiSeed(p Preset, s Setting, seeds []int64) (*MultiSeed, error) {
+	return RunMultiSeedGrid(context.Background(), nil, p, s, seeds)
 }
 
 // AccuracySummary returns the best-accuracy summary for a scheme.

@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 
 	"helcfl/internal/core"
+	"helcfl/internal/grid"
 	"helcfl/internal/report"
 	"helcfl/internal/selection"
 	"helcfl/internal/stats"
@@ -24,11 +27,53 @@ type RBAblation struct {
 	Makespan []stats.Summary
 }
 
-// RunRBAblation replays `rounds` HELCFL selections on a fresh environment.
-func RunRBAblation(p Preset, seed int64, rounds int, ks []int) (*RBAblation, error) {
+// RBCells wraps the RB study as a single cell: the replay shares one
+// selection sequence across every k, so it is indivisible.
+func RBCells(p Preset, seed int64, rounds int, ks []int) ([]grid.Cell, error) {
 	if rounds <= 0 || len(ks) == 0 {
 		return nil, fmt.Errorf("experiments: RB ablation needs rounds and channel counts")
 	}
+	return []grid.Cell{{
+		Experiment: "rb",
+		Preset:     p.Name,
+		Setting:    string(IID),
+		Scheme:     "HELCFL",
+		Variant:    fmt.Sprintf("rounds=%d,ks=%v", rounds, ks),
+		Seed:       seed,
+		Run: func(context.Context, *rand.Rand) (any, error) {
+			return rbStudy(p, seed, rounds, ks)
+		},
+	}}, nil
+}
+
+// AssembleRBAblation extracts the single RB-study result.
+func AssembleRBAblation(res []any) (*RBAblation, error) {
+	if len(res) != 1 {
+		return nil, fmt.Errorf("experiments: RB study got %d results, want 1", len(res))
+	}
+	return cellResult[*RBAblation](res, 0)
+}
+
+// RunRBAblationGrid runs the RB study through a grid runner.
+func RunRBAblationGrid(ctx context.Context, r *grid.Runner, p Preset, seed int64, rounds int, ks []int) (*RBAblation, error) {
+	cells, err := RBCells(p, seed, rounds, ks)
+	if err != nil {
+		return nil, err
+	}
+	res, err := runCells(ctx, r, cells)
+	if err != nil {
+		return nil, err
+	}
+	return AssembleRBAblation(res)
+}
+
+// RunRBAblation replays `rounds` HELCFL selections on a fresh environment.
+func RunRBAblation(p Preset, seed int64, rounds int, ks []int) (*RBAblation, error) {
+	return RunRBAblationGrid(context.Background(), nil, p, seed, rounds, ks)
+}
+
+// rbStudy is the serial body of the RB study.
+func rbStudy(p Preset, seed int64, rounds int, ks []int) (*RBAblation, error) {
 	env, err := BuildEnv(p, IID, seed)
 	if err != nil {
 		return nil, err

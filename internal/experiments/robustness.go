@@ -1,19 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"helcfl/internal/fl"
+	"helcfl/internal/grid"
 	"helcfl/internal/metrics"
 	"helcfl/internal/report"
 	"helcfl/internal/wireless"
 )
-
-// runHELCFLWith trains HELCFL on env with extra engine configuration
-// applied by mutate (fault injection, fading, compression).
-func runHELCFLWith(env *Env, mutate func(*fl.Config)) (metrics.Curve, *fl.Result, error) {
-	return RunSchemeWith(env, "HELCFL", mutate)
-}
 
 // DropoutAblation sweeps the per-round upload-failure probability — the
 // battery/radio faults motivating the paper's energy optimization — and
@@ -29,33 +25,56 @@ type DropoutAblation struct {
 	FailedUploads []int
 }
 
-// RunDropoutAblation trains HELCFL once per dropout probability.
-func RunDropoutAblation(p Preset, s Setting, seed int64, dropouts []float64) (*DropoutAblation, error) {
+// DropoutCells returns one HELCFL fault-injection cell per probability.
+func DropoutCells(p Preset, s Setting, seed int64, dropouts []float64) []grid.Cell {
+	cells := make([]grid.Cell, 0, len(dropouts))
+	for _, d := range dropouts {
+		prob := d
+		cells = append(cells, trainCell(p, s, seed, "HELCFL", fmt.Sprintf("dropout=%g", d),
+			func(c *fl.Config) { c.DropoutProb = prob }))
+	}
+	return cells
+}
+
+// AssembleDropoutAblation folds DropoutCells results into the sweep.
+func AssembleDropoutAblation(p Preset, s Setting, dropouts []float64, res []any) (*DropoutAblation, error) {
+	if len(res) != len(dropouts) {
+		return nil, fmt.Errorf("experiments: dropout sweep got %d results, want %d", len(res), len(dropouts))
+	}
 	out := &DropoutAblation{Setting: s, Dropouts: dropouts}
 	target := p.Targets(s)[0]
-	for _, d := range dropouts {
-		env, err := BuildEnv(p, s, seed)
+	for i := range dropouts {
+		run, err := cellResult[schemeRun](res, i)
 		if err != nil {
 			return nil, err
 		}
-		prob := d
-		curve, res, err := runHELCFLWith(env, func(c *fl.Config) { c.DropoutProb = prob })
-		if err != nil {
-			return nil, fmt.Errorf("dropout %g: %w", d, err)
-		}
 		failed := 0
-		for _, r := range res.Records {
+		for _, r := range run.Res.Records {
 			failed += r.Failed
 		}
 		rounds := -1
-		if r, ok := curve.RoundsToAccuracy(target); ok {
+		if r, ok := run.Curve.RoundsToAccuracy(target); ok {
 			rounds = r
 		}
-		out.Best = append(out.Best, curve.Best())
+		out.Best = append(out.Best, run.Curve.Best())
 		out.RoundsToTarget = append(out.RoundsToTarget, rounds)
 		out.FailedUploads = append(out.FailedUploads, failed)
 	}
 	return out, nil
+}
+
+// RunDropoutAblationGrid runs the dropout sweep through a grid runner.
+func RunDropoutAblationGrid(ctx context.Context, r *grid.Runner, p Preset, s Setting, seed int64, dropouts []float64) (*DropoutAblation, error) {
+	res, err := runCells(ctx, r, DropoutCells(p, s, seed, dropouts))
+	if err != nil {
+		return nil, err
+	}
+	return AssembleDropoutAblation(p, s, dropouts, res)
+}
+
+// RunDropoutAblation trains HELCFL once per dropout probability.
+func RunDropoutAblation(p Preset, s Setting, seed int64, dropouts []float64) (*DropoutAblation, error) {
+	return RunDropoutAblationGrid(context.Background(), nil, p, s, seed, dropouts)
 }
 
 // Render produces the dropout-sweep table.
@@ -86,28 +105,51 @@ type FadingAblation struct {
 	EnergyJ []float64
 }
 
-// RunFadingAblation trains HELCFL once per fading σ.
-func RunFadingAblation(p Preset, s Setting, seed int64, sigmas []float64) (*FadingAblation, error) {
-	out := &FadingAblation{Setting: s, Sigmas: sigmas}
+// FadingCells returns one HELCFL block-fading cell per σ.
+func FadingCells(p Preset, s Setting, seed int64, sigmas []float64) []grid.Cell {
+	cells := make([]grid.Cell, 0, len(sigmas))
 	for _, sg := range sigmas {
-		env, err := BuildEnv(p, s, seed)
+		sigma := sg
+		cells = append(cells, trainCell(p, s, seed, "HELCFL", fmt.Sprintf("fading=%g", sg),
+			func(c *fl.Config) {
+				if sigma > 0 {
+					c.Gains = wireless.NewBlockFading(sigma, seed+7)
+				}
+			}))
+	}
+	return cells
+}
+
+// AssembleFadingAblation folds FadingCells results into the sweep.
+func AssembleFadingAblation(s Setting, sigmas []float64, res []any) (*FadingAblation, error) {
+	if len(res) != len(sigmas) {
+		return nil, fmt.Errorf("experiments: fading sweep got %d results, want %d", len(res), len(sigmas))
+	}
+	out := &FadingAblation{Setting: s, Sigmas: sigmas}
+	for i := range sigmas {
+		r, err := cellResult[schemeRun](res, i)
 		if err != nil {
 			return nil, err
 		}
-		sigma := sg
-		curve, res, err := runHELCFLWith(env, func(c *fl.Config) {
-			if sigma > 0 {
-				c.Gains = wireless.NewBlockFading(sigma, seed+7)
-			}
-		})
-		if err != nil {
-			return nil, fmt.Errorf("sigma %g: %w", sg, err)
-		}
-		out.Best = append(out.Best, curve.Best())
-		out.TimeSec = append(out.TimeSec, res.TotalTime)
-		out.EnergyJ = append(out.EnergyJ, res.TotalEnergy)
+		out.Best = append(out.Best, r.Curve.Best())
+		out.TimeSec = append(out.TimeSec, r.Res.TotalTime)
+		out.EnergyJ = append(out.EnergyJ, r.Res.TotalEnergy)
 	}
 	return out, nil
+}
+
+// RunFadingAblationGrid runs the fading sweep through a grid runner.
+func RunFadingAblationGrid(ctx context.Context, r *grid.Runner, p Preset, s Setting, seed int64, sigmas []float64) (*FadingAblation, error) {
+	res, err := runCells(ctx, r, FadingCells(p, s, seed, sigmas))
+	if err != nil {
+		return nil, err
+	}
+	return AssembleFadingAblation(s, sigmas, res)
+}
+
+// RunFadingAblation trains HELCFL once per fading σ.
+func RunFadingAblation(p Preset, s Setting, seed int64, sigmas []float64) (*FadingAblation, error) {
+	return RunFadingAblationGrid(context.Background(), nil, p, s, seed, sigmas)
 }
 
 // Render produces the fading-sweep table.

@@ -37,6 +37,7 @@ var Packages = map[string]Class{
 	"helcfl/internal/device":      ClassDeterministic,
 	"helcfl/internal/experiments": ClassDeterministic,
 	"helcfl/internal/fl":          ClassDeterministic,
+	"helcfl/internal/grid":        ClassDeterministic,
 	"helcfl/internal/metrics":     ClassDeterministic,
 	"helcfl/internal/nn":          ClassDeterministic,
 	"helcfl/internal/report":      ClassDeterministic,
