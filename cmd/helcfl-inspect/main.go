@@ -4,6 +4,13 @@
 //
 //	helcfl-inspect trace1.jsonl [trace2.jsonl ...]
 //	helcfl trace -preset tiny | helcfl-inspect -
+//
+// The trace subcommand instead reads span JSONL streams from
+// `helcfl ... -trace-out` (or flight-recorder dumps) and renders the
+// per-round phase cost table, phase summary, and slowest-cells report;
+// it exits nonzero when a recorded round is missing a required phase:
+//
+//	helcfl-inspect trace [-k 5] spans.jsonl [more.jsonl ...]
 package main
 
 import (
@@ -23,7 +30,10 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: helcfl-inspect <trace.jsonl ...> (use - for stdin)")
+		return fmt.Errorf("usage: helcfl-inspect <trace.jsonl ...> | helcfl-inspect trace <spans.jsonl ...> (use - for stdin)")
+	}
+	if args[0] == "trace" {
+		return runTraceCmd(args[1:])
 	}
 	var recs []trace.Record
 	for _, name := range args {

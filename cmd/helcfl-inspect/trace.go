@@ -1,0 +1,251 @@
+// The trace subcommand renders span JSONL streams produced by
+// `helcfl ... -trace-out` (or flight-recorder dumps, which embed the same
+// span lines): a per-round, per-phase cost table with measured wall clock
+// next to the modeled Eq. 7–8 delay/energy, an aggregated phase summary,
+// and the top-K slowest grid cells split into env-build vs run.
+//
+// It doubles as the CI trace gate: any recorded fl.round span missing one
+// of the required plan/train/upload/aggregate children is an error, so a
+// regression that drops a phase span fails the pipeline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"helcfl/internal/obs/span"
+)
+
+// requiredPhases are the children every recorded round span must carry —
+// the acceptance gate for the instrumented engine.
+var requiredPhases = []string{"fl.round.plan", "fl.round.train", "fl.round.upload", "fl.round.aggregate"}
+
+// summaryPhases is the fixed, ordered phase list for the aggregate table;
+// names absent from the stream are skipped.
+var summaryPhases = []string{
+	"fl.run", "fl.round", "fl.round.plan", "sched.select", "sched.dvfs",
+	"fl.round.train", "fl.round.upload", "fl.round.aggregate",
+	"fl.round.eval", "fl.snapshot",
+	"grid.campaign", "grid.cell", "cell.envbuild", "cell.run", "grid.assemble",
+	"http.client", "http.server",
+}
+
+func runTraceCmd(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	topK := fs.Int("k", 5, "slowest grid cells to list")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("usage: helcfl-inspect trace [-k N] <spans.jsonl ...> (use - for stdin)")
+	}
+	var recs []span.Rec
+	for _, name := range fs.Args() {
+		var r io.Reader
+		if name == "-" {
+			r = os.Stdin
+		} else {
+			f, err := os.Open(name)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			r = f
+		}
+		batch, err := span.Read(r)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		recs = append(recs, batch...)
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("no spans found")
+	}
+	if err := span.Validate(recs); err != nil {
+		fmt.Fprintln(os.Stderr, "warning:", err)
+	}
+	return renderTrace(os.Stdout, recs, *topK)
+}
+
+// refKey identifies a span within the concatenated input files.
+type refKey struct{ trace, span uint64 }
+
+func renderTrace(w io.Writer, recs []span.Rec, topK int) error {
+	// Children are resolved by (trace, parent) so cross-process streams
+	// concatenated into one invocation stitch the same way the recorders
+	// did: a round's phases always share the round's trace ID.
+	children := make(map[refKey][]int)
+	for i, r := range recs {
+		if r.Parent != 0 {
+			children[refKey{r.Trace, r.Parent}] = append(children[refKey{r.Trace, r.Parent}], i)
+		}
+	}
+
+	missing := 0
+	rendered := make(map[refKey]bool) // round groups already printed under a run
+	for _, r := range recs {
+		if r.Name != "fl.run" {
+			continue
+		}
+		scheme, _ := r.StrAttr("scheme")
+		fmt.Fprintf(w, "run %s scheme=%s (%.3fs)\n", span.FormatRef(span.Ref{Trace: r.Trace, Span: r.Span}), scheme, secs(r.DurNs))
+		key := refKey{r.Trace, r.Span}
+		rendered[key] = true
+		missing += renderRounds(w, recs, children, childrenNamed(recs, children[key], "fl.round"))
+	}
+	// Rounds whose fl.run span never made it into the stream (killed run,
+	// ring overwrite) still deserve a table — group them by parent ref.
+	var orphanKeys []refKey
+	orphans := make(map[refKey][]int)
+	for i, r := range recs {
+		if r.Name != "fl.round" {
+			continue
+		}
+		key := refKey{r.Trace, r.Parent}
+		if rendered[key] {
+			continue
+		}
+		if _, seen := orphans[key]; !seen {
+			orphanKeys = append(orphanKeys, key)
+		}
+		orphans[key] = append(orphans[key], i)
+	}
+	for _, key := range orphanKeys {
+		fmt.Fprintf(w, "run %s (fl.run span not in stream)\n", span.FormatRef(span.Ref{Trace: key.trace, Span: key.span}))
+		missing += renderRounds(w, recs, children, orphans[key])
+	}
+
+	renderPhaseSummary(w, recs)
+	renderSlowestCells(w, recs, children, topK)
+
+	if missing > 0 {
+		return fmt.Errorf("%d round span(s) missing required phases (plan/train/upload/aggregate)", missing)
+	}
+	return nil
+}
+
+// childrenNamed filters a child index list down to one span name,
+// preserving stream order.
+func childrenNamed(recs []span.Rec, idx []int, name string) []int {
+	var out []int
+	for _, i := range idx {
+		if recs[i].Name == name {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// renderRounds prints the per-round phase table for one run and returns
+// how many rounds were missing required phases.
+func renderRounds(w io.Writer, recs []span.Rec, children map[refKey][]int, rounds []int) int {
+	if len(rounds) == 0 {
+		fmt.Fprintln(w, "  (no rounds recorded)")
+		return 0
+	}
+	sort.SliceStable(rounds, func(a, b int) bool {
+		ra, _ := recs[rounds[a]].IntAttr("round")
+		rb, _ := recs[rounds[b]].IntAttr("round")
+		return ra < rb
+	})
+	fmt.Fprintf(w, "  %5s %10s %10s %10s %10s %10s | %12s %12s  %s\n",
+		"round", "plan-s", "train-s", "upload-s", "agg-s", "eval-s", "model-dly-s", "model-J", "missing")
+	missing := 0
+	var tot [5]float64
+	for _, i := range rounds {
+		r := recs[i]
+		phase := make(map[string]int64, 8)
+		for _, ci := range children[refKey{r.Trace, r.Span}] {
+			phase[recs[ci].Name] = recs[ci].DurNs
+		}
+		var gaps []string
+		for _, name := range requiredPhases {
+			if _, ok := phase[name]; !ok {
+				gaps = append(gaps, strings.TrimPrefix(name, "fl.round."))
+			}
+		}
+		if len(gaps) > 0 {
+			missing++
+		}
+		round, _ := r.IntAttr("round")
+		mdly, _ := r.FloatAttr("model_delay_sec")
+		mj, _ := r.FloatAttr("model_energy_j")
+		cols := [5]float64{
+			secs(phase["fl.round.plan"]), secs(phase["fl.round.train"]),
+			secs(phase["fl.round.upload"]), secs(phase["fl.round.aggregate"]),
+			secs(phase["fl.round.eval"]),
+		}
+		for c, v := range cols {
+			tot[c] += v
+		}
+		fmt.Fprintf(w, "  %5d %10.6f %10.6f %10.6f %10.6f %10.6f | %12.4f %12.4f  %s\n",
+			round, cols[0], cols[1], cols[2], cols[3], cols[4], mdly, mj, strings.Join(gaps, ","))
+	}
+	fmt.Fprintf(w, "  %5s %10.6f %10.6f %10.6f %10.6f %10.6f |\n\n",
+		"total", tot[0], tot[1], tot[2], tot[3], tot[4])
+	return missing
+}
+
+// renderPhaseSummary prints duration statistics per known phase name.
+func renderPhaseSummary(w io.Writer, recs []span.Rec) {
+	fmt.Fprintf(w, "phase summary\n  %-20s %7s %12s %12s %12s %12s %12s\n",
+		"phase", "count", "total-s", "min-s", "p50-s", "p95-s", "max-s")
+	for _, name := range summaryPhases {
+		st := span.DurationStats(recs, name)
+		if st.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-20s %7d %12.6f %12.6f %12.6f %12.6f %12.6f\n",
+			name, st.Count, st.TotalSec, st.MinSec, st.P50Sec, st.P95Sec, st.MaxSec)
+	}
+	fmt.Fprintln(w)
+}
+
+// renderSlowestCells lists the top-K grid cells by wall clock with their
+// env-build vs run split — the shape of the BENCH speedup story.
+func renderSlowestCells(w io.Writer, recs []span.Rec, children map[refKey][]int, topK int) {
+	var cells []int
+	for i, r := range recs {
+		if r.Name == "grid.cell" {
+			cells = append(cells, i)
+		}
+	}
+	if len(cells) == 0 || topK <= 0 {
+		return
+	}
+	sort.SliceStable(cells, func(a, b int) bool { return recs[cells[a]].DurNs > recs[cells[b]].DurNs })
+	if len(cells) > topK {
+		cells = cells[:topK]
+	}
+	fmt.Fprintf(w, "slowest cells (top %d of %d)\n  %10s %10s %10s  %s\n", len(cells), countName(recs, "grid.cell"), "cell-s", "env-s", "run-s", "key")
+	for _, i := range cells {
+		r := recs[i]
+		var env, run int64
+		for _, ci := range children[refKey{r.Trace, r.Span}] {
+			switch recs[ci].Name {
+			case "cell.envbuild":
+				env = recs[ci].DurNs
+			case "cell.run":
+				run = recs[ci].DurNs
+			}
+		}
+		key, _ := r.StrAttr("key")
+		fmt.Fprintf(w, "  %10.4f %10.4f %10.4f  %s\n", secs(r.DurNs), secs(env), secs(run), key)
+	}
+}
+
+func countName(recs []span.Rec, name string) int {
+	n := 0
+	for _, r := range recs {
+		if r.Name == name {
+			n++
+		}
+	}
+	return n
+}
+
+func secs(ns int64) float64 { return float64(ns) / 1e9 }

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"helcfl/internal/obs/span"
+)
+
+// writeSpans records a synthetic run through a real recorder and writes
+// the JSONL stream to a file; skip lists phase spans to omit.
+func writeSpans(t *testing.T, path string, rounds int, skip ...string) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	jl := span.NewJSONL(f)
+	rec := span.NewRecorder(7, span.Options{Exporter: jl})
+	skipped := map[string]bool{}
+	for _, s := range skip {
+		skipped[s] = true
+	}
+
+	run := rec.Start(span.Ref{}, "fl.run")
+	run.SetStr("scheme", "HELCFL")
+	for j := 0; j < rounds; j++ {
+		round := rec.Start(run.Ref(), "fl.round")
+		round.SetInt("round", int64(j))
+		round.SetFloat("model_delay_sec", 1.5)
+		round.SetFloat("model_energy_j", 12.5)
+		for _, name := range []string{"fl.round.plan", "fl.round.train", "fl.round.upload", "fl.round.aggregate", "fl.round.eval"} {
+			if skipped[name] {
+				continue
+			}
+			sp := rec.Start(round.Ref(), name)
+			sp.End()
+		}
+		round.End()
+	}
+	run.End()
+
+	camp := rec.Start(span.Ref{}, "grid.campaign")
+	for i := 0; i < 3; i++ {
+		cell := rec.Start(camp.Ref(), "grid.cell")
+		cell.SetStr("key", "fig2/HELCFL/iid")
+		env := rec.Start(cell.Ref(), "cell.envbuild")
+		env.End()
+		cr := rec.Start(cell.Ref(), "cell.run")
+		cr.End()
+		cell.End()
+	}
+	camp.End()
+
+	if err := jl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceCmdRendersAndPasses(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "spans.jsonl")
+	writeSpans(t, path, 2)
+	if err := runTraceCmd([]string{"-k", "2", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceCmdFailsOnMissingPhase(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "spans.jsonl")
+	writeSpans(t, path, 2, "fl.round.upload")
+	err := runTraceCmd([]string{path})
+	if err == nil || !strings.Contains(err.Error(), "missing required phases") {
+		t.Fatalf("missing upload phase must fail the gate, got %v", err)
+	}
+}
+
+func TestTraceCmdUsageAndBadInput(t *testing.T) {
+	if err := runTraceCmd(nil); err == nil {
+		t.Fatal("no args must error")
+	}
+	if err := runTraceCmd([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag must error")
+	}
+	if err := runTraceCmd([]string{filepath.Join(t.TempDir(), "missing.jsonl")}); err == nil {
+		t.Fatal("missing file must error")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runTraceCmd([]string{empty}); err == nil {
+		t.Fatal("empty stream must error")
+	}
+}
+
+// TestRenderTraceOutput pins the report shape: run header with scheme,
+// per-round rows with modeled columns, phase summary, orphan-round
+// grouping, and the slowest-cells split.
+func TestRenderTraceOutput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "spans.jsonl")
+	writeSpans(t, path, 2)
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := span.Read(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An orphan round: its fl.run parent is not in the stream.
+	recs = append(recs, span.Rec{Trace: 99, Span: 500, Parent: 400, Name: "fl.round", V: span.SchemaVersion,
+		Attrs: []span.Attr{{Key: "round", Kind: span.KindInt, Int: 3}}})
+
+	var buf bytes.Buffer
+	err = renderTrace(&buf, recs, 2)
+	out := buf.String()
+	if err == nil || !strings.Contains(err.Error(), "missing required phases") {
+		t.Fatalf("orphan round without phases must trip the gate, got %v", err)
+	}
+	for _, want := range []string{
+		"scheme=HELCFL",
+		"model-dly-s",
+		"1.5000", // modeled delay column
+		"phase summary",
+		"fl.round.aggregate",
+		"(fl.run span not in stream)",
+		"slowest cells (top 2 of 3)",
+		"fig2/HELCFL/iid",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"helcfl/internal/device"
 	"helcfl/internal/fl"
 	"helcfl/internal/nn"
+	"helcfl/internal/obs/span"
 	"helcfl/internal/selection"
 	"helcfl/internal/wireless"
 )
@@ -58,7 +59,7 @@ func sharedData(users int, seed int64) (*dataset.Synth, []*dataset.Dataset) {
 	return synth, dataset.UserDatasets(synth.Train, part)
 }
 
-func run(args []string) error {
+func run(args []string) (retErr error) {
 	if len(args) == 0 {
 		return fmt.Errorf("usage: helcfl-node <serve|client> [flags]")
 	}
@@ -80,9 +81,32 @@ func run(args []string) error {
 	quorum := fs.Float64("quorum", 0.5, "serve: fraction of the selected cohort required for a partial aggregation")
 	ckptDir := fs.String("checkpoint-dir", "", "serve: directory for durable snapshots + upload WAL (empty disables)")
 	resume := fs.Bool("resume", false, "serve: restore the campaign from -checkpoint-dir (fresh start if empty)")
+	traceOut := fs.String("trace-out", "", "stream this node's spans as JSONL to this file (Helcfl-Trace stitches nodes; serve also mounts /debug/flightrec)")
 	verbose := fs.Bool("v", false, "serve: log every request")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
+	}
+
+	// Each node gets its own recorder and trace ID derived from the shared
+	// seed; the Helcfl-Trace header stitches the per-node JSONL files back
+	// into cross-process rounds (concatenate them into helcfl-inspect trace).
+	var rec *span.Recorder
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		jl := span.NewJSONL(f)
+		id := uint64(*seed + 1000 + int64(*user))
+		if mode == "serve" {
+			id = uint64(*seed + 100)
+		}
+		rec = span.NewRecorder(id, span.Options{Exporter: jl})
+		defer func() {
+			if err := errors.Join(jl.Flush(), f.Close()); err != nil && retErr == nil {
+				retErr = fmt.Errorf("trace-out: %w", err)
+			}
+		}()
 	}
 	// SIGINT/SIGTERM end the node cleanly: the server drains and writes a
 	// final checkpoint, the client stops between requests.
@@ -104,6 +128,7 @@ func run(args []string) error {
 			Quorum:        *quorum,
 			CheckpointDir: *ckptDir,
 			Resume:        *resume,
+			Trace:         rec,
 			NewPlanner: func(devs []*device.Device) (fl.Planner, error) {
 				bits := nn.ModelBits(sharedSpec().Build(rand.New(rand.NewSource(*seed + 100))))
 				return selection.NewHELCFL(devs, wireless.DefaultChannel(), bits, core.Params{
@@ -169,6 +194,7 @@ func run(args []string) error {
 			BaseBackoff:    *backoff,
 			RequestTimeout: *reqTimeout,
 			Reconnects:     *reconnects,
+			Trace:          rec,
 		})
 		if err != nil {
 			return err

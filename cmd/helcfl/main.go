@@ -39,6 +39,10 @@
 //	-bench-out     bench JSON path          (bench)
 //	-metrics-addr  serve live /metrics, /healthz and /debug/pprof on this
 //	               address for the duration of the run (e.g. :8080)
+//	-trace-out     stream phase spans as JSONL to this file (see
+//	               docs/OBSERVABILITY.md; render with helcfl-inspect trace)
+//	-flightrec-out directory for flight-recorder dumps, written on panic,
+//	               SIGQUIT, and at the end of the run
 //	-v             progress lines on stderr (per cell for grid experiments,
 //	               per round for trace/train)
 //
@@ -49,6 +53,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -67,6 +72,8 @@ import (
 	"helcfl/internal/metrics"
 	"helcfl/internal/nn"
 	"helcfl/internal/obs"
+	"helcfl/internal/obs/flight"
+	"helcfl/internal/obs/span"
 	"helcfl/internal/trace"
 )
 
@@ -104,6 +111,8 @@ func runCtx(ctx context.Context, args []string) error {
 	benchName := fs.String("experiment", "all", "experiment to time for the bench command")
 	benchOut := fs.String("bench-out", "BENCH_experiments.json", "path for the bench JSON report")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address during the run")
+	traceOut := fs.String("trace-out", "", "stream phase spans as JSONL to this file")
+	flightDir := fs.String("flightrec-out", "", "directory for flight-recorder dumps (panic, SIGQUIT, end of run)")
 	verbose := fs.Bool("v", false, "print progress lines to stderr")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
@@ -131,35 +140,119 @@ func runCtx(ctx context.Context, args []string) error {
 		preset.Sink = obs.Multi(preset.Sink, obs.NewMetricsSink(reg))
 	}
 
-	opt := experiments.Options{Seeds: *nSeeds}
-	switch cmd {
-	case "trace":
-		if *verbose {
-			preset.Sink = obs.Multi(preset.Sink, &progressSink{w: stderr})
-		}
-		return runTrace(preset, *seed, *scheme, *settingName, *outDir)
-	case "train":
-		if *verbose {
-			preset.Sink = obs.Multi(preset.Sink, &progressSink{w: stderr})
-		}
-		return runTrain(preset, *seed, *scheme, *settingName, *modelPath)
-	case "eval":
-		return runEval(preset, *seed, *settingName, *modelPath)
-	case "bench":
-		return runBench(ctx, preset, *seed, *benchName, *benchOut, opt)
+	trc, err := startTracing(uint64(*seed), *traceOut, *flightDir, reg)
+	if err != nil {
+		return err
 	}
+	if trc.fr != nil {
+		// DumpOnPanic must be deferred here directly so its recover() sees
+		// the panicking frame; it re-panics after photographing the rings.
+		defer trc.fr.DumpOnPanic(trc.flightDir)
+		preset.Sink = obs.Multi(preset.Sink, trc.fr.Sink())
+	}
+	ctx = span.NewContext(ctx, trc.rec) // nil recorder leaves ctx unchanged
 
-	def, ok := experiments.LookupExperiment(cmd)
-	if !ok {
-		return fmt.Errorf("unknown experiment %q", cmd)
+	opt := experiments.Options{Seeds: *nSeeds}
+	dispatch := func() error {
+		switch cmd {
+		case "trace":
+			if *verbose {
+				preset.Sink = obs.Multi(preset.Sink, &progressSink{w: stderr})
+			}
+			return runTrace(preset, *seed, *scheme, *settingName, *outDir, trc.rec)
+		case "train":
+			if *verbose {
+				preset.Sink = obs.Multi(preset.Sink, &progressSink{w: stderr})
+			}
+			return runTrain(preset, *seed, *scheme, *settingName, *modelPath, trc.rec)
+		case "eval":
+			return runEval(preset, *seed, *settingName, *modelPath)
+		case "bench":
+			return runBench(ctx, preset, *seed, *benchName, *benchOut, opt)
+		}
+
+		def, ok := experiments.LookupExperiment(cmd)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", cmd)
+		}
+		return runGrid(ctx, def, preset, *seed, opt, gridConfig{
+			parallel: *parallel,
+			outDir:   *outDir,
+			metrics:  reg,
+			verbose:  *verbose,
+			announce: true,
+		})
 	}
-	return runGrid(ctx, def, preset, *seed, opt, gridConfig{
-		parallel: *parallel,
-		outDir:   *outDir,
-		metrics:  reg,
-		verbose:  *verbose,
-		announce: true,
-	})
+	return errors.Join(dispatch(), trc.close())
+}
+
+// tracing owns the process-wide span pipeline behind -trace-out and
+// -flightrec-out: one recorder seeded from -seed (so trace IDs are
+// reproducible), a streaming JSONL exporter, a histogram bridge into the
+// live metrics registry when -metrics-addr is on, and the flight recorder
+// with its SIGQUIT handler. The zero tracing (no flags set) is inert.
+type tracing struct {
+	rec       *span.Recorder
+	fr        *flight.Recorder
+	flightDir string
+	file      *os.File
+	jsonl     *span.JSONL
+	stop      func()
+}
+
+func startTracing(seed uint64, traceOut, flightDir string, reg *obs.Registry) (*tracing, error) {
+	t := &tracing{flightDir: flightDir}
+	if traceOut == "" && flightDir == "" {
+		return t, nil
+	}
+	var exps []span.Exporter
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return nil, fmt.Errorf("trace-out: %w", err)
+		}
+		t.file = f
+		t.jsonl = span.NewJSONL(f)
+		exps = append(exps, t.jsonl)
+	}
+	if b := span.NewBridge(reg); b != nil {
+		exps = append(exps, b)
+	}
+	t.rec = span.NewRecorder(seed, span.Options{Exporter: span.Exporters(exps...)})
+	if flightDir != "" {
+		t.fr = flight.New(t.rec, 0)
+		t.stop = t.fr.Install(flightDir)
+	}
+	return t, nil
+}
+
+// close releases the signal handler, photographs the end of the run (every
+// traced invocation leaves a dump, not only crashed ones), and flushes the
+// span stream. Stream errors surface here rather than being dropped.
+func (t *tracing) close() error {
+	var errs []error
+	if t.stop != nil {
+		t.stop()
+	}
+	if t.fr != nil {
+		path, err := t.fr.DumpTo(t.flightDir)
+		if err != nil {
+			errs = append(errs, err)
+		} else {
+			fmt.Fprintln(stderr, "flight: dumped", path)
+		}
+	}
+	if t.jsonl != nil {
+		if err := t.jsonl.Flush(); err != nil {
+			errs = append(errs, fmt.Errorf("trace-out: %w", err))
+		}
+	}
+	if t.file != nil {
+		if err := t.file.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("trace-out: %w", err))
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // gridConfig carries the dispatcher knobs for one grid campaign.
@@ -201,7 +294,13 @@ func runGrid(ctx context.Context, def experiments.Definition, preset experiments
 	if err != nil {
 		return err
 	}
-	return plan.Render(res, newOutput(cfg.outDir))
+	// Rendering (CSV assembly, artifact writes) is the third leg of the
+	// campaign's cost next to env-build and run; give it its own span so
+	// helcfl-inspect can apportion wall clock across all three.
+	_, asmSp := span.StartCtx(ctx, "grid.assemble")
+	err = plan.Render(res, newOutput(cfg.outDir))
+	asmSp.End()
+	return err
 }
 
 // newOutput renders to stdout and, when outDir is set, writes named
@@ -226,15 +325,36 @@ func newOutput(outDir string) experiments.Output {
 
 // benchReport is the JSON written by the bench command.
 type benchReport struct {
-	Experiment      string  `json:"experiment"`
-	Preset          string  `json:"preset"`
-	Seed            int64   `json:"seed"`
-	Cells           int     `json:"cells"`
-	GOMAXPROCS      int     `json:"gomaxprocs"`
-	Workers         int     `json:"workers"`
-	SerialSeconds   float64 `json:"serial_seconds"`
-	ParallelSeconds float64 `json:"parallel_seconds"`
-	Speedup         float64 `json:"speedup"`
+	Experiment      string     `json:"experiment"`
+	Preset          string     `json:"preset"`
+	Seed            int64      `json:"seed"`
+	Cells           int        `json:"cells"`
+	GOMAXPROCS      int        `json:"gomaxprocs"`
+	Workers         int        `json:"workers"`
+	SerialSeconds   float64    `json:"serial_seconds"`
+	ParallelSeconds float64    `json:"parallel_seconds"`
+	Speedup         float64    `json:"speedup"`
+	SerialCells     benchCells `json:"serial_cells"`
+	ParallelCells   benchCells `json:"parallel_cells"`
+}
+
+// benchCells breaks one timed run down per cell from its span stream:
+// whole-cell wall clock plus the env-build vs run split, which is what
+// explains sublinear speedups (env building is memory-bandwidth bound).
+type benchCells struct {
+	Cell     span.Stats `json:"cell"`
+	EnvBuild span.Stats `json:"env_build"`
+	Run      span.Stats `json:"run"`
+	Assemble span.Stats `json:"assemble"`
+}
+
+func cellStats(recs []span.Rec) benchCells {
+	return benchCells{
+		Cell:     span.DurationStats(recs, "grid.cell"),
+		EnvBuild: span.DurationStats(recs, "cell.envbuild"),
+		Run:      span.DurationStats(recs, "cell.run"),
+		Assemble: span.DurationStats(recs, "grid.assemble"),
+	}
 }
 
 // runBench times one experiment at -parallel 1 and at GOMAXPROCS and writes
@@ -252,23 +372,31 @@ func runBench(ctx context.Context, preset experiments.Preset, seed int64, name, 
 	}
 	workers := (&grid.Runner{}).Workers(len(plan.Cells))
 	fmt.Fprintf(stderr, "bench %s: %d cells, serial then %d workers\n", def.Name, len(plan.Cells), workers)
-	timeRun := func(parallel int) (float64, error) {
+	timeRun := func(parallel int) (float64, benchCells, error) {
 		runtime.GC() // don't charge one run's garbage to the other's clock
+		// Each timed run records into its own span collector so the report
+		// can split per-cell cost into env-build vs run (satellite of the
+		// BENCH speedup analysis).
+		col := &span.Collector{}
+		rctx := span.NewContext(ctx, span.NewRecorder(uint64(seed), span.Options{Exporter: col}))
 		start := time.Now()
-		res, err := (&grid.Runner{Parallel: parallel}).Run(ctx, plan.Cells)
+		res, err := (&grid.Runner{Parallel: parallel}).Run(rctx, plan.Cells)
 		if err != nil {
-			return 0, err
+			return 0, benchCells{}, err
 		}
-		if err := plan.Render(res, experiments.Output{W: io.Discard}); err != nil {
-			return 0, err
+		_, asmSp := span.StartCtx(rctx, "grid.assemble")
+		err = plan.Render(res, experiments.Output{W: io.Discard})
+		asmSp.End()
+		if err != nil {
+			return 0, benchCells{}, err
 		}
-		return time.Since(start).Seconds(), nil
+		return time.Since(start).Seconds(), cellStats(col.Snapshot()), nil
 	}
-	serial, err := timeRun(1)
+	serial, serialCells, err := timeRun(1)
 	if err != nil {
 		return err
 	}
-	par, err := timeRun(0)
+	par, parCells, err := timeRun(0)
 	if err != nil {
 		return err
 	}
@@ -281,6 +409,8 @@ func runBench(ctx context.Context, preset experiments.Preset, seed int64, name, 
 		Workers:         workers,
 		SerialSeconds:   serial,
 		ParallelSeconds: par,
+		SerialCells:     serialCells,
+		ParallelCells:   parCells,
 	}
 	if par > 0 {
 		rep.Speedup = serial / par
@@ -350,7 +480,7 @@ func (p *progressSink) OnRunEnd(ev obs.RunEndEvent) {
 		ev.Scheme, ev.Rounds, ev.TotalTimeSec, ev.TotalEnergyJ, ev.BestAccuracy*100)
 }
 
-func runTrace(p experiments.Preset, seed int64, scheme, settingName, outDir string) error {
+func runTrace(p experiments.Preset, seed int64, scheme, settingName, outDir string, rec *span.Recorder) error {
 	setting, err := parseSetting(settingName)
 	if err != nil {
 		return err
@@ -375,7 +505,7 @@ func runTrace(p experiments.Preset, seed int64, scheme, settingName, outDir stri
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "tracing %s (%s, preset %s) …\n", scheme, setting, p.Name)
-	if _, _, err := experiments.RunScheme(env, scheme); err != nil {
+	if _, _, err := experiments.RunSchemeWith(env, scheme, func(c *fl.Config) { c.Trace = rec }); err != nil {
 		return err
 	}
 	return sink.Flush()
@@ -392,7 +522,7 @@ func parseSetting(name string) (experiments.Setting, error) {
 	}
 }
 
-func runTrain(p experiments.Preset, seed int64, scheme, settingName, modelPath string) error {
+func runTrain(p experiments.Preset, seed int64, scheme, settingName, modelPath string, rec *span.Recorder) error {
 	setting, err := parseSetting(settingName)
 	if err != nil {
 		return err
@@ -402,7 +532,7 @@ func runTrain(p experiments.Preset, seed int64, scheme, settingName, modelPath s
 		return err
 	}
 	fmt.Printf("training %s (%s, preset %s) …\n", scheme, setting, p.Name)
-	curve, res, err := experiments.RunScheme(env, scheme)
+	curve, res, err := experiments.RunSchemeWith(env, scheme, func(c *fl.Config) { c.Trace = rec })
 	if err != nil {
 		return err
 	}

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"testing"
 
+	"helcfl/internal/obs/span"
 	"helcfl/internal/trace"
 )
 
@@ -225,5 +226,147 @@ func TestRunBenchWritesReport(t *testing.T) {
 	}
 	if rep.Experiment != "fig1" || rep.Cells != 1 || rep.SerialSeconds <= 0 || rep.ParallelSeconds <= 0 {
 		t.Fatalf("implausible bench report: %+v", rep)
+	}
+	// The per-cell span stats cover every cell in both timed runs. (fig1's
+	// bespoke cell has no env-build split; the fig2 trace test pins that.)
+	for _, cells := range []benchCells{rep.SerialCells, rep.ParallelCells} {
+		if cells.Cell.Count != rep.Cells || cells.Cell.MaxSec <= 0 || cells.Assemble.Count != 1 {
+			t.Fatalf("bench cell stats implausible: %+v", cells)
+		}
+	}
+}
+
+// TestRunFig2TraceOut is the acceptance path for the span pipeline: a fig2
+// campaign with -trace-out and -flightrec-out must stream spans covering
+// every recorded round's plan/train/upload/aggregate phases, record the
+// per-cell env-build vs run split, and leave a flight dump on exit.
+func TestRunFig2TraceOut(t *testing.T) {
+	dir := t.TempDir()
+	spansPath := filepath.Join(dir, "spans.jsonl")
+	flightDir := filepath.Join(dir, "flight")
+	if err := run([]string{"fig2", "-preset", "tiny", "-parallel", "2",
+		"-trace-out", spansPath, "-flightrec-out", flightDir}); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(spansPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := span.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := span.Validate(recs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every recorded round span must have all four required phase children.
+	type key struct{ trace, span uint64 }
+	phases := map[key]map[string]bool{}
+	counts := map[string]int{}
+	for _, r := range recs {
+		counts[r.Name]++
+		if strings.HasPrefix(r.Name, "fl.round.") {
+			k := key{r.Trace, r.Parent}
+			if phases[k] == nil {
+				phases[k] = map[string]bool{}
+			}
+			phases[k][r.Name] = true
+		}
+	}
+	rounds := 0
+	for _, r := range recs {
+		if r.Name != "fl.round" {
+			continue
+		}
+		rounds++
+		for _, want := range []string{"fl.round.plan", "fl.round.train", "fl.round.upload", "fl.round.aggregate"} {
+			if !phases[key{r.Trace, r.Span}][want] {
+				t.Fatalf("round span %016x-%016x missing %s", r.Trace, r.Span, want)
+			}
+		}
+	}
+	if rounds == 0 {
+		t.Fatal("no round spans recorded")
+	}
+	// The campaign layer reports env-build vs run per cell, plus assembly.
+	if counts["grid.campaign"] != 1 || counts["grid.cell"] == 0 ||
+		counts["cell.envbuild"] != counts["grid.cell"] || counts["cell.run"] != counts["grid.cell"] ||
+		counts["grid.assemble"] != 1 {
+		t.Fatalf("campaign span counts off: %v", counts)
+	}
+	if counts["sched.select"] == 0 || counts["sched.dvfs"] == 0 {
+		t.Fatalf("scheduler spans missing: %v", counts)
+	}
+
+	// End-of-run flight dump exists and is span.Read-compatible.
+	dumps, _ := filepath.Glob(filepath.Join(flightDir, "flightrec-*.jsonl"))
+	if len(dumps) != 1 {
+		t.Fatalf("flight dumps = %v", dumps)
+	}
+	df, err := os.Open(dumps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer df.Close()
+	if _, err := span.Read(df); err != nil {
+		t.Fatalf("span.Read on flight dump: %v", err)
+	}
+}
+
+// TestRunTraceSpanInterop runs the bespoke trace command with both
+// telemetry streams on and cross-checks them: the span file's fl.round
+// spans must agree one-for-one with the internal/trace round records.
+func TestRunTraceSpanInterop(t *testing.T) {
+	dir := t.TempDir()
+	spansPath := filepath.Join(dir, "spans.jsonl")
+	if err := run([]string{"trace", "-preset", "tiny", "-out", dir, "-trace-out", spansPath}); err != nil {
+		t.Fatal(err)
+	}
+
+	matches, _ := filepath.Glob(filepath.Join(dir, "trace_*.jsonl"))
+	if len(matches) != 1 {
+		t.Fatalf("trace files = %v", matches)
+	}
+	tf, err := os.Open(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	trecs, err := trace.Read(tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sf, err := os.Open(spansPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	srecs, err := span.Read(sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spanRounds := map[int64]bool{}
+	for _, r := range srecs {
+		if r.Name != "fl.round" {
+			continue
+		}
+		j, ok := r.IntAttr("round")
+		if !ok {
+			t.Fatal("round span without round attribute")
+		}
+		spanRounds[j] = true
+	}
+	if len(spanRounds) != len(trecs) {
+		t.Fatalf("%d round spans vs %d trace records", len(spanRounds), len(trecs))
+	}
+	for _, tr := range trecs {
+		if !spanRounds[int64(tr.Round)] {
+			t.Fatalf("trace record round %d has no matching span", tr.Round)
+		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"helcfl/internal/device"
+	"helcfl/internal/obs/span"
 	"helcfl/internal/wireless"
 )
 
@@ -65,6 +66,19 @@ type Scheduler struct {
 	// SelectRound, before that round's decay increments — the decision
 	// state the observability layer reports.
 	lastUtil []float64
+
+	// tr/trParent attribute PlanRound's two phases (Algorithm 2 selection,
+	// Algorithm 3 DVFS solve) to the caller's span trace; nil/zero when
+	// tracing is off.
+	tr       *span.Recorder
+	trParent span.Ref
+}
+
+// SetTrace installs the span recorder and parent ref under which the next
+// PlanRound records its selection and DVFS phases. Call with nil to stop
+// tracing.
+func (s *Scheduler) SetTrace(rec *span.Recorder, parent span.Ref) {
+	s.tr, s.trParent = rec, parent
 }
 
 // NewScheduler runs the initialization of Algorithm 2 (lines 1–7): it
@@ -187,12 +201,16 @@ func (s *Scheduler) TCalMaxOf(q int) float64 { return s.tcalMax[q] }
 // followed by Algorithm 3 frequency determination. The returned frequencies
 // align with the returned device indices.
 func (s *Scheduler) PlanRound(ch wireless.Channel, modelBits float64) ([]int, []float64) {
+	selSp := s.tr.Start(s.trParent, "sched.select")
 	selected := s.SelectRound()
+	selSp.End()
 	devs := make([]*device.Device, len(selected))
 	for i, q := range selected {
 		devs[i] = s.devs[q]
 	}
+	dvfsSp := s.tr.Start(s.trParent, "sched.dvfs")
 	freqs := FrequencyPlan(devs, ch, modelBits, s.params.StepsPerRound, s.params.Clamp)
+	dvfsSp.End()
 	// FrequencyPlan orders by ascending compute delay internally but
 	// returns frequencies aligned with its input order, so selected and
 	// freqs stay aligned here.

@@ -13,6 +13,7 @@ import (
 
 	"helcfl/internal/dataset"
 	"helcfl/internal/nn"
+	"helcfl/internal/obs/span"
 )
 
 // newSeededRand is a tiny helper shared with the server.
@@ -69,6 +70,13 @@ type ClientConfig struct {
 	// HTTPClient defaults to http.DefaultClient. Tests swap in a
 	// chaos-transport client here.
 	HTTPClient *http.Client
+	// Trace, when non-nil, records one "http.client" span per HTTP attempt
+	// and stamps every request with the Helcfl-Trace header, so the
+	// server's spans stitch into this client's trace.
+	Trace *span.Recorder
+	// TraceParent parents the client's request spans (zero means the
+	// trace root).
+	TraceParent span.Ref
 }
 
 // Client is a polling FL device.
@@ -221,8 +229,19 @@ func (c *Client) do(ctx context.Context, what string, build func(ctx context.Con
 			cancel()
 			return nil, err
 		}
+		// One span per attempt: retries are separate requests on the wire
+		// and should be separately attributed. The header carries this
+		// span's ref so the server's handler span becomes its child.
+		sp := c.cfg.Trace.Start(c.cfg.TraceParent, "http.client")
+		sp.SetStr("what", what)
+		sp.SetInt("attempt", int64(attempt))
+		if c.cfg.Trace != nil {
+			req.Header.Set(TraceHeader, FormatTraceHeader(sp.Ref()))
+		}
 		resp, err := c.cfg.HTTPClient.Do(req)
 		if err != nil {
+			sp.SetStr("error", "transport")
+			sp.End()
 			cancel()
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
@@ -234,12 +253,16 @@ func (c *Client) do(ctx context.Context, what string, build func(ctx context.Con
 		_ = resp.Body.Close()
 		cancel()
 		if readErr != nil {
+			sp.SetStr("error", "read")
+			sp.End()
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
 			}
 			lastErr = readErr
 			continue
 		}
+		sp.SetInt("status", int64(resp.StatusCode))
+		sp.End()
 		if resp.StatusCode >= 500 {
 			lastErr = fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body))
 			continue

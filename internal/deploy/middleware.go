@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"helcfl/internal/obs"
+	"helcfl/internal/obs/span"
 )
 
 // Logf is the logging hook the server and middleware accept; nil disables
@@ -36,14 +37,19 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 }
 
 // Middleware wraps next with request logging, per-path request counting,
-// and panic recovery. A panicking handler yields a 500 response and a
-// stack-trace log line instead of killing the FLCC process; the server
-// keeps serving. logf, reqs, and panics may each be nil to disable that
-// facet.
-func Middleware(next http.Handler, logf Logf, reqs *obs.CounterVec, panics *obs.Counter) http.Handler {
+// span tracing, and panic recovery. A panicking handler yields a 500
+// response and a stack-trace log line instead of killing the FLCC
+// process; the server keeps serving. logf, reqs, panics, and tr may each
+// be nil to disable that facet. With tr set, every request records an
+// "http.server" span parented at the caller's TraceHeader ref when
+// present (cross-process stitching) or at the server's trace root.
+func Middleware(next http.Handler, logf Logf, reqs *obs.CounterVec, panics *obs.Counter, tr *span.Recorder) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		start := time.Now()
+		parent, _ := ParseTraceHeader(r.Header.Get(TraceHeader))
+		sp := tr.Start(parent, "http.server")
+		sp.SetStr("path", r.URL.Path)
 		defer func() {
 			if rec := recover(); rec != nil {
 				if panics != nil {
@@ -56,6 +62,8 @@ func Middleware(next http.Handler, logf Logf, reqs *obs.CounterVec, panics *obs.
 					http.Error(sw, "internal server error", http.StatusInternalServerError)
 				}
 			}
+			sp.SetInt("status", int64(sw.code))
+			sp.End()
 			if reqs != nil {
 				reqs.With(r.URL.Path).Inc()
 			}

@@ -31,7 +31,7 @@ func TestMiddlewarePanicRecovery(t *testing.T) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/boom", func(http.ResponseWriter, *http.Request) { panic("kaboom") })
 	mux.HandleFunc("/ok", func(w http.ResponseWriter, _ *http.Request) { fmt.Fprint(w, "fine") })
-	ts := httptest.NewServer(Middleware(mux, logf, reqs, panics))
+	ts := httptest.NewServer(Middleware(mux, logf, reqs, panics, nil))
 	defer ts.Close()
 
 	// A panicking handler must yield a 500, not kill the server.
@@ -87,7 +87,7 @@ func TestMiddlewarePanicAfterWriteKeepsStatus(t *testing.T) {
 		w.WriteHeader(http.StatusAccepted)
 		panic("too late for a 500")
 	})
-	ts := httptest.NewServer(Middleware(mux, nil, nil, nil))
+	ts := httptest.NewServer(Middleware(mux, nil, nil, nil, nil))
 	defer ts.Close()
 	resp, err := http.Get(ts.URL + "/half")
 	if err != nil {

@@ -15,6 +15,31 @@
 // partial aggregations when devices go missing. See docs/ROBUSTNESS.md.
 package deploy
 
+import "helcfl/internal/obs/span"
+
+// TraceHeader is the HTTP header propagating span identity between
+// processes: the client stamps each request with its open request span's
+// ref, and the server parents its handler span there, so one training
+// round can be stitched across the device and FLCC traces.
+const TraceHeader = "Helcfl-Trace"
+
+// FormatTraceHeader renders a span ref for the TraceHeader value.
+func FormatTraceHeader(r span.Ref) string { return span.FormatRef(r) }
+
+// ParseTraceHeader parses a TraceHeader value; the zero Ref (with ok
+// false) is returned for an absent or malformed header, in which case the
+// server falls back to its own trace root.
+func ParseTraceHeader(v string) (span.Ref, bool) {
+	if v == "" {
+		return span.Ref{}, false
+	}
+	r, err := span.ParseRef(v)
+	if err != nil {
+		return span.Ref{}, false
+	}
+	return r, true
+}
+
 // Phase is the FLCC lifecycle.
 type Phase string
 

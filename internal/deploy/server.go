@@ -16,6 +16,8 @@ import (
 	"helcfl/internal/fl"
 	"helcfl/internal/nn"
 	"helcfl/internal/obs"
+	"helcfl/internal/obs/flight"
+	"helcfl/internal/obs/span"
 )
 
 // RoundSummary describes one closed round, delivered to ServerConfig.RoundHook.
@@ -71,6 +73,12 @@ type ServerConfig struct {
 	Metrics *obs.Registry
 	// Log receives request and panic log lines; nil disables logging.
 	Log Logf
+	// Trace, when non-nil, records an "http.server" span per request —
+	// parented at the caller's Helcfl-Trace header when present, so a
+	// round stitches across client and server traces — and enables the
+	// flight recorder: the span ring plus the last engine events are
+	// served at /debug/flightrec for live crash forensics.
+	Trace *span.Recorder
 	// CheckpointDir, when non-empty, enables durable state: a snapshot file
 	// written at every round boundary and a write-ahead log of accepted
 	// uploads, via internal/checkpoint. See persist.go for the recovery
@@ -179,7 +187,14 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	s.mux.HandleFunc("/upload", s.handleUpload)
 	s.mux.HandleFunc("/status", s.handleStatus)
 	obs.MountDebug(s.mux, s.metrics)
-	s.handler = Middleware(s.mux, cfg.Log, s.mReqs, s.mPanics)
+	if s.cfg.Trace != nil {
+		// Flight recorder: tee the event stream into a ring and expose the
+		// combined span+event dump for live inspection.
+		fr := flight.New(s.cfg.Trace, 512)
+		s.cfg.Sink = obs.Multi(s.cfg.Sink, fr.Sink())
+		s.mux.Handle("/debug/flightrec", fr.Handler())
+	}
+	s.handler = Middleware(s.mux, cfg.Log, s.mReqs, s.mPanics, s.cfg.Trace)
 	if cfg.CheckpointDir != "" {
 		s.mu.Lock()
 		err := s.initDurabilityLocked()

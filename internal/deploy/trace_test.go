@@ -1,0 +1,149 @@
+package deploy
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"helcfl/internal/core"
+	"helcfl/internal/dataset"
+	"helcfl/internal/device"
+	"helcfl/internal/fl"
+	"helcfl/internal/nn"
+	"helcfl/internal/obs/span"
+	"helcfl/internal/selection"
+	"helcfl/internal/wireless"
+)
+
+// TestTraceHeaderRoundTrip pins the wire encoding of span refs.
+func TestTraceHeaderRoundTrip(t *testing.T) {
+	ref := span.Ref{Trace: 0xabc, Span: 42}
+	got, ok := ParseTraceHeader(FormatTraceHeader(ref))
+	if !ok || got != ref {
+		t.Fatalf("round trip: %+v ok=%v", got, ok)
+	}
+	if _, ok := ParseTraceHeader(""); ok {
+		t.Fatal("empty header accepted")
+	}
+	if _, ok := ParseTraceHeader("garbage"); ok {
+		t.Fatal("malformed header accepted")
+	}
+}
+
+// TestCrossProcessStitching runs a tiny real-HTTP deployment with tracing
+// on both sides and asserts the tentpole's stitching property: the
+// server's handler spans adopt the client's trace ID and parent at the
+// client's request spans, so one round can be reassembled across the two
+// processes' span files.
+func TestCrossProcessStitching(t *testing.T) {
+	const users = 2
+	synth := dataset.GenerateSynth(dataset.SynthConfig{
+		Classes: 4, C: 2, H: 4, W: 4, TrainN: 40 * users, TestN: 40, Noise: 0.7, Seed: 5,
+	})
+	rng := rand.New(rand.NewSource(6))
+	part := dataset.PartitionIID(synth.Train, users, rng)
+	userData := dataset.UserDatasets(synth.Train, part)
+	spec := nn.ModelSpec{Kind: "logistic", InC: 2, H: 4, W: 4, Classes: 4}
+
+	serverRec := span.NewRecorder(2000, span.Options{})
+	srv, err := NewServer(ServerConfig{
+		Spec:          spec,
+		Seed:          9,
+		ExpectedUsers: users,
+		Rounds:        2,
+		Trace:         serverRec,
+		NewPlanner: func(devs []*device.Device) (fl.Planner, error) {
+			return selection.NewHELCFL(devs, wireless.DefaultChannel(), 1e5, core.Params{
+				Eta: 0.7, Fraction: 1.0, StepsPerRound: 1, Clamp: true,
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	clientRecs := make([]*span.Recorder, users)
+	errs := make(chan error, users)
+	for q := 0; q < users; q++ {
+		clientRecs[q] = span.NewRecorder(uint64(1000+q), span.Options{})
+		c, err := NewClient(ClientConfig{
+			BaseURL: ts.URL,
+			Info: RegisterRequest{
+				User: q, NumSamples: userData[q].N(),
+				FMin: 0.3e9, FMax: 0.5e9, TxPower: 0.2, ChannelGain: 1.0,
+			},
+			Data: userData[q], Spec: spec,
+			LR: 0.3, LocalSteps: 1, PollInterval: time.Millisecond,
+			Trace: clientRecs[q],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() { errs <- c.Run() }()
+	}
+	for q := 0; q < users; q++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Every server handler span must carry a client's trace ID (1000 or
+	// 1001), never the server's own (2000): each request arrived with a
+	// Helcfl-Trace header, and the handler span must adopt it.
+	serverSpans := serverRec.Snapshot()
+	if len(serverSpans) == 0 {
+		t.Fatal("server recorded no spans")
+	}
+	clientSpanIDs := map[span.Ref]bool{}
+	for q := 0; q < users; q++ {
+		for _, rec := range clientRecs[q].Snapshot() {
+			if rec.Name != "http.client" {
+				t.Fatalf("unexpected client span %q", rec.Name)
+			}
+			clientSpanIDs[span.Ref{Trace: rec.Trace, Span: rec.Span}] = true
+		}
+	}
+	for _, rec := range serverSpans {
+		if rec.Name != "http.server" {
+			continue
+		}
+		if rec.Trace != 1000 && rec.Trace != 1001 {
+			t.Fatalf("server span has trace %d, not stitched into a client trace", rec.Trace)
+		}
+		if !clientSpanIDs[span.Ref{Trace: rec.Trace, Span: rec.Parent}] {
+			t.Fatalf("server span parent %016x-%016x is not a client request span", rec.Trace, rec.Parent)
+		}
+	}
+
+	// The flight recorder endpoint serves a dump that span.Read accepts
+	// and that contains the round lifecycle events.
+	resp, err := http.Get(ts.URL + "/debug/flightrec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 32*1024)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	dump := sb.String()
+	if !strings.Contains(dump, `"flightrec":1`) {
+		t.Fatal("flight dump missing meta line")
+	}
+	if !strings.Contains(dump, `"event":"RoundEnd"`) {
+		t.Fatal("flight dump missing round events")
+	}
+	if _, err := span.Read(strings.NewReader(dump)); err != nil {
+		t.Fatalf("span.Read on flight dump: %v", err)
+	}
+}

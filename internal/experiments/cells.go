@@ -8,6 +8,7 @@ import (
 	"helcfl/internal/fl"
 	"helcfl/internal/grid"
 	"helcfl/internal/metrics"
+	"helcfl/internal/obs/span"
 )
 
 // This file is the bridge between the experiment drivers and the campaign
@@ -68,11 +69,19 @@ func trainCell(p Preset, s Setting, seed int64, scheme, variant string, mutate f
 		Scheme:     scheme,
 		Variant:    variant,
 		Seed:       seed,
-		Run: func(context.Context, *rand.Rand) (any, error) {
+		Run: func(ctx context.Context, _ *rand.Rand) (any, error) {
+			// The env-build vs run split is the cell-level cost attribution
+			// ROADMAP item 3 needs: every cell rebuilds its environment from
+			// the seed (that is what keeps parallel runs bit-identical), and
+			// these two spans say what that independence costs.
+			_, envSp := span.StartCtx(ctx, "cell.envbuild")
 			env, err := BuildEnv(p, s, seed)
+			envSp.End()
 			if err != nil {
 				return nil, err
 			}
+			runCtx, runSp := span.StartCtx(ctx, "cell.run")
+			defer runSp.End()
 			if scheme == "SL" {
 				curve, err := runSL(env)
 				if err != nil {
@@ -80,7 +89,19 @@ func trainCell(p Preset, s Setting, seed int64, scheme, variant string, mutate f
 				}
 				return schemeRun{Curve: curve}, nil
 			}
-			curve, res, err := RunSchemeWith(env, scheme, mutate)
+			// Thread the trace into the engine config so round phases nest
+			// under this cell.
+			traced := mutate
+			if rec, parent := span.FromContext(runCtx); rec != nil {
+				traced = func(c *fl.Config) {
+					c.Trace = rec
+					c.TraceParent = parent
+					if mutate != nil {
+						mutate(c)
+					}
+				}
+			}
+			curve, res, err := RunSchemeWith(env, scheme, traced)
 			if err != nil {
 				return nil, err
 			}

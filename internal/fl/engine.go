@@ -14,6 +14,7 @@ import (
 	"helcfl/internal/device"
 	"helcfl/internal/nn"
 	"helcfl/internal/obs"
+	"helcfl/internal/obs/span"
 	"helcfl/internal/sim"
 	"helcfl/internal/wireless"
 )
@@ -95,6 +96,17 @@ type Config struct {
 	// dropout and battery faults, and aggregations. See internal/obs.
 	// A nil Sink adds zero allocations to the round hot path.
 	Sink obs.EventSink
+	// Trace, when non-nil, records measured phase spans for every round —
+	// plan (selection + DVFS solve), local train, upload post-processing,
+	// aggregate, eval — alongside the modeled Eq. (7)–(8) costs as span
+	// attributes, so wall time and analytical time are comparable per
+	// phase. Like a nil Sink, a nil Trace adds zero allocations to the
+	// round hot path.
+	Trace *span.Recorder
+	// TraceParent, when non-zero, parents the run span: the grid runner
+	// nests campaign cells under their cell span, and a deploy server
+	// stitches rounds under the remote caller's span.
+	TraceParent span.Ref
 	// Seed drives model initialization.
 	Seed int64
 }
@@ -215,6 +227,8 @@ type Engine struct {
 	round    int  // next round to execute
 	stopped  bool // an exit condition fired
 	finished bool // OnRunEnd emitted
+
+	runSp span.Span // open "fl.run" span; zero when Config.Trace is nil
 }
 
 // NewEngine validates the configuration, runs the initialization phase of
@@ -228,6 +242,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e.emitRunStart()
+	e.startRunSpan()
 	return e, nil
 }
 
@@ -283,6 +298,14 @@ func (e *Engine) emitRunStart() {
 	}
 }
 
+// startRunSpan opens the "fl.run" span bracketing the whole campaign; it
+// is closed by the first Result call after the campaign finishes. On a
+// nil Config.Trace this is a complete no-op.
+func (e *Engine) startRunSpan() {
+	e.runSp = e.cfg.Trace.Start(e.cfg.TraceParent, "fl.run")
+	e.runSp.SetStr("scheme", e.res.Scheme)
+}
+
 // Round returns the index of the next round the engine would execute.
 func (e *Engine) Round() int { return e.round }
 
@@ -314,6 +337,20 @@ func (e *Engine) Step() (bool, error) {
 	if cfg.Sink != nil {
 		cfg.Sink.OnRoundStart(obs.RoundStartEvent{Round: j})
 	}
+	// Phase spans: "fl.round" brackets the round; plan / train / upload /
+	// aggregate children carry the measured-vs-modeled decomposition. All
+	// span calls are nil-safe no-ops without a Trace. Error and dead-fleet
+	// exits below return without ending these spans, so they are never
+	// recorded — every *recorded* round has its full phase set, which the
+	// inspect gate asserts.
+	roundSp := cfg.Trace.Start(e.runSp.Ref(), "fl.round")
+	roundSp.SetInt("round", int64(j))
+	planSp := cfg.Trace.Start(roundSp.Ref(), "fl.round.plan")
+	if cfg.Trace != nil {
+		if tp, ok := cfg.Planner.(TracedPlanner); ok {
+			tp.SetTrace(cfg.Trace, planSp.Ref())
+		}
+	}
 	selected, freqs := cfg.Planner.PlanRound(j)
 	if len(selected) == 0 {
 		return false, fmt.Errorf("fl: planner %q selected no users in round %d", cfg.Planner.Name(), j)
@@ -337,6 +374,8 @@ func (e *Engine) Step() (bool, error) {
 			return false, nil
 		}
 	}
+	planSp.SetInt("selected", int64(len(selected)))
+	planSp.End()
 	if cfg.Sink != nil {
 		ev := obs.SelectionEvent{Round: j, Selected: selected, Freqs: freqs}
 		if dd, ok := cfg.Planner.(DecisionDetailer); ok {
@@ -363,6 +402,8 @@ func (e *Engine) Step() (bool, error) {
 		}
 	}
 	round := sim.SimulateRoundGains(selDevs, freqs, cfg.Channel, e.modelBits, cfg.LocalSteps, gains)
+
+	trainSp := cfg.Trace.Start(roundSp.Ref(), "fl.round.train")
 
 	// Parallel local updates (lines 6–9): clients are independent (own
 	// scratch model, shared read-only broadcast), so they train on a
@@ -399,6 +440,19 @@ func (e *Engine) Step() (bool, error) {
 		}(si, q)
 	}
 	wg.Wait()
+	if cfg.Trace != nil {
+		// Modeled counterpart of the measured train phase: the Eq. (4)–(5)
+		// compute makespan (parallel users — the max delay) and energy.
+		maxCal := 0.0
+		for _, u := range round.Users {
+			if u.ComputeDelay > maxCal {
+				maxCal = u.ComputeDelay
+			}
+		}
+		trainSp.SetFloat("model_sec", maxCal)
+		trainSp.SetFloat("model_j", round.ComputeEnergy)
+	}
+	trainSp.End()
 
 	if cfg.Sink != nil {
 		// The realized frequency outcome and per-user spans. round.Users
@@ -430,6 +484,7 @@ func (e *Engine) Step() (bool, error) {
 	}
 
 	// Sequential post-processing and FedAvg (line 10).
+	uploadSp := cfg.Trace.Start(roundSp.Ref(), "fl.round.upload")
 	uploads := make([][]float64, 0, len(selected))
 	weights := make([]int, 0, len(selected))
 	lossSum := 0.0
@@ -467,6 +522,19 @@ func (e *Engine) Step() (bool, error) {
 		uploads = append(uploads, flat)
 		weights = append(weights, cfg.UserData[q].N())
 	}
+	if cfg.Trace != nil {
+		// Modeled counterpart of the measured upload phase: Eq. (7)–(8)
+		// total TDMA airtime and upload energy.
+		totCom := 0.0
+		for _, u := range round.Users {
+			totCom += u.UploadDelay
+		}
+		uploadSp.SetFloat("model_sec", totCom)
+		uploadSp.SetFloat("model_j", round.UploadEnergy)
+		uploadSp.SetInt("failed", int64(failed))
+	}
+	uploadSp.End()
+	aggSp := cfg.Trace.Start(roundSp.Ref(), "fl.round.aggregate")
 	if len(uploads) > 0 {
 		e.global.SetFlatParams(FedAvg(uploads, weights))
 		if cfg.Sink != nil {
@@ -479,6 +547,8 @@ func (e *Engine) Step() (bool, error) {
 	if obs, ok := cfg.Planner.(Observer); ok {
 		obs.ObserveRound(j, selected, lossesByUser)
 	}
+	aggSp.SetInt("uploads", int64(len(uploads)))
+	aggSp.End()
 
 	e.cumTime += round.Makespan
 	e.cumEnergy += round.TotalEnergy
@@ -517,7 +587,9 @@ func (e *Engine) Step() (bool, error) {
 	lastRound := j == cfg.MaxRounds-1
 	deadlineHit := cfg.DeadlineSec > 0 && e.cumTime >= cfg.DeadlineSec
 	if j%e.evalEvery == 0 || lastRound || deadlineHit {
+		evalSp := cfg.Trace.Start(roundSp.Ref(), "fl.round.eval")
 		tl, ta := Evaluate(e.global, cfg.Test, e.flatten)
+		evalSp.End()
 		rec.Evaluated = true
 		rec.TestLoss, rec.TestAccuracy = tl, ta
 		if ta > e.res.BestAccuracy {
@@ -558,6 +630,13 @@ func (e *Engine) Step() (bool, error) {
 	if e.res.ReachedTarget || e.res.Converged {
 		e.stopped = true
 	}
+	if cfg.Trace != nil {
+		// The modeled round roll-up (Eq. 10–11) next to the measured wall
+		// time of the same round.
+		roundSp.SetFloat("model_delay_sec", rec.Delay)
+		roundSp.SetFloat("model_energy_j", rec.Energy)
+	}
+	roundSp.End()
 	e.round++
 	return true, nil
 }
@@ -571,6 +650,7 @@ func (e *Engine) Result() *Result {
 	e.res.TotalEnergy = e.cumEnergy
 	if e.Done() && !e.finished {
 		e.finished = true
+		e.runSp.End()
 		if e.cfg.Sink != nil {
 			e.cfg.Sink.OnRunEnd(obs.RunEndEvent{
 				Scheme: e.res.Scheme, Rounds: len(e.res.Records),

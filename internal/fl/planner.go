@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"helcfl/internal/device"
+	"helcfl/internal/obs/span"
 )
 
 // Planner makes the per-round FLCC scheduling decision: which users
@@ -40,6 +41,16 @@ type DecisionDetailer interface {
 	// computed at the last PlanRound and the current α_q appearance
 	// counters; either may be nil when unavailable.
 	SelectionDetail() (utilities []float64, appearances []int)
+}
+
+// TracedPlanner is an optional Planner extension: planners whose decision
+// has internally separable phases (HELCFL's Algorithm 2 selection and
+// Algorithm 3 DVFS solve) receive the engine's span recorder so those
+// phases appear as children of the round's plan span. The engine calls
+// SetTrace before every PlanRound with that round's plan-span ref; it is
+// never called when tracing is off.
+type TracedPlanner interface {
+	SetTrace(rec *span.Recorder, parent span.Ref)
 }
 
 // StatefulPlanner is an optional Planner extension for checkpoint/resume:

@@ -52,6 +52,8 @@ type EngineState struct {
 // hidden state without implementing StatefulPlanner cannot be resumed
 // deterministically (the HELCFL and FedCS planners both can).
 func (e *Engine) Snapshot() (*EngineState, error) {
+	sp := e.cfg.Trace.Start(e.runSp.Ref(), "fl.snapshot")
+	defer sp.End()
 	st := &EngineState{
 		Round:             e.round,
 		RNGUsed:           e.rngUsed,
@@ -136,6 +138,7 @@ func RestoreEngine(cfg Config, st *EngineState) (*Engine, error) {
 		}
 	}
 	e.emitRunStart()
+	e.startRunSpan()
 	return e, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"helcfl/internal/obs"
+	"helcfl/internal/obs/span"
 )
 
 // Event is one progress notification from a Runner. Exactly one of the two
@@ -119,6 +120,16 @@ func (r *Runner) Run(ctx context.Context, cells []Cell) ([]any, error) {
 		defer obs.StartSpan(m.campaignSec).End()
 	}
 
+	// When the caller's context carries a span recorder, the campaign and
+	// every cell record trace spans; cell Runs see a context whose current
+	// parent is their own cell span, so engine phases nest under it.
+	rec, parent := span.FromContext(ctx)
+	campSp := rec.Start(parent, "grid.campaign")
+	campSp.SetInt("cells", int64(n))
+	campSp.SetInt("workers", int64(workers))
+	defer campSp.End()
+	campRef := campSp.Ref()
+
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -157,12 +168,20 @@ func (r *Runner) Run(ctx context.Context, cells []Cell) ([]any, error) {
 				emit(Event{Index: i, Key: key, Total: n,
 					Started: int(s), Completed: int(completed.Load()), Failed: int(failed.Load())})
 
-				var span obs.Span
+				var timer obs.Span
 				if m != nil {
-					span = obs.StartSpan(m.cellSec)
+					timer = obs.StartSpan(m.cellSec)
 				}
-				v, err := cells[i].Run(cctx, cells[i].RNG())
-				span.End()
+				cellSp := rec.Start(campRef, "grid.cell")
+				cellSp.SetStr("key", key)
+				cellSp.SetInt("index", int64(i))
+				runCtx := cctx
+				if rec != nil {
+					runCtx = span.WithParent(cctx, rec, cellSp.Ref())
+				}
+				v, err := cells[i].Run(runCtx, cells[i].RNG())
+				cellSp.End()
+				timer.End()
 
 				if err != nil {
 					cellErrs[i] = &CellError{Index: i, Key: key, Err: err}

@@ -40,13 +40,18 @@ var Packages = map[string]Class{
 	"helcfl/internal/grid":        ClassDeterministic,
 	"helcfl/internal/metrics":     ClassDeterministic,
 	"helcfl/internal/nn":          ClassDeterministic,
-	"helcfl/internal/report":      ClassDeterministic,
-	"helcfl/internal/selection":   ClassDeterministic,
-	"helcfl/internal/sim":         ClassDeterministic,
-	"helcfl/internal/stats":       ClassDeterministic,
-	"helcfl/internal/tensor":      ClassDeterministic,
-	"helcfl/internal/trace":       ClassDeterministic,
-	"helcfl/internal/wireless":    ClassDeterministic,
+	// The span tracer is deterministic in structure (span counts, names,
+	// parents, and attributes repeat across runs; only durations vary).
+	// Its single audited clock site is span.now(), which carries the one
+	// //helcfl:allow(nondeterminism) exemption for the package.
+	"helcfl/internal/obs/span":  ClassDeterministic,
+	"helcfl/internal/report":    ClassDeterministic,
+	"helcfl/internal/selection": ClassDeterministic,
+	"helcfl/internal/sim":       ClassDeterministic,
+	"helcfl/internal/stats":     ClassDeterministic,
+	"helcfl/internal/tensor":    ClassDeterministic,
+	"helcfl/internal/trace":     ClassDeterministic,
+	"helcfl/internal/wireless":  ClassDeterministic,
 
 	// The runtime set: wall clock, sockets, and disks by design.
 	"helcfl/internal/chaos":      ClassRuntime,
@@ -54,6 +59,9 @@ var Packages = map[string]Class{
 	"helcfl/internal/deploy":     ClassRuntime,
 	"helcfl/internal/lint":       ClassRuntime,
 	"helcfl/internal/obs":        ClassRuntime,
+	// The flight recorder is crash forensics: signals, wall clock,
+	// filesystem dumps, and HTTP by design.
+	"helcfl/internal/obs/flight": ClassRuntime,
 
 	// Binaries and runnable examples wire the system to the outside world.
 	"helcfl/cmd/helcfl":         ClassRuntime,

@@ -418,10 +418,17 @@ func (f *family) write(sb *strings.Builder) {
 		}
 		f.mu.Unlock()
 	case f.kind == kindHistogram:
-		if f.hist == nil {
+		// The collector pointer is assigned under f.mu by Registry.Histogram
+		// but this scrape runs concurrently with registration (e.g. the span
+		// histogram bridge registers lazily per span name), so it must be
+		// loaded under the same lock. Same for the counter/gauge cases below.
+		f.mu.Lock()
+		h := f.hist
+		f.mu.Unlock()
+		if h == nil {
 			return
 		}
-		s := f.hist.Snapshot()
+		s := h.Snapshot()
 		cum := uint64(0)
 		for i, b := range s.Bounds {
 			cum += s.Counts[i]
@@ -432,12 +439,18 @@ func (f *family) write(sb *strings.Builder) {
 		fmt.Fprintf(sb, "%s_sum %s\n", f.name, fmtFloat(s.Sum))
 		fmt.Fprintf(sb, "%s_count %d\n", f.name, s.Count)
 	case f.kind == kindCounter:
-		if f.counter != nil {
-			fmt.Fprintf(sb, "%s %s\n", f.name, fmtFloat(f.counter.Value()))
+		f.mu.Lock()
+		c := f.counter
+		f.mu.Unlock()
+		if c != nil {
+			fmt.Fprintf(sb, "%s %s\n", f.name, fmtFloat(c.Value()))
 		}
 	default:
-		if f.gauge != nil {
-			fmt.Fprintf(sb, "%s %s\n", f.name, fmtFloat(f.gauge.Value()))
+		f.mu.Lock()
+		g := f.gauge
+		f.mu.Unlock()
+		if g != nil {
+			fmt.Fprintf(sb, "%s %s\n", f.name, fmtFloat(g.Value()))
 		}
 	}
 }

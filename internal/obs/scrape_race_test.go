@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestRegistryRegisterWhileScrape is the -race regression test for the
+// family collector fields: Registry.Counter/Gauge/Histogram assign
+// f.counter/f.gauge/f.hist under f.mu, and family.write must load them
+// under the same lock. The span histogram bridge registers lazily per
+// span name, so register-during-WritePrometheus is a real production
+// interleaving, not a test artifact.
+func TestRegistryRegisterWhileScrape(t *testing.T) {
+	reg := NewRegistry()
+	const iters = 200
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if err := reg.WritePrometheus(io.Discard); err != nil {
+				t.Errorf("scrape %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			reg.Counter(fmt.Sprintf("race_counter_%d", i), "").Inc()
+			reg.Gauge(fmt.Sprintf("race_gauge_%d", i), "").Set(float64(i))
+			reg.Histogram(fmt.Sprintf("race_hist_%d", i), "", DefSecondsBuckets()).Observe(0.1)
+		}
+	}()
+	wg.Wait()
+	// Final scrape must see every family fully registered.
+	var sb writerFunc
+	count := 0
+	sb = func(p []byte) (int, error) { count += len(p); return len(p), nil }
+	if err := reg.WritePrometheus(sb); err != nil {
+		t.Fatal(err)
+	}
+	if count == 0 {
+		t.Fatal("final scrape produced no output")
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

@@ -1,0 +1,65 @@
+package span
+
+import (
+	"strings"
+	"sync"
+
+	"helcfl/internal/obs"
+)
+
+// Bridge exports span durations into the obs registry as per-name
+// histograms, so /metrics exposes the same phase timings the JSONL
+// artifact records. Histograms are registered lazily on the first span of
+// each name (registration is idempotent in the registry); the local cache
+// only avoids re-deriving the metric name per span.
+type Bridge struct {
+	reg *obs.Registry
+
+	mu    sync.Mutex
+	hists map[string]*obs.Histogram
+}
+
+// NewBridge builds a bridge into reg. A nil registry yields a nil bridge,
+// which Exporters drops.
+func NewBridge(reg *obs.Registry) *Bridge {
+	if reg == nil {
+		return nil
+	}
+	return &Bridge{reg: reg, hists: make(map[string]*obs.Histogram)}
+}
+
+// bridgeBuckets spans 1 µs .. ~1 hour: phase spans range from
+// sub-millisecond scheduler solves to multi-minute campaign cells.
+func bridgeBuckets() []float64 { return obs.ExpBuckets(1e-6, 4, 16) }
+
+// ExportSpan implements Exporter.
+func (b *Bridge) ExportSpan(rec Rec) {
+	b.mu.Lock()
+	h := b.hists[rec.Name]
+	if h == nil {
+		h = b.reg.Histogram(metricName(rec.Name), "Measured duration of "+rec.Name+" spans.", bridgeBuckets())
+		b.hists[rec.Name] = h
+	}
+	b.mu.Unlock()
+	h.Observe(secs(rec.DurNs))
+}
+
+// metricName maps a span name to a Prometheus metric name:
+// "fl.round.train" → "helcfl_span_fl_round_train_seconds".
+func metricName(span string) string {
+	var sb strings.Builder
+	sb.WriteString("helcfl_span_")
+	for i := 0; i < len(span); i++ {
+		c := span[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '_':
+			sb.WriteByte(c)
+		case c >= 'A' && c <= 'Z':
+			sb.WriteByte(c + ('a' - 'A'))
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	sb.WriteString("_seconds")
+	return sb.String()
+}

@@ -1,0 +1,74 @@
+package span
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"helcfl/internal/obs"
+)
+
+func TestBridgeObservesIntoRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	b := NewBridge(reg)
+	r := NewRecorder(1, Options{Exporter: b})
+	for i := 0; i < 3; i++ {
+		sp := r.Start(Ref{}, "fl.round.train")
+		sp.End()
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "helcfl_span_fl_round_train_seconds_count 3") {
+		t.Fatalf("bridge histogram missing from exposition:\n%s", out)
+	}
+	if NewBridge(nil) != nil {
+		t.Fatal("nil registry should yield nil bridge")
+	}
+}
+
+func TestMetricName(t *testing.T) {
+	cases := map[string]string{
+		"fl.round.train": "helcfl_span_fl_round_train_seconds",
+		"HTTP-Server":    "helcfl_span_http_server_seconds",
+		"grid.cell":      "helcfl_span_grid_cell_seconds",
+	}
+	for in, want := range cases {
+		if got := metricName(in); got != want {
+			t.Errorf("metricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestBridgeRegisterWhileScrape exercises the production interleaving
+// behind the registry race fix: the bridge lazily registers a histogram
+// per span name while another goroutine scrapes /metrics. Run under
+// -race this pins that lazy bridge registration and exposition are safe
+// together.
+func TestBridgeRegisterWhileScrape(t *testing.T) {
+	reg := obs.NewRegistry()
+	b := NewBridge(reg)
+	const iters = 200
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if err := reg.WritePrometheus(io.Discard); err != nil {
+				t.Errorf("scrape %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			b.ExportSpan(Rec{Name: fmt.Sprintf("phase.%d", i), DurNs: int64(i) * 1000})
+		}
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,54 @@
+package span
+
+import "context"
+
+// ctxKey keys the recorder+parent pair in a context.
+type ctxKey struct{}
+
+type ctxVal struct {
+	rec    *Recorder
+	parent Ref
+}
+
+// NewContext installs a recorder in ctx with the trace root as the
+// current parent. A nil recorder returns ctx unchanged, preserving the
+// nothing-installed fast path downstream.
+func NewContext(ctx context.Context, rec *Recorder) context.Context {
+	if rec == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, ctxVal{rec: rec, parent: rec.Root()})
+}
+
+// WithParent rebinds the current parent ref, so spans started from the
+// returned context nest under parent. A nil recorder returns ctx
+// unchanged.
+func WithParent(ctx context.Context, rec *Recorder, parent Ref) context.Context {
+	if rec == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, ctxVal{rec: rec, parent: parent})
+}
+
+// FromContext extracts the installed recorder and current parent ref.
+// Returns (nil, zero Ref) when no recorder is installed; the nil result
+// is itself a valid inert tracer.
+func FromContext(ctx context.Context) (*Recorder, Ref) {
+	if v, ok := ctx.Value(ctxKey{}).(ctxVal); ok {
+		return v.rec, v.parent
+	}
+	return nil, Ref{}
+}
+
+// StartCtx starts a span under the context's current parent and returns a
+// child context whose parent is the new span, plus the span itself. With
+// no recorder installed it returns ctx unchanged and the zero Span — no
+// allocation, no clock read.
+func StartCtx(ctx context.Context, name string) (context.Context, Span) {
+	rec, parent := FromContext(ctx)
+	if rec == nil {
+		return ctx, Span{}
+	}
+	sp := rec.Start(parent, name)
+	return WithParent(ctx, rec, sp.Ref()), sp
+}

@@ -1,0 +1,51 @@
+package span
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead mirrors the checkpoint/trace fuzz corpus style: the span JSONL
+// parser must never panic on arbitrary input, and anything it accepts
+// must be structurally sane enough to re-serialize. Seeds cover the
+// failure modes the decoder is designed around: torn tails from crashed
+// writers, bad parent refs, interleaved flight-recorder lines, and
+// future schema versions.
+func FuzzRead(f *testing.F) {
+	valid := `{"trace":1,"span":1,"name":"fl.round","start_ns":10,"dur_ns":20,"attrs":[{"k":"round","t":"i","i":3}],"v":1}` + "\n"
+	f.Add("")
+	f.Add("{}\n")
+	f.Add(valid)
+	f.Add("not json\n")
+	f.Add(`{"trace":1,"span":1,"name":"a","v":99}` + "\n")
+	f.Add(valid + `{"trace":1,"span":2,"name":"torn","sta`)                           // torn tail
+	f.Add(`{"trace":1,"span":2,"parent":777,"name":"dangling","v":1}` + "\n")         // bad parent ref
+	f.Add(`{"flightrec":1,"pid":1}` + "\n" + valid + `{"event":"RunEnd"}` + "\n")     // flight dump interleave
+	f.Add(`{"trace":1,"span":1,"name":"a","attrs":[{"k":"x","t":"?"}],"v":1}` + "\n") // unknown attr kind
+	f.Add(strings.Repeat(valid, 5))
+	f.Fuzz(func(t *testing.T, input string) {
+		recs, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panicking is not
+		}
+		// Validate may reject (e.g. dangling parents) but must not panic.
+		_ = Validate(recs)
+		// Accepted records must survive a write/read round trip through the
+		// JSONL exporter encoding.
+		var sb strings.Builder
+		jl := NewJSONL(&sb)
+		for _, r := range recs {
+			jl.ExportSpan(r)
+		}
+		if err := jl.Flush(); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		again, err := Read(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("re-read: %v", err)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip lost records: %d -> %d", len(recs), len(again))
+		}
+	})
+}

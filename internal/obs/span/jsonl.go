@@ -1,0 +1,187 @@
+package span
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+)
+
+// SchemaVersion is bumped on breaking changes to Rec.
+const SchemaVersion = 1
+
+// Rec is one completed span in the JSONL artifact. Times are nanoseconds:
+// StartNs is relative to the recorder's epoch (so two processes in one
+// trace have independent origins — ordering is only meaningful within a
+// process), DurNs is a monotonic-clock duration.
+type Rec struct {
+	Trace   uint64 `json:"trace"`
+	Span    uint64 `json:"span"`
+	Parent  uint64 `json:"parent,omitempty"`
+	Name    string `json:"name"`
+	StartNs int64  `json:"start_ns"`
+	DurNs   int64  `json:"dur_ns"`
+	Attrs   []Attr `json:"attrs,omitempty"`
+	V       int    `json:"v"`
+}
+
+// Attr returns the attribute with the given key, or false.
+func (r Rec) Attr(key string) (Attr, bool) {
+	for _, a := range r.Attrs {
+		if a.Key == key {
+			return a, true
+		}
+	}
+	return Attr{}, false
+}
+
+// FloatAttr returns a float attribute's value, or 0/false.
+func (r Rec) FloatAttr(key string) (float64, bool) {
+	a, ok := r.Attr(key)
+	if !ok || a.Kind != KindFloat {
+		return 0, false
+	}
+	return a.Float, true
+}
+
+// IntAttr returns an int attribute's value, or 0/false.
+func (r Rec) IntAttr(key string) (int64, bool) {
+	a, ok := r.Attr(key)
+	if !ok || a.Kind != KindInt {
+		return 0, false
+	}
+	return a.Int, true
+}
+
+// StrAttr returns a string attribute's value, or ""/false.
+func (r Rec) StrAttr(key string) (string, bool) {
+	a, ok := r.Attr(key)
+	if !ok || a.Kind != KindStr {
+		return "", false
+	}
+	return a.Str, true
+}
+
+// Read parses a span JSONL stream. It is deliberately forgiving about two
+// real-world artifacts: a torn final line (a crash mid-write leaves a
+// truncated tail, which is tolerated — the valid prefix is returned) and
+// interleaved non-span lines (flight-recorder dumps mix span records with
+// event and metadata lines; anything without a "name" field is skipped).
+// A mid-stream malformed line is still a hard error, as is a schema
+// version newer than this reader.
+func Read(r io.Reader) ([]Rec, error) {
+	var out []Rec
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Rec
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			if sc.Scan() {
+				// More lines follow: corruption, not a torn tail.
+				return nil, fmt.Errorf("span: line %d: %w", line, err)
+			}
+			break
+		}
+		if rec.Name == "" {
+			continue // event / metadata line in a flight dump
+		}
+		if rec.V > SchemaVersion {
+			return nil, fmt.Errorf("span: line %d: schema v%d newer than supported v%d", line, rec.V, SchemaVersion)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("span: scan: %w", err)
+	}
+	return out, nil
+}
+
+// Validate checks structural invariants of a span set: every span has a
+// name and a non-zero ID, times are non-negative, (trace, span) pairs are
+// unique, every non-zero parent resolves to a span in the same trace (or
+// is a cross-process stitch, which resolves against the whole set), and
+// attributes carry known kinds with finite floats.
+func Validate(recs []Rec) error {
+	type key struct{ tr, sp uint64 }
+	seen := make(map[key]bool, len(recs))
+	for i, r := range recs {
+		if r.Name == "" {
+			return fmt.Errorf("span: rec %d: empty name", i)
+		}
+		if r.Span == 0 {
+			return fmt.Errorf("span: rec %d (%s): zero span id", i, r.Name)
+		}
+		if r.StartNs < 0 || r.DurNs < 0 {
+			return fmt.Errorf("span: rec %d (%s): negative time", i, r.Name)
+		}
+		k := key{r.Trace, r.Span}
+		if seen[k] {
+			return fmt.Errorf("span: rec %d (%s): duplicate id %016x-%016x", i, r.Name, r.Trace, r.Span)
+		}
+		seen[k] = true
+		for _, a := range r.Attrs {
+			switch a.Kind {
+			case KindInt, KindStr:
+			case KindFloat:
+				if math.IsNaN(a.Float) || math.IsInf(a.Float, 0) {
+					return fmt.Errorf("span: rec %d (%s): attr %s is %g", i, r.Name, a.Key, a.Float)
+				}
+			default:
+				return fmt.Errorf("span: rec %d (%s): attr %s has unknown kind %q", i, r.Name, a.Key, a.Kind)
+			}
+		}
+	}
+	for i, r := range recs {
+		if r.Parent == 0 {
+			continue
+		}
+		if !seen[key{r.Trace, r.Parent}] {
+			return fmt.Errorf("span: rec %d (%s): dangling parent %016x-%016x", i, r.Name, r.Trace, r.Parent)
+		}
+	}
+	return nil
+}
+
+// JSONL streams every exported span as one JSON line. Encode errors are
+// sticky and surfaced by Flush, keeping ExportSpan cheap on the hot path.
+type JSONL struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONL returns a JSONL exporter writing to w.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriter(w)
+	return &JSONL{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// ExportSpan implements Exporter.
+func (j *JSONL) ExportSpan(rec Rec) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	if err := j.enc.Encode(rec); err != nil {
+		j.err = fmt.Errorf("span: encode %s: %w", rec.Name, err)
+	}
+}
+
+// Flush drains the write buffer and returns the first streaming error.
+func (j *JSONL) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	return j.bw.Flush()
+}

@@ -1,0 +1,326 @@
+// Package span is a zero-dependency, allocation-conscious span tracer for
+// attributing measured wall time to the same phases HELCFL models
+// analytically (Eq. 4-5 compute, Eq. 7-8 upload): a span is a name, a
+// parent reference, a monotonic start/duration pair, and a small set of
+// typed attributes. Spans are recorded into a fixed-capacity ring buffer
+// owned by a Recorder and optionally streamed to exporters (JSONL, a
+// Prometheus-histogram bridge into the obs registry, an aggregated
+// per-phase profile).
+//
+// Design constraints, in priority order:
+//
+//  1. Zero overhead when tracing is off. Every method is nil-safe on a nil
+//     *Recorder: Start returns the zero Span, End on a zero Span is a
+//     no-op, and neither reads the clock nor allocates. Instrumented code
+//     therefore never guards call sites.
+//  2. Deterministic structure. Span IDs come from a per-recorder counter
+//     and trace IDs from the caller (the CLI derives them from the run
+//     seed), so two runs of the same campaign produce the same span
+//     count, names, parents, and attributes — only durations differ.
+//     The only wall-clock reads live in now(), the package's single
+//     audited nondeterminism site.
+//  3. Goroutine safety. Start is lock-free (an atomic ID counter plus a
+//     clock read); End takes the recorder mutex only to push into the
+//     ring, and exporters run outside that lock.
+package span
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// now is the package's only wall-clock read. Span timestamps are
+// intentionally nondeterministic — measuring real elapsed time is the
+// point — so this single audited site carries the lint exemption for the
+// whole package; everything else derives times via time.Time arithmetic.
+func now() time.Time {
+	return time.Now() //helcfl:allow(nondeterminism) monotonic clock read is the tracer's purpose; all span times derive from this one site
+}
+
+// Ref identifies a span within a trace. The zero Ref means "no parent";
+// a Ref with a zero Span but non-zero Trace parents a span directly under
+// the trace root (used when stitching across processes).
+type Ref struct {
+	Trace uint64 `json:"trace"`
+	Span  uint64 `json:"span"`
+}
+
+// IsZero reports whether the Ref carries no identity at all.
+func (r Ref) IsZero() bool { return r.Trace == 0 && r.Span == 0 }
+
+// FormatRef renders a Ref for the Helcfl-Trace HTTP header:
+// 16 lowercase hex digits of trace ID, a dash, 16 of span ID.
+func FormatRef(r Ref) string {
+	return fmt.Sprintf("%016x-%016x", r.Trace, r.Span)
+}
+
+// ParseRef parses the FormatRef encoding. It rejects anything that is not
+// exactly two 16-digit lowercase hex fields joined by a dash.
+func ParseRef(s string) (Ref, error) {
+	if len(s) != 33 || s[16] != '-' {
+		return Ref{}, fmt.Errorf("span: bad ref %q", s)
+	}
+	var r Ref
+	var err error
+	if r.Trace, err = parseHex16(s[:16]); err != nil {
+		return Ref{}, fmt.Errorf("span: bad ref %q: %w", s, err)
+	}
+	if r.Span, err = parseHex16(s[17:]); err != nil {
+		return Ref{}, fmt.Errorf("span: bad ref %q: %w", s, err)
+	}
+	return r, nil
+}
+
+func parseHex16(s string) (uint64, error) {
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+			v = v<<4 | uint64(c-'0')
+		case c >= 'a' && c <= 'f':
+			v = v<<4 | uint64(c-'a'+10)
+		default:
+			return 0, fmt.Errorf("non-hex byte %q", c)
+		}
+	}
+	return v, nil
+}
+
+// Attribute kind tags used in the JSONL encoding.
+const (
+	KindInt   = "i"
+	KindFloat = "f"
+	KindStr   = "s"
+)
+
+// Attr is one typed span attribute. Exactly one of Int/Float/Str is
+// meaningful, selected by Kind.
+type Attr struct {
+	Key   string  `json:"k"`
+	Kind  string  `json:"t"`
+	Int   int64   `json:"i,omitempty"`
+	Float float64 `json:"f,omitempty"`
+	Str   string  `json:"s,omitempty"`
+}
+
+// maxAttrs bounds per-span attributes so Span stays a fixed-size value
+// type with no heap storage; extra SetX calls are silently dropped.
+const maxAttrs = 8
+
+// Exporter receives each completed span record. Implementations must be
+// safe for concurrent use; they are invoked outside the recorder lock.
+type Exporter interface {
+	ExportSpan(Rec)
+}
+
+// Options configures a Recorder.
+type Options struct {
+	// Capacity is the ring-buffer size in spans; 0 means DefaultCapacity.
+	Capacity int
+	// Exporter, if non-nil, additionally receives every completed span.
+	Exporter Exporter
+}
+
+// DefaultCapacity is the ring size used when Options.Capacity is zero —
+// large enough to hold a full tiny-preset fig2 campaign.
+const DefaultCapacity = 4096
+
+// Recorder owns the span ring buffer and issues span IDs. A nil *Recorder
+// is a valid, fully inert tracer. The zero trace ID is reserved to mean
+// "untraced"; NewRecorder maps it to 1.
+type Recorder struct {
+	trace  uint64
+	epoch  time.Time
+	ids    atomic.Uint64
+	export Exporter
+
+	mu    sync.Mutex
+	ring  []Rec
+	next  int    // ring write cursor
+	total uint64 // spans ever recorded, including overwritten
+}
+
+// NewRecorder builds a Recorder for one trace. traceID seeds the identity
+// carried by every span (callers derive it from the run seed for
+// determinism); zero is promoted to 1 so emitted refs are never mistaken
+// for "no trace".
+func NewRecorder(traceID uint64, opt Options) *Recorder {
+	if traceID == 0 {
+		traceID = 1
+	}
+	cap := opt.Capacity
+	if cap <= 0 {
+		cap = DefaultCapacity
+	}
+	return &Recorder{
+		trace:  traceID,
+		epoch:  now(),
+		export: opt.Exporter,
+		ring:   make([]Rec, 0, cap),
+	}
+}
+
+// TraceID returns the recorder's trace identity (0 for a nil recorder).
+func (r *Recorder) TraceID() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.trace
+}
+
+// Root returns the Ref that parents top-level spans of this trace: the
+// trace ID with span 0. Zero Ref on a nil recorder.
+func (r *Recorder) Root() Ref {
+	if r == nil {
+		return Ref{}
+	}
+	return Ref{Trace: r.trace}
+}
+
+// Start opens a span. parent may be the zero Ref (trace root), a Ref from
+// another span's Ref method, or a remote Ref parsed off the Helcfl-Trace
+// header — when the parent carries a trace ID the child adopts it, so
+// cross-process rounds stitch into the caller's trace automatically.
+// On a nil recorder Start returns the zero Span without touching the
+// clock or allocating.
+func (r *Recorder) Start(parent Ref, name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	tr := parent.Trace
+	if tr == 0 {
+		tr = r.trace
+	}
+	return Span{
+		rec:    r,
+		trace:  tr,
+		id:     r.ids.Add(1),
+		parent: parent.Span,
+		name:   name,
+		start:  now(),
+	}
+}
+
+// Snapshot returns the buffered spans oldest-first. The returned slice is
+// a copy; nil on a nil recorder.
+func (r *Recorder) Snapshot() []Rec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.ring) < cap(r.ring) || r.next == 0 {
+		out := make([]Rec, len(r.ring))
+		copy(out, r.ring)
+		return out
+	}
+	out := make([]Rec, 0, len(r.ring))
+	out = append(out, r.ring[r.next:]...)
+	out = append(out, r.ring[:r.next]...)
+	return out
+}
+
+// Dropped returns how many spans have been overwritten by ring wraparound.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.total <= uint64(cap(r.ring)) {
+		return 0
+	}
+	return r.total - uint64(cap(r.ring))
+}
+
+// record pushes a completed span into the ring and hands it to the
+// exporter outside the lock.
+func (r *Recorder) record(rec Rec) {
+	r.mu.Lock()
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, rec)
+		r.next = len(r.ring) % cap(r.ring)
+	} else {
+		r.ring[r.next] = rec
+		r.next = (r.next + 1) % cap(r.ring)
+	}
+	r.total++
+	exp := r.export
+	r.mu.Unlock()
+	if exp != nil {
+		exp.ExportSpan(rec)
+	}
+}
+
+// Span is an open span. It is a plain value — copy it, embed it in a
+// struct, pass it down a call chain — and attribute setters plus End use
+// pointer receivers so they mutate the local copy. The zero Span (from a
+// nil recorder) ignores every method.
+type Span struct {
+	rec    *Recorder
+	trace  uint64
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+	n      int
+	attrs  [maxAttrs]Attr
+}
+
+// Ref returns the span's identity for parenting children or propagating
+// over HTTP. Zero Ref on the zero Span.
+func (s *Span) Ref() Ref { return Ref{Trace: s.trace, Span: s.id} }
+
+// SetInt attaches an integer attribute.
+func (s *Span) SetInt(key string, v int64) {
+	if s.rec == nil || s.n >= maxAttrs {
+		return
+	}
+	s.attrs[s.n] = Attr{Key: key, Kind: KindInt, Int: v}
+	s.n++
+}
+
+// SetFloat attaches a float attribute.
+func (s *Span) SetFloat(key string, v float64) {
+	if s.rec == nil || s.n >= maxAttrs {
+		return
+	}
+	s.attrs[s.n] = Attr{Key: key, Kind: KindFloat, Float: v}
+	s.n++
+}
+
+// SetStr attaches a string attribute.
+func (s *Span) SetStr(key, v string) {
+	if s.rec == nil || s.n >= maxAttrs {
+		return
+	}
+	s.attrs[s.n] = Attr{Key: key, Kind: KindStr, Str: v}
+	s.n++
+}
+
+// End closes the span and records it. Safe on the zero Span; a second End
+// is a no-op (the first clears the recorder pointer).
+func (s *Span) End() {
+	r := s.rec
+	if r == nil {
+		return
+	}
+	s.rec = nil
+	rec := Rec{
+		Trace:   s.trace,
+		Span:    s.id,
+		Parent:  s.parent,
+		Name:    s.name,
+		StartNs: s.start.Sub(r.epoch).Nanoseconds(),
+		DurNs:   now().Sub(s.start).Nanoseconds(),
+		V:       SchemaVersion,
+	}
+	if s.n > 0 {
+		rec.Attrs = make([]Attr, s.n)
+		copy(rec.Attrs, s.attrs[:s.n])
+	}
+	r.record(rec)
+}

@@ -23,6 +23,7 @@ import (
 	"helcfl/internal/core"
 	"helcfl/internal/device"
 	"helcfl/internal/fl"
+	"helcfl/internal/obs/span"
 	"helcfl/internal/sim"
 	"helcfl/internal/wireless"
 )
@@ -231,6 +232,13 @@ func (h *HELCFLPlanner) PlanRound(j int) ([]int, []float64) {
 // Scheduler exposes the underlying core scheduler (for inspection in tests
 // and reports).
 func (h *HELCFLPlanner) Scheduler() *core.Scheduler { return h.sched }
+
+// SetTrace implements fl.TracedPlanner: the engine hands down its span
+// recorder so Algorithm 2 selection and the Algorithm 3 DVFS solve appear
+// as children of each round's plan span.
+func (h *HELCFLPlanner) SetTrace(rec *span.Recorder, parent span.Ref) {
+	h.sched.SetTrace(rec, parent)
+}
 
 // ExportState implements fl.StatefulPlanner: the Algorithm 2 decay state.
 func (h *HELCFLPlanner) ExportState() ([]byte, error) {
