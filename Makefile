@@ -28,9 +28,13 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# Time the full campaign grid serially vs on all cores and record the
-# speedup in BENCH_experiments.json (see docs/GRID.md).
+# Micro/campaign benchmarks (go test -bench), then time the full campaign
+# grid serially vs on all cores and record the result in
+# BENCH_experiments.json (see docs/GRID.md and docs/PERFORMANCE.md; the
+# speedup field is omitted on single-worker hosts, where both timed runs
+# are serial).
 bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x ./...
 	$(GO) run ./cmd/helcfl bench -preset tiny -experiment all -bench-out BENCH_experiments.json
 
 # In-tree static analysis (internal/lint): determinism, map-order,

@@ -333,7 +333,8 @@ type benchReport struct {
 	Workers         int        `json:"workers"`
 	SerialSeconds   float64    `json:"serial_seconds"`
 	ParallelSeconds float64    `json:"parallel_seconds"`
-	Speedup         float64    `json:"speedup"`
+	Speedup         *float64   `json:"speedup,omitempty"`
+	SpeedupNote     string     `json:"speedup_note,omitempty"`
 	SerialCells     benchCells `json:"serial_cells"`
 	ParallelCells   benchCells `json:"parallel_cells"`
 }
@@ -373,6 +374,9 @@ func runBench(ctx context.Context, preset experiments.Preset, seed int64, name, 
 	workers := (&grid.Runner{}).Workers(len(plan.Cells))
 	fmt.Fprintf(stderr, "bench %s: %d cells, serial then %d workers\n", def.Name, len(plan.Cells), workers)
 	timeRun := func(parallel int) (float64, benchCells, error) {
+		// Both timed runs must do the same work: drop memoized environments
+		// so the serial pass can't warm the cache for the parallel pass.
+		experiments.ResetEnvCache()
 		runtime.GC() // don't charge one run's garbage to the other's clock
 		// Each timed run records into its own span collector so the report
 		// can split per-cell cost into env-build vs run (satellite of the
@@ -412,8 +416,15 @@ func runBench(ctx context.Context, preset experiments.Preset, seed int64, name, 
 		SerialCells:     serialCells,
 		ParallelCells:   parCells,
 	}
-	if par > 0 {
-		rep.Speedup = serial / par
+	// A speedup claim needs an actual parallel run to back it: on a
+	// single-worker host both passes are serial, so any ratio is pure
+	// run-to-run noise. Refuse to report one rather than commit a number
+	// like 0.89× that reads as a parallelism regression.
+	if workers > 1 && par > 0 {
+		s := serial / par
+		rep.Speedup = &s
+	} else {
+		rep.SpeedupNote = fmt.Sprintf("speedup not reported: only %d worker(s) available, both runs are serial", workers)
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -422,8 +433,13 @@ func runBench(ctx context.Context, preset experiments.Preset, seed int64, name, 
 	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("bench %s (%s): %d cells, serial %.2fs, parallel %.2fs on %d workers (%.2fx)\n",
-		rep.Experiment, rep.Preset, rep.Cells, rep.SerialSeconds, rep.ParallelSeconds, rep.Workers, rep.Speedup)
+	if rep.Speedup != nil {
+		fmt.Printf("bench %s (%s): %d cells, serial %.2fs, parallel %.2fs on %d workers (%.2fx)\n",
+			rep.Experiment, rep.Preset, rep.Cells, rep.SerialSeconds, rep.ParallelSeconds, rep.Workers, *rep.Speedup)
+	} else {
+		fmt.Printf("bench %s (%s): %d cells, serial %.2fs, parallel %.2fs on %d workers (speedup n/a)\n",
+			rep.Experiment, rep.Preset, rep.Cells, rep.SerialSeconds, rep.ParallelSeconds, rep.Workers)
+	}
 	fmt.Println("wrote", outPath)
 	return nil
 }

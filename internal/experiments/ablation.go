@@ -194,7 +194,7 @@ func RunClampAblation(p Preset, s Setting, seed int64, rounds int) (*ClampAblati
 
 // clampStudy is the serial body of the clamping study.
 func clampStudy(p Preset, s Setting, seed int64, rounds int) (*ClampAblation, error) {
-	env, err := BuildEnv(p, s, seed)
+	env, err := CachedEnv(p, s, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -288,7 +288,7 @@ func RunFig1Demo(p Preset, seed int64) (*Fig1Demo, error) {
 
 // fig1Demo is the serial body of the demonstration.
 func fig1Demo(p Preset, seed int64) (*Fig1Demo, error) {
-	env, err := BuildEnv(p, IID, seed)
+	env, err := CachedEnv(p, IID, seed)
 	if err != nil {
 		return nil, err
 	}

@@ -81,7 +81,7 @@ func BatteryCells(p Preset, s Setting, seed int64, selectionsOfBudget float64) (
 			Variant:    fmt.Sprintf("sel=%g", selectionsOfBudget),
 			Seed:       seed,
 			Run: func(context.Context, *rand.Rand) (any, error) {
-				env, err := BuildEnv(p, s, seed)
+				env, err := CachedEnv(p, s, seed)
 				if err != nil {
 					return nil, err
 				}

@@ -75,7 +75,7 @@ func trainCell(p Preset, s Setting, seed int64, scheme, variant string, mutate f
 			// the seed (that is what keeps parallel runs bit-identical), and
 			// these two spans say what that independence costs.
 			_, envSp := span.StartCtx(ctx, "cell.envbuild")
-			env, err := BuildEnv(p, s, seed)
+			env, err := CachedEnv(p, s, seed)
 			envSp.End()
 			if err != nil {
 				return nil, err

@@ -47,7 +47,7 @@ func CompressionCells(p Preset, s Setting, seed int64, compressors []compress.Co
 			Variant:    "compressor=" + c.Name(),
 			Seed:       seed,
 			Run: func(context.Context, *rand.Rand) (any, error) {
-				env, err := BuildEnv(p, s, seed)
+				env, err := CachedEnv(p, s, seed)
 				if err != nil {
 					return nil, err
 				}

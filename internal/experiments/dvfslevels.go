@@ -49,6 +49,9 @@ func DVFSLevelsCells(p Preset, s Setting, seed int64, levelCounts []int) ([]grid
 			Variant:    fmt.Sprintf("levels=%d", n),
 			Seed:       seed,
 			Run: func(context.Context, *rand.Rand) (any, error) {
+				// Deliberately NOT CachedEnv: this cell mutates the fleet
+				// (UniformLevels rewrites each device's frequency range), so
+				// it needs a private environment.
 				env, err := BuildEnv(p, s, seed)
 				if err != nil {
 					return nil, err

@@ -47,7 +47,7 @@ func LossAwareCells(p Preset, s Setting, seed int64, lambdas []float64) []grid.C
 			Variant:    fmt.Sprintf("lambda=%g", l),
 			Seed:       seed,
 			Run: func(context.Context, *rand.Rand) (any, error) {
-				env, err := BuildEnv(p, s, seed)
+				env, err := CachedEnv(p, s, seed)
 				if err != nil {
 					return nil, err
 				}

@@ -49,7 +49,7 @@ func FairnessCells(p Preset, seed int64, rounds int) ([]grid.Cell, error) {
 			Variant:    fmt.Sprintf("rounds=%d", rounds),
 			Seed:       seed,
 			Run: func(context.Context, *rand.Rand) (any, error) {
-				env, err := BuildEnv(p, IID, seed)
+				env, err := CachedEnv(p, IID, seed)
 				if err != nil {
 					return nil, err
 				}

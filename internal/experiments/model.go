@@ -51,7 +51,7 @@ func ModelCells(p Preset, s Setting, seed int64, kinds []string) ([]grid.Cell, e
 			Variant:    "model=" + kind,
 			Seed:       seed,
 			Run: func(context.Context, *rand.Rand) (any, error) {
-				env, err := BuildEnv(pp, s, seed)
+				env, err := CachedEnv(pp, s, seed)
 				if err != nil {
 					return nil, err
 				}

@@ -49,7 +49,7 @@ func partitionCell(pp Preset, seed int64, variant string) grid.Cell {
 		Variant:    variant,
 		Seed:       seed,
 		Run: func(context.Context, *rand.Rand) (any, error) {
-			env, err := BuildEnv(pp, NonIID, seed)
+			env, err := CachedEnv(pp, NonIID, seed)
 			if err != nil {
 				return nil, err
 			}

@@ -74,7 +74,7 @@ func RunRBAblation(p Preset, seed int64, rounds int, ks []int) (*RBAblation, err
 
 // rbStudy is the serial body of the RB study.
 func rbStudy(p Preset, seed int64, rounds int, ks []int) (*RBAblation, error) {
-	env, err := BuildEnv(p, IID, seed)
+	env, err := CachedEnv(p, IID, seed)
 	if err != nil {
 		return nil, err
 	}

@@ -21,6 +21,7 @@ type Client struct {
 	flatten bool
 	x       *tensor.Tensor
 	loss    *nn.SoftmaxCrossEntropy
+	flat    []float64 // reused upload buffer, valid until the next update
 }
 
 // NewClient builds a client around a model instance structurally identical
@@ -46,6 +47,9 @@ func (c *Client) LocalUpdate(globalFlat []float64, lr float64, steps int) ([]flo
 	return c.LocalUpdateProx(globalFlat, lr, steps, 0)
 }
 
+// The returned slice is the client's internal upload buffer, reused on the
+// next update — callers that need it past that point must copy it.
+//
 // LocalUpdateProx is LocalUpdate with a FedProx proximal term (Li et al.,
 // MLSys'20): each step descends ∇[L(θ) + (μ/2)·‖θ − θ_G‖²], anchoring the
 // local trajectory to the broadcast model. μ = 0 recovers plain FedAvg /
@@ -82,7 +86,11 @@ func (c *Client) LocalUpdateProx(globalFlat []float64, lr float64, steps int, mu
 			off += p.Size()
 		}
 	}
-	return c.model.GetFlatParams(), lossVal
+	if len(c.flat) != c.model.NumParams() {
+		c.flat = make([]float64, c.model.NumParams())
+	}
+	c.model.FlatParamsInto(c.flat)
+	return c.flat, lossVal
 }
 
 // Model exposes the client's scratch model (used by the SL engine, where

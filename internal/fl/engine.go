@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
 	"sync"
 
 	"time"
@@ -16,6 +15,7 @@ import (
 	"helcfl/internal/obs"
 	"helcfl/internal/obs/span"
 	"helcfl/internal/sim"
+	"helcfl/internal/tensor"
 	"helcfl/internal/wireless"
 )
 
@@ -229,7 +229,37 @@ type Engine struct {
 	finished bool // OnRunEnd emitted
 
 	runSp span.Span // open "fl.run" span; zero when Config.Trace is nil
+
+	// Round scratch, reused across Step calls: once every buffer has grown
+	// to the fleet's high-water mark, a steady-state round (nil Sink/Trace,
+	// no eval, default knobs) allocates nothing. The alloc-gate test in
+	// engine_alloc_test.go pins this at zero.
+	selDevs    []*device.Device
+	gainsBuf   []float64
+	simScratch sim.Scratch
+	globalFlat []float64 // full-precision global parameters each round
+	bcastBuf   []float64 // float32-quantized broadcast (QuantizeBroadcast)
+	broadcast  []float64 // what clients actually receive this round
+	flats      [][]float64
+	losses     []float64
+	wall       []float64 // aliases wallBuf while a Sink is installed, else nil
+	wallBuf    []float64
+	uploadsBuf [][]float64
+	weightsBuf []int
+	deltaBuf   []float64
+	avgBuf     []float64
+
+	// Persistent local-update worker pool, spawned lazily on the first
+	// round that trains more than one client concurrently and drained when
+	// Result finalizes the run. With one effective worker the engine trains
+	// clients inline on the calling goroutine — no goroutines, no channel.
+	taskCh chan trainTask
+	taskWG sync.WaitGroup
 }
+
+// trainTask names one client local update: selected[si] == q trains into
+// result slot si.
+type trainTask struct{ si, q int }
 
 // NewEngine validates the configuration, runs the initialization phase of
 // Algorithm 1 (lines 1–2), and returns an engine positioned before round 0.
@@ -262,7 +292,14 @@ func newEngineState(cfg Config) (*Engine, error) {
 	// device's resources; here that also pins |D_q| for Eqs. (4)–(5).
 	clients := make([]*Client, len(cfg.Devices))
 	for q, d := range cfg.Devices {
-		d.NumSamples = cfg.UserData[q].N()
+		// Skip-if-equal: devices from a cached experiment environment are
+		// shared across concurrently running engines, and the env builder
+		// already pinned |D_q|. Only writing on change keeps the shared
+		// fleet read-only during parallel campaigns (race-free by absence
+		// of writes, not by luck of identical values).
+		if n := cfg.UserData[q].N(); d.NumSamples != n {
+			d.NumSamples = n
+		}
 		if err := d.Validate(); err != nil {
 			return nil, err
 		}
@@ -281,9 +318,15 @@ func newEngineState(cfg Config) (*Engine, error) {
 		flatten:   flatten,
 		clients:   clients,
 		evalEvery: evalEvery,
-		res:       &Result{Scheme: cfg.Planner.Name(), ModelBits: modelBits},
-		bestLoss:  math.Inf(1),
-		spentJ:    make([]float64, len(cfg.Devices)),
+		res: &Result{
+			Scheme: cfg.Planner.Name(), ModelBits: modelBits,
+			// The record log grows to exactly MaxRounds entries on a full
+			// campaign; reserving it up front keeps append out of the
+			// steady-state round.
+			Records: make([]RoundRecord, 0, cfg.MaxRounds),
+		},
+		bestLoss: math.Inf(1),
+		spentJ:   make([]float64, len(cfg.Devices)),
 	}, nil
 }
 
@@ -390,18 +433,21 @@ func (e *Engine) Step() (bool, error) {
 		}
 		cfg.Sink.OnSelection(ev)
 	}
-	selDevs := make([]*device.Device, len(selected))
-	for i, q := range selected {
-		selDevs[i] = cfg.Devices[q]
+	e.selDevs = e.selDevs[:0]
+	for _, q := range selected {
+		e.selDevs = append(e.selDevs, cfg.Devices[q])
 	}
 	var gains []float64
 	if cfg.Gains != nil {
-		gains = make([]float64, len(selected))
-		for i, q := range selected {
-			gains[i] = cfg.Gains.Gain(j, q, cfg.Devices[q].ChannelGain)
+		e.gainsBuf = e.gainsBuf[:0]
+		for _, q := range selected {
+			e.gainsBuf = append(e.gainsBuf, cfg.Gains.Gain(j, q, cfg.Devices[q].ChannelGain))
 		}
+		gains = e.gainsBuf
 	}
-	round := sim.SimulateRoundGains(selDevs, freqs, cfg.Channel, e.modelBits, cfg.LocalSteps, gains)
+	// round.Users aliases the engine's sim scratch: valid until the next
+	// Step, which covers every use below (telemetry and battery roll-up).
+	round := e.simScratch.SimulateRoundGains(e.selDevs, freqs, cfg.Channel, e.modelBits, cfg.LocalSteps, gains)
 
 	trainSp := cfg.Trace.Start(roundSp.Ref(), "fl.round.train")
 
@@ -409,37 +455,24 @@ func (e *Engine) Step() (bool, error) {
 	// scratch model, shared read-only broadcast), so they train on a
 	// bounded worker pool. Results land at fixed indices, keeping the
 	// run bit-for-bit deterministic regardless of scheduling.
-	globalFlat := e.global.GetFlatParams()
+	if n := e.global.NumParams(); len(e.globalFlat) != n {
+		e.globalFlat = make([]float64, n)
+	}
+	e.global.FlatParamsInto(e.globalFlat)
+	globalFlat := e.globalFlat
 	if cfg.QuantizeBroadcast {
-		globalFlat = quantizeF32(globalFlat)
+		e.bcastBuf = quantizeF32Into(e.bcastBuf, e.globalFlat)
+		globalFlat = e.bcastBuf
 	}
-	flats := make([][]float64, len(selected))
-	lossesByUser := make([]float64, len(selected))
-	var wallSec []float64
+	e.flats = growSliceTable(e.flats, len(selected))
+	e.losses = growFloats(e.losses, len(selected))
+	e.wall = nil
 	if cfg.Sink != nil {
-		wallSec = make([]float64, len(selected))
+		e.wallBuf = growFloats(e.wallBuf, len(selected))
+		e.wall = e.wallBuf
 	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for si, q := range selected {
-		wg.Add(1)
-		go func(si, q int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if wallSec != nil {
-				// Wall-clock span for obs telemetry only: it never feeds a
-				// decision, a record, or the model, so replay determinism
-				// holds (the conformance tests pin this).
-				t0 := time.Now() //helcfl:allow(nondeterminism) telemetry-only span; no control-flow or model effect
-				flats[si], lossesByUser[si] = e.clients[q].LocalUpdateProx(globalFlat, cfg.LR, cfg.LocalSteps, cfg.ProxMu)
-				wallSec[si] = time.Since(t0).Seconds() //helcfl:allow(nondeterminism) telemetry-only span; no control-flow or model effect
-				return
-			}
-			flats[si], lossesByUser[si] = e.clients[q].LocalUpdateProx(globalFlat, cfg.LR, cfg.LocalSteps, cfg.ProxMu)
-		}(si, q)
-	}
-	wg.Wait()
+	e.trainSelected(selected, globalFlat)
+	flats, lossesByUser, wallSec := e.flats, e.losses, e.wall
 	if cfg.Trace != nil {
 		// Modeled counterpart of the measured train phase: the Eq. (4)–(5)
 		// compute makespan (parallel users — the max delay) and energy.
@@ -485,8 +518,8 @@ func (e *Engine) Step() (bool, error) {
 
 	// Sequential post-processing and FedAvg (line 10).
 	uploadSp := cfg.Trace.Start(roundSp.Ref(), "fl.round.upload")
-	uploads := make([][]float64, 0, len(selected))
-	weights := make([]int, 0, len(selected))
+	uploads := e.uploadsBuf[:0]
+	weights := e.weightsBuf[:0]
 	lossSum := 0.0
 	failed := 0
 	for si, q := range selected {
@@ -506,8 +539,11 @@ func (e *Engine) Step() (bool, error) {
 			// Compression operates on the model update Δ = θ_q − θ_G
 			// (the standard practice for sparsification/quantization:
 			// deltas concentrate energy in few coordinates, raw weights
-			// do not). The server reconstructs θ_G + C(Δ).
-			delta := make([]float64, len(flat))
+			// do not). The server reconstructs θ_G + C(Δ). The delta
+			// buffer is engine scratch; Compressor.Apply may still
+			// allocate internally.
+			e.deltaBuf = growFloats(e.deltaBuf, len(flat))
+			delta := e.deltaBuf
 			for j := range flat {
 				delta[j] = flat[j] - globalFlat[j]
 			}
@@ -517,11 +553,14 @@ func (e *Engine) Step() (bool, error) {
 			}
 		}
 		if cfg.QuantizeUploads {
-			flat = quantizeF32(flat)
+			// In place: flat is the client's upload buffer, dead until its
+			// next local update overwrites it.
+			quantizeF32InPlace(flat)
 		}
 		uploads = append(uploads, flat)
 		weights = append(weights, cfg.UserData[q].N())
 	}
+	e.uploadsBuf, e.weightsBuf = uploads, weights
 	if cfg.Trace != nil {
 		// Modeled counterpart of the measured upload phase: Eq. (7)–(8)
 		// total TDMA airtime and upload energy.
@@ -536,7 +575,9 @@ func (e *Engine) Step() (bool, error) {
 	uploadSp.End()
 	aggSp := cfg.Trace.Start(roundSp.Ref(), "fl.round.aggregate")
 	if len(uploads) > 0 {
-		e.global.SetFlatParams(FedAvg(uploads, weights))
+		e.avgBuf = growFloats(e.avgBuf, len(uploads[0]))
+		FedAvgInto(e.avgBuf, uploads, weights)
+		e.global.SetFlatParams(e.avgBuf)
 		if cfg.Sink != nil {
 			cfg.Sink.OnAggregate(obs.AggregateEvent{
 				Round: j, Uploads: len(uploads), Failed: failed,
@@ -650,6 +691,7 @@ func (e *Engine) Result() *Result {
 	e.res.TotalEnergy = e.cumEnergy
 	if e.Done() && !e.finished {
 		e.finished = true
+		e.drainPool()
 		e.runSp.End()
 		if e.cfg.Sink != nil {
 			e.cfg.Sink.OnRunEnd(obs.RunEndEvent{
@@ -684,12 +726,109 @@ func Run(cfg Config) (*Result, error) {
 	return e.Result(), nil
 }
 
-// quantizeF32 round-trips a parameter vector through float32, the upload
-// wire precision.
-func quantizeF32(flat []float64) []float64 {
-	out := make([]float64, len(flat))
-	for i, v := range flat {
-		out[i] = float64(float32(v))
+// trainSelected runs the round's local updates: inline on the calling
+// goroutine when one worker is effective (small cohorts, single-core,
+// tensor.SetWorkers(1)), otherwise fanned out on the engine's persistent
+// worker pool. Either way results land at fixed slot indices, so the
+// trajectory is bit-for-bit identical across worker counts.
+func (e *Engine) trainSelected(selected []int, globalFlat []float64) {
+	e.broadcast = globalFlat
+	// tensor.Workers() defaults to GOMAXPROCS, matching the old
+	// semaphore bound; tests force the pool on or off through the same
+	// knob the kernels use.
+	w := tensor.Workers()
+	if w > len(selected) {
+		w = len(selected)
 	}
-	return out
+	if w <= 1 {
+		for si, q := range selected {
+			e.trainOne(si, q)
+		}
+		return
+	}
+	e.ensurePool(w)
+	e.taskWG.Add(len(selected))
+	for si, q := range selected {
+		e.taskCh <- trainTask{si: si, q: q}
+	}
+	e.taskWG.Wait()
+}
+
+// trainOne trains client q into result slot si using the engine's round
+// scratch (broadcast, flats, losses, wall).
+func (e *Engine) trainOne(si, q int) {
+	cfg := &e.cfg
+	if e.wall != nil {
+		// Wall-clock span for obs telemetry only: it never feeds a
+		// decision, a record, or the model, so replay determinism
+		// holds (the conformance tests pin this).
+		t0 := time.Now() //helcfl:allow(nondeterminism) telemetry-only span; no control-flow or model effect
+		e.flats[si], e.losses[si] = e.clients[q].LocalUpdateProx(e.broadcast, cfg.LR, cfg.LocalSteps, cfg.ProxMu)
+		e.wall[si] = time.Since(t0).Seconds() //helcfl:allow(nondeterminism) telemetry-only span; no control-flow or model effect
+		return
+	}
+	e.flats[si], e.losses[si] = e.clients[q].LocalUpdateProx(e.broadcast, cfg.LR, cfg.LocalSteps, cfg.ProxMu)
+}
+
+// ensurePool lazily spawns the persistent local-update workers. The channel
+// is buffered to the fleet size, so a whole round enqueues without blocking
+// even before any worker wakes. The pool lives until Result finalizes the
+// campaign (drainPool); each round synchronizes through taskWG.
+func (e *Engine) ensurePool(w int) {
+	if e.taskCh != nil {
+		return
+	}
+	e.taskCh = make(chan trainTask, len(e.cfg.Devices))
+	for i := 0; i < w; i++ {
+		go e.poolWorker()
+	}
+}
+
+func (e *Engine) poolWorker() {
+	for t := range e.taskCh {
+		e.trainOne(t.si, t.q)
+		e.taskWG.Done()
+	}
+}
+
+// drainPool stops the persistent workers; idempotent.
+func (e *Engine) drainPool() {
+	if e.taskCh != nil {
+		close(e.taskCh)
+		e.taskCh = nil
+	}
+}
+
+// growFloats returns buf resized to n elements, reusing its backing array
+// when capacity allows. Contents are unspecified; callers overwrite.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// growSliceTable is growFloats for upload tables.
+func growSliceTable(buf [][]float64, n int) [][]float64 {
+	if cap(buf) < n {
+		return make([][]float64, n)
+	}
+	return buf[:n]
+}
+
+// quantizeF32Into round-trips src through float32 — the upload wire
+// precision — into a reused destination buffer, returned (possibly regrown).
+func quantizeF32Into(dst, src []float64) []float64 {
+	dst = growFloats(dst, len(src))
+	for i, v := range src {
+		dst[i] = float64(float32(v))
+	}
+	return dst
+}
+
+// quantizeF32InPlace round-trips flat through float32 in place.
+func quantizeF32InPlace(flat []float64) {
+	for i, v := range flat {
+		flat[i] = float64(float32(v))
+	}
 }

@@ -1,0 +1,144 @@
+package fl
+
+import (
+	"math"
+	"testing"
+
+	"helcfl/internal/sim"
+	"helcfl/internal/tensor"
+)
+
+// fixedPlanner returns the same preallocated cohort every round, so the
+// planner contributes zero allocations to the measured Step. (Production
+// planners may allocate their decision slices; that cost is theirs, not the
+// engine's.)
+type fixedPlanner struct {
+	sel   []int
+	freqs []float64
+}
+
+func (p *fixedPlanner) Name() string                       { return "fixed" }
+func (p *fixedPlanner) PlanRound(j int) ([]int, []float64) { return p.sel, p.freqs }
+
+// newFixedPlanner selects every device at FMax.
+func newFixedPlanner(env *testEnv) *fixedPlanner {
+	sel := make([]int, len(env.devs))
+	for i := range sel {
+		sel[i] = i
+	}
+	return &fixedPlanner{sel: sel, freqs: sim.MaxFrequencies(env.devs)}
+}
+
+// TestEngineStepZeroAllocs pins zero steady-state heap allocations for a
+// full engine round — selection, sim, broadcast, local updates, FedAvg —
+// with the observability and eval paths off (nil Sink/Trace, EvalEvery
+// beyond the horizon), exactly the configuration the performance doc
+// promises is allocation-free. Warm-up rounds grow the engine scratch and
+// every client's layer scratch first.
+func TestEngineStepZeroAllocs(t *testing.T) {
+	prev := tensor.SetWorkers(1)
+	defer tensor.SetWorkers(prev)
+
+	env := newTestEnv(t, 7, 6)
+	cfg := baseConfig(env, newFixedPlanner(env))
+	cfg.MaxRounds = 1000
+	cfg.EvalEvery = 1 << 30 // only round 0 evaluates
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // warm-up: grows all scratch, runs the round-0 eval
+		if ok, err := e.Step(); !ok || err != nil {
+			t.Fatalf("warm-up step %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	n := testing.AllocsPerRun(10, func() {
+		if ok, err := e.Step(); !ok || err != nil {
+			t.Fatalf("measured step: ok=%v err=%v", ok, err)
+		}
+	})
+	if n != 0 {
+		t.Errorf("steady-state engine Step allocates %v times, want 0", n)
+	}
+}
+
+// TestEngineStepZeroAllocsQuantized repeats the gate with both wire-format
+// knobs on: broadcast and upload float32 round-trips must reuse the
+// engine's quantization buffers.
+func TestEngineStepZeroAllocsQuantized(t *testing.T) {
+	prev := tensor.SetWorkers(1)
+	defer tensor.SetWorkers(prev)
+
+	env := newTestEnv(t, 8, 5)
+	cfg := baseConfig(env, newFixedPlanner(env))
+	cfg.MaxRounds = 1000
+	cfg.EvalEvery = 1 << 30
+	cfg.QuantizeBroadcast = true
+	cfg.QuantizeUploads = true
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if ok, err := e.Step(); !ok || err != nil {
+			t.Fatalf("warm-up step %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	n := testing.AllocsPerRun(10, func() {
+		if ok, err := e.Step(); !ok || err != nil {
+			t.Fatalf("measured step: ok=%v err=%v", ok, err)
+		}
+	})
+	if n != 0 {
+		t.Errorf("quantized engine Step allocates %v times, want 0", n)
+	}
+}
+
+// TestEngineWorkerPoolMatchesInline pins that the persistent worker pool
+// produces the bit-identical training trajectory to the inline serial path:
+// same records, same final parameters, for several worker counts. Run under
+// -race this also proves the pool's round synchronization is sound.
+func TestEngineWorkerPoolMatchesInline(t *testing.T) {
+	runCampaign := func(workers int) *Result {
+		prev := tensor.SetWorkers(workers)
+		defer tensor.SetWorkers(prev)
+		env := newTestEnv(t, 9, 8)
+		cfg := baseConfig(env, allUsersPlanner(env.devs))
+		cfg.MaxRounds = 6
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	sameRecords := func(got, want []RoundRecord) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("executed %d rounds, want %d", len(got), len(want))
+		}
+		f64 := func(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+		for i := range got {
+			g, w := got[i], want[i]
+			if !f64(g.TrainLoss, w.TrainLoss) || !f64(g.Delay, w.Delay) ||
+				!f64(g.Energy, w.Energy) || !f64(g.CumTime, w.CumTime) ||
+				!f64(g.CumEnergy, w.CumEnergy) || !f64(g.TestLoss, w.TestLoss) ||
+				!f64(g.TestAccuracy, w.TestAccuracy) || g.Failed != w.Failed {
+				t.Fatalf("round %d diverges: got %+v want %+v", i, g, w)
+			}
+		}
+	}
+
+	want := runCampaign(1)
+	wantFlat := want.Model.GetFlatParams()
+	for _, w := range []int{2, 5} {
+		got := runCampaign(w)
+		sameRecords(got.Records, want.Records)
+		gotFlat := got.Model.GetFlatParams()
+		for i := range wantFlat {
+			if math.Float64bits(gotFlat[i]) != math.Float64bits(wantFlat[i]) {
+				t.Fatalf("workers=%d: final param %d = %g, want %g", w, i, gotFlat[i], wantFlat[i])
+			}
+		}
+	}
+}

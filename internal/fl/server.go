@@ -14,11 +14,29 @@ func FedAvg(uploads [][]float64, weights []int) []float64 {
 	if len(uploads) == 0 {
 		panic("fl: FedAvg with no uploads")
 	}
+	out := make([]float64, len(uploads[0]))
+	FedAvgInto(out, uploads, weights)
+	return out
+}
+
+// FedAvgInto is FedAvg writing into a caller-owned destination of exactly
+// the parameter length — the allocation-free form for round hot loops. dst
+// is fully overwritten.
+func FedAvgInto(dst []float64, uploads [][]float64, weights []int) {
+	if len(uploads) == 0 {
+		panic("fl: FedAvg with no uploads")
+	}
 	if len(uploads) != len(weights) {
 		panic(fmt.Sprintf("fl: %d uploads but %d weights", len(uploads), len(weights)))
 	}
 	n := len(uploads[0])
-	out := make([]float64, n)
+	if len(dst) != n {
+		panic(fmt.Sprintf("fl: FedAvg destination has %d params, want %d", len(dst), n))
+	}
+	out := dst
+	for j := range out {
+		out[j] = 0
+	}
 	totalW := 0.0
 	for i, u := range uploads {
 		if len(u) != n {
@@ -37,7 +55,6 @@ func FedAvg(uploads [][]float64, weights []int) []float64 {
 	for j := range out {
 		out[j] *= inv
 	}
-	return out
 }
 
 // Evaluate computes loss and accuracy of a model over a dataset, batching

@@ -59,7 +59,11 @@ func RunSL(cfg SLConfig) (*SLResult, error) {
 	flatten := cfg.Spec.FlattensInput()
 	clients := make([]*Client, len(cfg.Devices))
 	for q, d := range cfg.Devices {
-		d.NumSamples = cfg.UserData[q].N()
+		// Skip-if-equal, like the FL engine: cached-environment fleets are
+		// shared across concurrent cells and must stay write-free here.
+		if n := cfg.UserData[q].N(); d.NumSamples != n {
+			d.NumSamples = n
+		}
 		clients[q] = NewClient(q, cfg.UserData[q], cfg.Spec.Build(rng), flatten)
 	}
 

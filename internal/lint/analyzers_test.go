@@ -33,3 +33,7 @@ func TestDurabilityCorpus(t *testing.T) {
 func TestCtxFlowCorpus(t *testing.T) {
 	linttest.Run(t, "testdata/ctxflow", lint.CtxFlow)
 }
+
+func TestNoAllocCorpus(t *testing.T) {
+	linttest.Run(t, "testdata/noalloc", lint.NoAlloc)
+}

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NoAlloc enforces the allocation-freedom contract of hot-path kernels: a
+// function whose doc comment carries a
+//
+//	//helcfl:noalloc
+//
+// marker promises to perform zero heap allocations per call in steady
+// state — that is what keeps a full training step allocation-free (the
+// testing.AllocsPerRun gates in tensor, nn, and fl pin the runtime truth).
+// The analyzer is the syntactic early-warning for those gates: inside a
+// marked function it flags the constructs that heap-allocate or are the
+// classic regressions —
+//
+//   - the make, new, and append builtins,
+//   - slice and map composite literals, and &T{…} (address of a composite
+//     literal escapes),
+//   - function literals: a closure passed outward captures its environment
+//     on the heap even if the callee runs it inline — the exact regression
+//     that once cost the serial matmul path one allocation per call (the
+//     WorkersFor-branch idiom exists to avoid it),
+//   - go statements (every spawn allocates a stack),
+//   - string concatenation and string↔[]byte/[]rune conversions.
+//
+// The check is deliberately syntactic (no escape analysis): it
+// under-approximates — interface boxing at ordinary call sites passes — and
+// over-approximates — a non-escaping &T{…} is still flagged. False
+// positives carry a justified //helcfl:allow(noalloc) like any other rule;
+// the alloc-gate tests remain the ground truth.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "ban allocating constructs inside functions marked //helcfl:noalloc",
+	Run:  runNoAlloc,
+}
+
+func runNoAlloc(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasNoAllocMarker(fd.Doc) {
+				continue
+			}
+			checkNoAllocBody(p, fd)
+		}
+	}
+}
+
+// hasNoAllocMarker reports whether the doc comment contains a bare
+// //helcfl:noalloc line.
+func hasNoAllocMarker(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == "helcfl:noalloc" {
+			return true
+		}
+	}
+	return false
+}
+
+func checkNoAllocBody(p *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "make", "new", "append":
+						p.Reportf(n.Pos(), "%s is marked //helcfl:noalloc but calls %s", name, b.Name())
+					}
+				}
+			}
+			if conv := allocatingConversion(p, n); conv != "" {
+				p.Reportf(n.Pos(), "%s is marked //helcfl:noalloc but performs an allocating conversion %s", name, conv)
+			}
+		case *ast.CompositeLit:
+			switch p.Info.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				p.Reportf(n.Pos(), "%s is marked //helcfl:noalloc but builds a slice literal", name)
+			case *types.Map:
+				p.Reportf(n.Pos(), "%s is marked //helcfl:noalloc but builds a map literal", name)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					p.Reportf(n.Pos(), "%s is marked //helcfl:noalloc but takes the address of a composite literal", name)
+				}
+			}
+		case *ast.FuncLit:
+			p.Reportf(n.Pos(), "%s is marked //helcfl:noalloc but contains a function literal (captured variables escape)", name)
+			return false // one finding per closure; skip its body
+		case *ast.GoStmt:
+			p.Reportf(n.Pos(), "%s is marked //helcfl:noalloc but spawns a goroutine", name)
+			return false // the spawn is the finding; don't re-flag its closure
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(p.Info.TypeOf(n.X)) {
+				p.Reportf(n.OpPos, "%s is marked //helcfl:noalloc but concatenates strings", name)
+			}
+		}
+		return true
+	})
+}
+
+// allocatingConversion reports a string↔[]byte/[]rune conversion in call
+// form, returning a description or "".
+func allocatingConversion(p *Pass, call *ast.CallExpr) string {
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return ""
+	}
+	dst := tv.Type.Underlying()
+	src := p.Info.TypeOf(call.Args[0])
+	if src == nil {
+		return ""
+	}
+	srcU := src.Underlying()
+	if isString(srcU) {
+		if sl, ok := dst.(*types.Slice); ok && isByteOrRune(sl.Elem()) {
+			return "(string → slice)"
+		}
+	}
+	if isString(dst) {
+		if sl, ok := srcU.(*types.Slice); ok && isByteOrRune(sl.Elem()) {
+			return "(slice → string)"
+		}
+	}
+	return ""
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRune(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Kind() == types.Byte || b.Kind() == types.Uint8 ||
+		b.Kind() == types.Rune || b.Kind() == types.Int32
+}

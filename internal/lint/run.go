@@ -4,7 +4,7 @@ import "sort"
 
 // Analyzers returns the full suite in its canonical order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Nondeterminism, MapOrder, FloatCompare, Durability, CtxFlow}
+	return []*Analyzer{Nondeterminism, MapOrder, FloatCompare, Durability, CtxFlow, NoAlloc}
 }
 
 // RuleNames returns the set of rule names an //helcfl:allow directive may

@@ -1,0 +1,101 @@
+// Corpus for the noalloc analyzer: functions marked //helcfl:noalloc may
+// not contain allocating constructs — make/new/append, slice and map
+// literals, &T{…}, closures, go statements, string concatenation, or
+// string↔slice conversions. Unmarked functions are out of scope however
+// much they allocate, and a justified //helcfl:allow(noalloc) suppresses a
+// finding like any other rule.
+package tensor
+
+// axpyRows is a well-behaved kernel: loops, index arithmetic, scalar math,
+// struct values, calls — nothing allocates.
+//
+//helcfl:noalloc
+func axpyRows(dst, src []float64, alpha float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst[i] += alpha * src[i]
+	}
+}
+
+// makeScratch regresses by allocating its own buffers.
+//
+//helcfl:noalloc
+func makeScratch(n int) {
+	buf := make([]float64, n) // want "marked //helcfl:noalloc but calls make"
+	_ = buf
+	p := new(int) // want "marked //helcfl:noalloc but calls new"
+	_ = p
+}
+
+// appendRows regresses by growing a slice.
+//
+//helcfl:noalloc
+func appendRows(dst []float64, v float64) []float64 {
+	return append(dst, v) // want "marked //helcfl:noalloc but calls append"
+}
+
+// literalKernels builds slice and map literals.
+//
+//helcfl:noalloc
+func literalKernels() {
+	xs := []float64{1, 2, 3} // want "marked //helcfl:noalloc but builds a slice literal"
+	_ = xs
+	m := map[int]int{} // want "marked //helcfl:noalloc but builds a map literal"
+	_ = m
+}
+
+type header struct{ rows, cols int }
+
+// valueStruct is fine: a plain struct value lives on the stack.
+//
+//helcfl:noalloc
+func valueStruct(rows, cols int) header {
+	return header{rows: rows, cols: cols}
+}
+
+// boxedStruct takes the literal's address, which escapes.
+//
+//helcfl:noalloc
+func boxedStruct(rows, cols int) *header {
+	return &header{rows: rows, cols: cols} // want "marked //helcfl:noalloc but takes the address of a composite literal"
+}
+
+// closureKernel materializes a func literal — the classic serial-path
+// regression the WorkersFor branch idiom exists to avoid.
+//
+//helcfl:noalloc
+func closureKernel(n int, shard func(int, int, func(int, int))) {
+	shard(n, 2, func(lo, hi int) { // want "marked //helcfl:noalloc but contains a function literal"
+		_ = lo + hi
+	})
+}
+
+// spawner starts a goroutine per call.
+//
+//helcfl:noalloc
+func spawner(done chan struct{}) {
+	go func() { // want "marked //helcfl:noalloc but spawns a goroutine"
+		done <- struct{}{}
+	}()
+}
+
+// stringy concatenates and converts strings.
+//
+//helcfl:noalloc
+func stringy(name string, raw []byte) string {
+	s := name + "-suffix" // want "marked //helcfl:noalloc but concatenates strings"
+	b := []byte(name)     // want "marked //helcfl:noalloc but performs an allocating conversion"
+	_ = b
+	return s + string(raw) // want "marked //helcfl:noalloc but concatenates strings" "marked //helcfl:noalloc but performs an allocating conversion"
+}
+
+// unmarked allocates freely: the contract is opt-in.
+func unmarked(n int) []float64 {
+	return make([]float64, n)
+}
+
+// allowed shows the escape hatch: a justified allow suppresses the finding.
+//
+//helcfl:noalloc
+func allowed(n int) []int {
+	return make([]int, n) //helcfl:allow(noalloc) one-time warm-up growth measured by the alloc gate
+}

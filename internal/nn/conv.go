@@ -24,6 +24,11 @@ type Conv2D struct {
 	batch      int
 	inH, inW   int
 	outH, outW int
+
+	// Scratch reused across steps (see scratch.go).
+	mega, out            *tensor.Tensor
+	dyMega, dcols, dwTmp *tensor.Tensor
+	dx                   *tensor.Tensor
 }
 
 // NewConv2D returns a Conv2D layer with He-normal weights and zero bias.
@@ -57,29 +62,19 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	c.outW = tensor.ConvOutSize(w, c.KW, c.Stride, c.Pad)
 	positions := c.outH * c.outW
 	ckk := c.InC * c.KH * c.KW
-	plane := c.InC * h * w
 
-	// Lower the whole batch into one column matrix, sample-major columns.
-	cols := tensor.New(ckk, b*positions)
-	for i := 0; i < b; i++ {
-		xi := tensor.FromSlice(x.Data()[i*plane:(i+1)*plane], c.InC, h, w)
-		ci := tensor.Im2Col(xi, c.KH, c.KW, c.Stride, c.Pad)
-		// Copy ci's rows into the batch matrix at column offset i·positions.
-		src := ci.Data()
-		dst := cols.Data()
-		for r := 0; r < ckk; r++ {
-			copy(dst[r*b*positions+i*positions:r*b*positions+(i+1)*positions],
-				src[r*positions:(r+1)*positions])
-		}
-	}
-	c.cols = cols
+	// Lower the whole batch into one column matrix, sample-major columns;
+	// the batch dimension shards across goroutines for large inputs.
+	c.cols = ensure2(c.cols, ckk, b*positions)
+	tensor.Im2ColBatchInto(c.cols, x, c.KH, c.KW, c.Stride, c.Pad)
 
 	// One matmul for the whole batch: (OutC, ckk) × (ckk, B·positions).
-	mega := tensor.MatMul(c.w, cols)
+	c.mega = ensure2(c.mega, c.OutC, b*positions)
+	tensor.MatMulInto(c.mega, c.w, c.cols)
 
 	// Reorder (OutC, B·positions) → (B, OutC, outH, outW) and add bias.
-	out := tensor.New(b, c.OutC, c.outH, c.outW)
-	md, od, bd := mega.Data(), out.Data(), c.b.Data()
+	c.out = ensure4(c.out, b, c.OutC, c.outH, c.outW)
+	md, od, bd := c.mega.Data(), c.out.Data(), c.b.Data()
 	for oc := 0; oc < c.OutC; oc++ {
 		bias := bd[oc]
 		row := md[oc*b*positions : (oc+1)*b*positions]
@@ -91,7 +86,7 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			}
 		}
 	}
-	return out
+	return c.out
 }
 
 // Backward implements Layer.
@@ -104,8 +99,8 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	ckk := c.InC * c.KH * c.KW
 
 	// Reorder dout (B, OutC, positions) → (OutC, B·positions).
-	dyMega := tensor.New(c.OutC, b*positions)
-	dd, myd := dout.Data(), dyMega.Data()
+	c.dyMega = ensure2(c.dyMega, c.OutC, b*positions)
+	dd, myd := dout.Data(), c.dyMega.Data()
 	dbd := c.db.Data()
 	for oc := 0; oc < c.OutC; oc++ {
 		row := myd[oc*b*positions : (oc+1)*b*positions]
@@ -121,23 +116,17 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	}
 
 	// dW += dy·colsᵀ and dcols = Wᵀ·dy, each one matmul for the batch.
-	c.dw.AddInPlace(tensor.MatMulTransB(dyMega, c.cols))
-	dcols := tensor.MatMulTransA(c.w, dyMega)
+	c.dwTmp = ensure2(c.dwTmp, c.OutC, ckk)
+	tensor.MatMulTransBInto(c.dwTmp, c.dyMega, c.cols)
+	c.dw.AddInPlace(c.dwTmp)
+	c.dcols = ensure2(c.dcols, ckk, b*positions)
+	tensor.MatMulTransAInto(c.dcols, c.w, c.dyMega)
 
-	// Scatter dcols back per sample.
-	dx := tensor.New(b, c.InC, c.inH, c.inW)
-	plane := c.InC * c.inH * c.inW
-	dcd := dcols.Data()
-	scratch := tensor.New(ckk, positions)
-	for i := 0; i < b; i++ {
-		sd := scratch.Data()
-		for r := 0; r < ckk; r++ {
-			copy(sd[r*positions:(r+1)*positions], dcd[r*b*positions+i*positions:r*b*positions+(i+1)*positions])
-		}
-		dxi := tensor.Col2Im(scratch, c.InC, c.inH, c.inW, c.KH, c.KW, c.Stride, c.Pad)
-		copy(dx.Data()[i*plane:(i+1)*plane], dxi.Data())
-	}
-	return dx
+	// Scatter dcols back per sample; samples shard across goroutines for
+	// large batches.
+	c.dx = ensure4(c.dx, b, c.InC, c.inH, c.inW)
+	tensor.Col2ImBatchInto(c.dx, c.dcols, b, c.InC, c.inH, c.inW, c.KH, c.KW, c.Stride, c.Pad)
+	return c.dx
 }
 
 // Params implements Layer.

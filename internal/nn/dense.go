@@ -15,6 +15,9 @@ type Dense struct {
 	w, b   *tensor.Tensor
 	dw, db *tensor.Tensor
 	x      *tensor.Tensor // cached input for backward
+
+	// Scratch reused across steps (see scratch.go).
+	out, dx, dwTmp *tensor.Tensor
 }
 
 // NewDense returns a Dense layer with Xavier-uniform weights and zero bias.
@@ -38,7 +41,9 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: Dense forward shape %v, want (B, %d)", x.Shape(), d.In))
 	}
 	d.x = x
-	return tensor.MatMul(x, d.w).AddRowVector(d.b)
+	d.out = ensure2(d.out, x.Dim(0), d.Out)
+	tensor.MatMulInto(d.out, x, d.w)
+	return d.out.AddRowVector(d.b)
 }
 
 // Backward implements Layer.
@@ -46,9 +51,13 @@ func (d *Dense) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	if d.x == nil {
 		panic("nn: Dense backward before forward")
 	}
-	d.dw.AddInPlace(tensor.MatMulTransA(d.x, dout))
-	d.db.AddInPlace(dout.ColSums())
-	return tensor.MatMulTransB(dout, d.w)
+	d.dwTmp = ensure2(d.dwTmp, d.In, d.Out)
+	tensor.MatMulTransAInto(d.dwTmp, d.x, dout)
+	d.dw.AddInPlace(d.dwTmp)
+	dout.AddColSumsInto(d.db)
+	d.dx = ensure2(d.dx, dout.Dim(0), d.In)
+	tensor.MatMulTransBInto(d.dx, dout, d.w)
+	return d.dx
 }
 
 // Params implements Layer.

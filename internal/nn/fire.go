@@ -20,6 +20,9 @@ type Fire struct {
 	exp1ReLU *ReLU
 	exp3     *Conv2D
 	exp3ReLU *ReLU
+
+	// Scratch reused across steps (see scratch.go).
+	cat, d1, d3 *tensor.Tensor
 }
 
 // NewFire returns a Fire module with s squeeze filters and e1/e3 expand
@@ -46,14 +49,19 @@ func (f *Fire) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	sq := f.sqReLU.Forward(f.squeeze.Forward(x, train), train)
 	y1 := f.exp1ReLU.Forward(f.exp1.Forward(sq, train), train)
 	y3 := f.exp3ReLU.Forward(f.exp3.Forward(sq, train), train)
-	return concatChannels(y1, y3)
+	f.cat = ensure4(f.cat, y1.Dim(0), f.E1+f.E3, y1.Dim(2), y1.Dim(3))
+	concatChannelsInto(f.cat, y1, y3)
+	return f.cat
 }
 
 // Backward implements Layer.
 func (f *Fire) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	d1, d3 := splitChannels(dout, f.E1)
-	dsq1 := f.exp1.Backward(f.exp1ReLU.Backward(d1))
-	dsq3 := f.exp3.Backward(f.exp3ReLU.Backward(d3))
+	b, h, w := dout.Dim(0), dout.Dim(2), dout.Dim(3)
+	f.d1 = ensure4(f.d1, b, f.E1, h, w)
+	f.d3 = ensure4(f.d3, b, f.E3, h, w)
+	splitChannelsInto(f.d1, f.d3, dout)
+	dsq1 := f.exp1.Backward(f.exp1ReLU.Backward(f.d1))
+	dsq3 := f.exp3.Backward(f.exp3ReLU.Backward(f.d3))
 	dsq := dsq1.AddInPlace(dsq3)
 	return f.squeeze.Backward(f.sqReLU.Backward(dsq))
 }
@@ -89,9 +97,10 @@ func (f *Fire) Clone() Layer {
 	}
 }
 
-// concatChannels concatenates two (B, C, H, W) tensors along the channel
-// axis. Batch and spatial dimensions must agree.
-func concatChannels(a, b *tensor.Tensor) *tensor.Tensor {
+// concatChannelsInto concatenates two (B, C, H, W) tensors along the
+// channel axis into dst of shape (B, Ca+Cb, H, W). Batch and spatial
+// dimensions must agree. Allocation-free.
+func concatChannelsInto(dst, a, b *tensor.Tensor) {
 	if a.Rank() != 4 || b.Rank() != 4 {
 		panic("nn: concatChannels needs rank-4 tensors")
 	}
@@ -100,36 +109,35 @@ func concatChannels(a, b *tensor.Tensor) *tensor.Tensor {
 	if ba != bb || h != b.Dim(2) || w != b.Dim(3) {
 		panic(fmt.Sprintf("nn: concatChannels mismatched shapes %v and %v", a.Shape(), b.Shape()))
 	}
-	out := tensor.New(ba, ca+cb, h, w)
+	if dst.Rank() != 4 || dst.Dim(0) != ba || dst.Dim(1) != ca+cb || dst.Dim(2) != h || dst.Dim(3) != w {
+		panic(fmt.Sprintf("nn: concatChannels destination shape %v, want (%d, %d, %d, %d)", dst.Shape(), ba, ca+cb, h, w))
+	}
 	plane := h * w
 	for bi := 0; bi < ba; bi++ {
 		srcA := a.Data()[bi*ca*plane : (bi+1)*ca*plane]
 		srcB := b.Data()[bi*cb*plane : (bi+1)*cb*plane]
-		dst := out.Data()[bi*(ca+cb)*plane : (bi+1)*(ca+cb)*plane]
-		copy(dst[:ca*plane], srcA)
-		copy(dst[ca*plane:], srcB)
+		out := dst.Data()[bi*(ca+cb)*plane : (bi+1)*(ca+cb)*plane]
+		copy(out[:ca*plane], srcA)
+		copy(out[ca*plane:], srcB)
 	}
-	return out
 }
 
-// splitChannels splits a (B, C, H, W) tensor into the first c1 channels and
-// the rest.
-func splitChannels(x *tensor.Tensor, c1 int) (*tensor.Tensor, *tensor.Tensor) {
-	if x.Rank() != 4 {
-		panic("nn: splitChannels needs a rank-4 tensor")
+// splitChannelsInto splits a (B, C, H, W) tensor into its first Ca channels
+// (into a) and the remaining Cb channels (into b), the adjoint of
+// concatChannelsInto. Allocation-free.
+func splitChannelsInto(a, b, x *tensor.Tensor) {
+	if x.Rank() != 4 || a.Rank() != 4 || b.Rank() != 4 {
+		panic("nn: splitChannels needs rank-4 tensors")
 	}
-	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
-	if c1 <= 0 || c1 >= c {
-		panic(fmt.Sprintf("nn: splitChannels c1=%d outside (0,%d)", c1, c))
+	bx, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	c1, c2 := a.Dim(1), b.Dim(1)
+	if c1+c2 != c || a.Dim(0) != bx || b.Dim(0) != bx || a.Dim(2) != h || b.Dim(2) != h || a.Dim(3) != w || b.Dim(3) != w {
+		panic(fmt.Sprintf("nn: splitChannels destinations %v + %v inconsistent with source %v", a.Shape(), b.Shape(), x.Shape()))
 	}
-	c2 := c - c1
-	a := tensor.New(b, c1, h, w)
-	bb := tensor.New(b, c2, h, w)
 	plane := h * w
-	for bi := 0; bi < b; bi++ {
+	for bi := 0; bi < bx; bi++ {
 		src := x.Data()[bi*c*plane : (bi+1)*c*plane]
 		copy(a.Data()[bi*c1*plane:(bi+1)*c1*plane], src[:c1*plane])
-		copy(bb.Data()[bi*c2*plane:(bi+1)*c2*plane], src[c1*plane:])
+		copy(b.Data()[bi*c2*plane:(bi+1)*c2*plane], src[c1*plane:])
 	}
-	return a, bb
 }

@@ -11,8 +11,9 @@ import (
 // classification. Fusing keeps the backward pass numerically trivial:
 // d(logits) = (softmax(logits) - onehot(labels)) / B.
 type SoftmaxCrossEntropy struct {
-	probs  *tensor.Tensor
-	labels []int
+	probs   *tensor.Tensor
+	labels  []int
+	dlogits *tensor.Tensor // scratch reused across steps (see scratch.go)
 }
 
 // NewSoftmaxCrossEntropy returns the loss.
@@ -28,7 +29,7 @@ func (s *SoftmaxCrossEntropy) Forward(logits *tensor.Tensor, labels []int) float
 	if len(labels) != b {
 		panic(fmt.Sprintf("nn: %d labels for batch of %d", len(labels), b))
 	}
-	s.probs = tensor.New(b, k)
+	s.probs = ensure2(s.probs, b, k)
 	s.labels = labels
 	ld, pd := logits.Data(), s.probs.Data()
 	loss := 0.0
@@ -71,8 +72,9 @@ func (s *SoftmaxCrossEntropy) Backward() *tensor.Tensor {
 		panic("nn: SoftmaxCrossEntropy backward before forward")
 	}
 	b, k := s.probs.Dim(0), s.probs.Dim(1)
-	d := s.probs.Clone()
-	dd := d.Data()
+	s.dlogits = ensure2(s.dlogits, b, k)
+	dd := s.dlogits.Data()
+	copy(dd, s.probs.Data())
 	inv := 1 / float64(b)
 	for i, y := range s.labels {
 		dd[i*k+y] -= 1
@@ -80,7 +82,7 @@ func (s *SoftmaxCrossEntropy) Backward() *tensor.Tensor {
 	for i := range dd {
 		dd[i] *= inv
 	}
-	return d
+	return s.dlogits
 }
 
 // Probs returns the softmax probabilities from the last Forward call.

@@ -9,6 +9,11 @@ import (
 // Sequential chains layers; the output of each feeds the next.
 type Sequential struct {
 	layers []Layer
+
+	// params/grads cache the flattened tensor lists so hot-path callers
+	// (ZeroGrads, the client update loop) don't rebuild slices every step.
+	// Add invalidates them.
+	params, grads []*tensor.Tensor
 }
 
 // NewSequential returns a model over the given layers.
@@ -19,6 +24,7 @@ func NewSequential(layers ...Layer) *Sequential {
 // Add appends a layer and returns the model for chaining.
 func (m *Sequential) Add(l Layer) *Sequential {
 	m.layers = append(m.layers, l)
+	m.params, m.grads = nil, nil
 	return m
 }
 
@@ -43,28 +49,32 @@ func (m *Sequential) Backward(dout *tensor.Tensor) *tensor.Tensor {
 }
 
 // Params returns all trainable parameters, layer order, params within layer
-// in declaration order.
+// in declaration order. The list is cached after the first call (do not
+// modify it); Add invalidates the cache.
 func (m *Sequential) Params() []*tensor.Tensor {
-	var out []*tensor.Tensor
-	for _, l := range m.layers {
-		out = append(out, l.Params()...)
+	if m.params == nil {
+		for _, l := range m.layers {
+			m.params = append(m.params, l.Params()...)
+		}
 	}
-	return out
+	return m.params
 }
 
-// Grads returns all parameter gradients aligned with Params.
+// Grads returns all parameter gradients aligned with Params. Cached like
+// Params.
 func (m *Sequential) Grads() []*tensor.Tensor {
-	var out []*tensor.Tensor
-	for _, l := range m.layers {
-		out = append(out, l.Grads()...)
+	if m.grads == nil {
+		for _, l := range m.layers {
+			m.grads = append(m.grads, l.Grads()...)
+		}
 	}
-	return out
+	return m.grads
 }
 
 // ZeroGrads clears all accumulated gradients.
 func (m *Sequential) ZeroGrads() {
-	for _, l := range m.layers {
-		zeroGrads(l)
+	for _, g := range m.Grads() {
+		g.Zero()
 	}
 }
 
@@ -103,6 +113,23 @@ func (m *Sequential) GetFlatParams() []float64 {
 		out = append(out, p.Data()...)
 	}
 	return out
+}
+
+// FlatParamsInto copies all parameters into dst (length NumParams), in
+// Params order — the allocation-free form of GetFlatParams.
+func (m *Sequential) FlatParamsInto(dst []float64) {
+	off := 0
+	for _, p := range m.Params() {
+		n := p.Size()
+		if off+n > len(dst) {
+			panic("nn: FlatParamsInto destination too short for model")
+		}
+		copy(dst[off:off+n], p.Data())
+		off += n
+	}
+	if off != len(dst) {
+		panic("nn: FlatParamsInto destination longer than model parameters")
+	}
 }
 
 // SetFlatParams overwrites all parameters from a flat vector produced by

@@ -115,11 +115,13 @@ func TestConcatSplitChannelsRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	a := tensor.New(2, 3, 2, 2).FillNormal(rng, 0, 1)
 	b := tensor.New(2, 5, 2, 2).FillNormal(rng, 0, 1)
-	cat := concatChannels(a, b)
+	cat := tensor.New(2, 8, 2, 2)
+	concatChannelsInto(cat, a, b)
 	if cat.Dim(1) != 8 {
 		t.Fatalf("concat channels = %d, want 8", cat.Dim(1))
 	}
-	a2, b2 := splitChannels(cat, 3)
+	a2, b2 := tensor.New(2, 3, 2, 2), tensor.New(2, 5, 2, 2)
+	splitChannelsInto(a2, b2, cat)
 	if !a2.Equal(a) || !b2.Equal(b) {
 		t.Fatal("split must invert concat")
 	}

@@ -13,6 +13,9 @@ type MaxPool2D struct {
 	argmax     []int // flat input index chosen for each output element
 	inShape    []int
 	outH, outW int
+
+	// Scratch reused across steps (see scratch.go).
+	out, dx *tensor.Tensor
 }
 
 // NewMaxPool2D returns a max-pool layer with a k×k window and the given
@@ -35,11 +38,14 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	oh := tensor.ConvOutSize(h, m.K, m.Stride, 0)
 	ow := tensor.ConvOutSize(w, m.K, m.Stride, 0)
-	m.inShape = []int{b, c, h, w}
+	m.inShape = append(m.inShape[:0], b, c, h, w)
 	m.outH, m.outW = oh, ow
-	out := tensor.New(b, c, oh, ow)
-	m.argmax = make([]int, out.Size())
-	xd, od := x.Data(), out.Data()
+	m.out = ensure4(m.out, b, c, oh, ow)
+	if cap(m.argmax) < m.out.Size() {
+		m.argmax = make([]int, m.out.Size())
+	}
+	m.argmax = m.argmax[:m.out.Size()]
+	xd, od := x.Data(), m.out.Data()
 	oi := 0
 	for bi := 0; bi < b; bi++ {
 		for ci := 0; ci < c; ci++ {
@@ -71,7 +77,7 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			}
 		}
 	}
-	return out
+	return m.out
 }
 
 // Backward implements Layer.
@@ -79,12 +85,13 @@ func (m *MaxPool2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	if m.argmax == nil {
 		panic("nn: MaxPool2D backward before forward")
 	}
-	dx := tensor.New(m.inShape...)
-	dd, dxd := dout.Data(), dx.Data()
+	m.dx = ensureShape(m.dx, m.inShape)
+	m.dx.Zero()
+	dd, dxd := dout.Data(), m.dx.Data()
 	for oi, idx := range m.argmax {
 		dxd[idx] += dd[oi]
 	}
-	return dx
+	return m.dx
 }
 
 // Params implements Layer.
@@ -195,6 +202,9 @@ func (a *AvgPool2D) Clone() Layer { return &AvgPool2D{K: a.K, Stride: a.Stride} 
 // SqueezeNet classifier head.
 type GlobalAvgPool struct {
 	inShape []int
+
+	// Scratch reused across steps (see scratch.go).
+	out, dx *tensor.Tensor
 }
 
 // NewGlobalAvgPool returns a global average pooling layer.
@@ -209,9 +219,9 @@ func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: GlobalAvgPool forward shape %v, want rank 4", x.Shape()))
 	}
 	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
-	g.inShape = []int{b, c, h, w}
-	out := tensor.New(b, c)
-	xd := x.Data()
+	g.inShape = append(g.inShape[:0], b, c, h, w)
+	g.out = ensure2(g.out, b, c)
+	xd, od := x.Data(), g.out.Data()
 	inv := 1.0 / float64(h*w)
 	for bi := 0; bi < b; bi++ {
 		for ci := 0; ci < c; ci++ {
@@ -220,10 +230,10 @@ func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			for _, v := range plane {
 				s += v
 			}
-			out.Data()[bi*c+ci] = s * inv
+			od[bi*c+ci] = s * inv
 		}
 	}
-	return out
+	return g.out
 }
 
 // Backward implements Layer.
@@ -232,9 +242,9 @@ func (g *GlobalAvgPool) Backward(dout *tensor.Tensor) *tensor.Tensor {
 		panic("nn: GlobalAvgPool backward before forward")
 	}
 	b, c, h, w := g.inShape[0], g.inShape[1], g.inShape[2], g.inShape[3]
-	dx := tensor.New(g.inShape...)
+	g.dx = ensureShape(g.dx, g.inShape)
 	inv := 1.0 / float64(h*w)
-	dd, dxd := dout.Data(), dx.Data()
+	dd, dxd := dout.Data(), g.dx.Data()
 	for bi := 0; bi < b; bi++ {
 		for ci := 0; ci < c; ci++ {
 			gv := dd[bi*c+ci] * inv
@@ -244,7 +254,7 @@ func (g *GlobalAvgPool) Backward(dout *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
-	return dx
+	return g.dx
 }
 
 // Params implements Layer.
@@ -259,6 +269,9 @@ func (g *GlobalAvgPool) Clone() Layer { return &GlobalAvgPool{} }
 // Flatten reshapes (B, ...) to (B, features).
 type Flatten struct {
 	inShape []int
+
+	// Scratch reused across steps (see scratch.go).
+	out, dx *tensor.Tensor
 }
 
 // NewFlatten returns a Flatten layer.
@@ -269,9 +282,11 @@ func (f *Flatten) Name() string { return "Flatten" }
 
 // Forward implements Layer.
 func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	f.inShape = append([]int(nil), x.Shape()...)
+	f.inShape = append(f.inShape[:0], x.Shape()...)
 	b := x.Dim(0)
-	return x.Clone().Reshape(b, x.Size()/b)
+	f.out = ensure2(f.out, b, x.Size()/b)
+	copy(f.out.Data(), x.Data())
+	return f.out
 }
 
 // Backward implements Layer.
@@ -279,7 +294,9 @@ func (f *Flatten) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	if f.inShape == nil {
 		panic("nn: Flatten backward before forward")
 	}
-	return dout.Clone().Reshape(f.inShape...)
+	f.dx = ensureShape(f.dx, f.inShape)
+	copy(f.dx.Data(), dout.Data())
+	return f.dx
 }
 
 // Params implements Layer.

@@ -65,6 +65,35 @@ func SimulateRound(devs []*device.Device, freqs []float64, ch wireless.Channel, 
 // overriding each device's static gain (for fading-channel studies). gains
 // must align with devs, or be nil to use the static gains.
 func SimulateRoundGains(devs []*device.Device, freqs []float64, ch wireless.Channel, modelBits float64, steps int, gains []float64) RoundResult {
+	var s Scratch
+	return s.SimulateRoundGains(devs, freqs, ch, modelBits, steps, gains)
+}
+
+// Scratch holds the per-round working buffers of the simulator so a caller
+// driving many rounds (the fl engine's hot loop) reuses them instead of
+// allocating fresh slices every round. The zero value is ready to use.
+//
+// The RoundResult returned by its methods aliases the scratch: Users is
+// only valid until the next call on the same Scratch. Callers that need to
+// retain a round must copy it (or use the allocating free functions).
+type Scratch struct {
+	users []UserRound
+	reqs  []wireless.UploadRequest
+	slots []wireless.UploadSlot
+	out   []UserRound
+}
+
+func growUserRounds(buf []UserRound, n int) []UserRound {
+	if cap(buf) < n {
+		return make([]UserRound, n)
+	}
+	return buf[:n]
+}
+
+// SimulateRoundGains is the buffer-reusing form of the free function of the
+// same name; results are value-identical, but the returned RoundResult is
+// only valid until the next call on this Scratch.
+func (s *Scratch) SimulateRoundGains(devs []*device.Device, freqs []float64, ch wireless.Channel, modelBits float64, steps int, gains []float64) RoundResult {
 	if len(devs) != len(freqs) {
 		panic(fmt.Sprintf("sim: %d devices but %d frequencies", len(devs), len(freqs)))
 	}
@@ -78,8 +107,12 @@ func SimulateRoundGains(devs []*device.Device, freqs []float64, ch wireless.Chan
 		return RoundResult{}
 	}
 	scale := float64(steps)
-	users := make([]UserRound, len(devs))
-	reqs := make([]wireless.UploadRequest, len(devs))
+	s.users = growUserRounds(s.users, len(devs))
+	if cap(s.reqs) < len(devs) {
+		s.reqs = make([]wireless.UploadRequest, len(devs))
+	}
+	s.reqs = s.reqs[:len(devs)]
+	users, reqs := s.users, s.reqs
 	for i, d := range devs {
 		f := freqs[i]
 		// Relative tolerance: frequencies are ~1e9 Hz, so ULP-scale noise
@@ -103,9 +136,11 @@ func SimulateRoundGains(devs []*device.Device, freqs []float64, ch wireless.Chan
 		reqs[i] = wireless.UploadRequest{User: i, ComputeDone: u.ComputeDelay, Duration: u.UploadDelay}
 	}
 
-	slots, makespan := wireless.ScheduleTDMA(reqs)
+	slots, makespan := wireless.ScheduleTDMAInto(s.slots, reqs)
+	s.slots = slots
 	res := RoundResult{Makespan: makespan}
-	res.Users = make([]UserRound, len(slots))
+	s.out = growUserRounds(s.out, len(slots))
+	res.Users = s.out
 	for si, slot := range slots {
 		u := users[slot.User]
 		u.UploadStart = slot.Start

@@ -1,0 +1,118 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Alloc gates: the Into kernels are the training hot path and must not
+// touch the heap in steady state. testing.AllocsPerRun pins that at zero;
+// any accidental allocation (a boxed value, a grown slice, a closure
+// capture) fails here before it can show up as GC pressure in a bench.
+
+func TestIntoKernelsAllocateNothing(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a, b := New(33, 65), New(65, 47) // off-block shapes, below parallelMinFlops
+	fillAdversarial(a, rng)
+	fillAdversarial(b, rng)
+	at, bt := a.Transpose(), b.Transpose()
+	dst := New(33, 47)
+	x := New(3, 8, 8)
+	fillAdversarial(x, rng)
+	cols := Im2ColNaive(x, 3, 3, 1, 1)
+	colsDst := New(cols.Dim(0), cols.Dim(1))
+	img := New(3, 8, 8)
+	bx := New(4, 3, 8, 8)
+	fillAdversarial(bx, rng)
+	bcols := New(27, 4*64)
+	bimg := New(4, 3, 8, 8)
+	colSums := New(65)
+
+	pins := []struct {
+		name string
+		fn   func()
+	}{
+		{"MatMulInto", func() { MatMulInto(dst, a, b) }},
+		{"MatMulTransAInto", func() { MatMulTransAInto(dst, at, b) }},
+		{"MatMulTransBInto", func() { MatMulTransBInto(dst, a, bt) }},
+		{"Im2ColInto", func() { Im2ColInto(colsDst, x, 3, 3, 1, 1) }},
+		{"Col2ImInto", func() { Col2ImInto(img, cols, 3, 8, 8, 3, 3, 1, 1) }},
+		{"Im2ColBatchInto", func() { Im2ColBatchInto(bcols, bx, 3, 3, 1, 1) }},
+		{"Col2ImBatchInto", func() { Col2ImBatchInto(bimg, bcols, 4, 3, 8, 8, 3, 3, 1, 1) }},
+		{"AddColSumsInto", func() { a.AddColSumsInto(colSums) }},
+	}
+	for _, pin := range pins {
+		pin.fn() // warm up once outside the measured runs
+		if n := testing.AllocsPerRun(50, pin.fn); n != 0 {
+			t.Errorf("%s allocates %v times per call, want 0", pin.name, n)
+		}
+	}
+}
+
+// Benchmarks comparing the naive references against the tiled kernels, and
+// the allocating entry points against their Into forms. `make bench` runs
+// these; sizes bracket the shapes the experiment models actually hit.
+
+func benchPair(b *testing.B, m, k, n int) (x, y *Tensor) {
+	rng := rand.New(rand.NewSource(6))
+	x, y = New(m, k), New(k, n)
+	for i := range x.Data() {
+		x.Data()[i] = rng.NormFloat64()
+	}
+	for i := range y.Data() {
+		y.Data()[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	return x, y
+}
+
+func BenchmarkMatMulNaive128(b *testing.B) {
+	x, y := benchPair(b, 128, 128, 128)
+	for i := 0; i < b.N; i++ {
+		MatMulNaive(x, y)
+	}
+}
+
+func BenchmarkMatMulTiled128(b *testing.B) {
+	x, y := benchPair(b, 128, 128, 128)
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}
+
+func BenchmarkMatMulInto128(b *testing.B) {
+	x, y := benchPair(b, 128, 128, 128)
+	dst := New(128, 128)
+	for i := 0; i < b.N; i++ {
+		MatMulInto(dst, x, y)
+	}
+}
+
+func BenchmarkMatMulNaive512(b *testing.B) {
+	x, y := benchPair(b, 512, 512, 512)
+	for i := 0; i < b.N; i++ {
+		MatMulNaive(x, y)
+	}
+}
+
+func BenchmarkMatMulTiled512(b *testing.B) {
+	x, y := benchPair(b, 512, 512, 512)
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}
+
+func BenchmarkMatMulTransBNaive256(b *testing.B) {
+	x, y := benchPair(b, 256, 256, 256)
+	for i := 0; i < b.N; i++ {
+		MatMulTransBNaive(x, y)
+	}
+}
+
+func BenchmarkMatMulTransBTiled256(b *testing.B) {
+	x, y := benchPair(b, 256, 256, 256)
+	for i := 0; i < b.N; i++ {
+		MatMulTransB(x, y)
+	}
+}

@@ -9,32 +9,101 @@ import "fmt"
 // flattened receptive field for one output position; out-of-bounds (padded)
 // positions contribute zeros.
 func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
-	if x.Rank() != 3 {
-		panic(fmt.Sprintf("tensor: Im2Col needs rank-3 (C,H,W) input, got %v", x.shape))
+	c, oh, ow := checkIm2Col(x, kh, kw, stride, pad)
+	out := New(c*kh*kw, oh*ow)
+	im2colFill(out.data, x, kh, kw, stride, pad, oh, ow)
+	return out
+}
+
+// Im2ColBatchInto lowers a (B, C, H, W) batch into dst of shape
+// (C·kh·kw, B·oh·ow) with sample-major columns: sample i occupies columns
+// [i·oh·ow, (i+1)·oh·ow). dst is fully overwritten. Samples write disjoint
+// column ranges, so the batch dimension shards across goroutines for large
+// batches without affecting the result; steady-state serial calls perform
+// zero heap allocations.
+func Im2ColBatchInto(dst, x *Tensor, kh, kw, stride, pad int) {
+	b, c, oh, ow := checkIm2ColBatch(x, kh, kw, stride, pad)
+	ckk, ocols := c*kh*kw, oh*ow
+	if dst.Rank() != 2 || dst.shape[0] != ckk || dst.shape[1] != b*ocols {
+		panic(fmt.Sprintf("tensor: Im2ColBatchInto destination shape %v, want (%d, %d)", dst.shape, ckk, b*ocols))
+	}
+	dst.Zero()
+	h, w := x.shape[2], x.shape[3]
+	plane := c * h * w
+	if workers := WorkersFor(b, b*ckk*ocols); workers > 1 {
+		Shard(b, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				im2colFillStrided(dst.data, b*ocols, i*ocols, x.data[i*plane:(i+1)*plane], c, h, w, kh, kw, stride, pad, oh, ow)
+			}
+		})
+	} else {
+		for i := 0; i < b; i++ {
+			im2colFillStrided(dst.data, b*ocols, i*ocols, x.data[i*plane:(i+1)*plane], c, h, w, kh, kw, stride, pad, oh, ow)
+		}
+	}
+}
+
+// checkIm2ColBatch validates Im2ColBatchInto input and returns
+// (b, c, oh, ow).
+func checkIm2ColBatch(x *Tensor, kh, kw, stride, pad int) (b, c, oh, ow int) {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: Im2ColBatch needs rank-4 (B,C,H,W) input, got %v", x.shape))
 	}
 	if stride <= 0 {
-		panic("tensor: Im2Col stride must be positive")
+		panic("tensor: Im2ColBatch stride must be positive")
 	}
-	c, h, w := x.shape[0], x.shape[1], x.shape[2]
-	oh := (h+2*pad-kh)/stride + 1
-	ow := (w+2*pad-kw)/stride + 1
+	b, c = x.shape[0], x.shape[1]
+	h, w := x.shape[2], x.shape[3]
+	oh = (h+2*pad-kh)/stride + 1
+	ow = (w+2*pad-kw)/stride + 1
 	if oh <= 0 || ow <= 0 {
-		panic(fmt.Sprintf("tensor: Im2Col produces empty output for input %v kernel (%d,%d) stride %d pad %d", x.shape, kh, kw, stride, pad))
+		panic(fmt.Sprintf("tensor: Im2ColBatch produces empty output for input %v kernel (%d,%d) stride %d pad %d", x.shape, kh, kw, stride, pad))
 	}
-	out := New(c*kh*kw, oh*ow)
-	ocols := oh * ow
+	return b, c, oh, ow
+}
+
+// Im2ColInto is Im2Col into a caller-owned destination of shape
+// (C·kh·kw, oh·ow). dst is fully overwritten (padding positions zeroed).
+// Steady-state calls perform zero heap allocations.
+func Im2ColInto(dst, x *Tensor, kh, kw, stride, pad int) {
+	c, oh, ow := checkIm2Col(x, kh, kw, stride, pad)
+	if dst.Rank() != 2 || dst.shape[0] != c*kh*kw || dst.shape[1] != oh*ow {
+		panic(fmt.Sprintf("tensor: Im2ColInto destination shape %v, want (%d, %d)", dst.shape, c*kh*kw, oh*ow))
+	}
+	dst.Zero()
+	im2colFill(dst.data, x, kh, kw, stride, pad, oh, ow)
+}
+
+// im2colFill writes the patch-unroll of x into out (len c·kh·kw·oh·ow,
+// already zeroed).
+//
+//helcfl:noalloc
+func im2colFill(out []float64, x *Tensor, kh, kw, stride, pad, oh, ow int) {
+	c, h, w := x.shape[0], x.shape[1], x.shape[2]
+	im2colFillStrided(out, oh*ow, 0, x.data, c, h, w, kh, kw, stride, pad, oh, ow)
+}
+
+// im2colFillStrided writes the patch-unroll of one (c, h, w) image xdata
+// into out, where unroll row r starts at r·rowStride+colOff. out must be
+// pre-zeroed over the touched region; every in-bounds position is stored
+// exactly once, so the write order cannot affect the result. The stride
+// form lets a whole batch lower into one matrix with disjoint per-sample
+// column ranges.
+//
+//helcfl:noalloc
+func im2colFillStrided(out []float64, rowStride, colOff int, xdata []float64, c, h, w, kh, kw, stride, pad, oh, ow int) {
 	for ch := 0; ch < c; ch++ {
-		plane := x.data[ch*h*w : (ch+1)*h*w]
+		plane := xdata[ch*h*w : (ch+1)*h*w]
 		for ki := 0; ki < kh; ki++ {
 			for kj := 0; kj < kw; kj++ {
-				rowBase := ((ch*kh+ki)*kw + kj) * ocols
+				rowBase := ((ch*kh+ki)*kw+kj)*rowStride + colOff
 				for oi := 0; oi < oh; oi++ {
 					ii := oi*stride + ki - pad
 					if ii < 0 || ii >= h {
 						continue // zero padding: row already zero
 					}
 					src := plane[ii*w : (ii+1)*w]
-					dst := out.data[rowBase+oi*ow : rowBase+(oi+1)*ow]
+					dst := out[rowBase+oi*ow : rowBase+(oi+1)*ow]
 					for oj := 0; oj < ow; oj++ {
 						jj := oj*stride + kj - pad
 						if jj >= 0 && jj < w {
@@ -45,35 +114,74 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 			}
 		}
 	}
-	return out
+}
+
+// checkIm2Col validates Im2Col arguments and returns (c, oh, ow).
+func checkIm2Col(x *Tensor, kh, kw, stride, pad int) (c, oh, ow int) {
+	if x.Rank() != 3 {
+		panic(fmt.Sprintf("tensor: Im2Col needs rank-3 (C,H,W) input, got %v", x.shape))
+	}
+	if stride <= 0 {
+		panic("tensor: Im2Col stride must be positive")
+	}
+	c, h, w := x.shape[0], x.shape[1], x.shape[2]
+	oh = (h+2*pad-kh)/stride + 1
+	ow = (w+2*pad-kw)/stride + 1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: Im2Col produces empty output for input %v kernel (%d,%d) stride %d pad %d", x.shape, kh, kw, stride, pad))
+	}
+	return c, oh, ow
 }
 
 // Col2Im is the adjoint of Im2Col: it scatters (accumulates) columns back
 // into an image of shape (C, H, W). Used to propagate convolution gradients
 // to the layer input.
 func Col2Im(cols *Tensor, c, h, w, kh, kw, stride, pad int) *Tensor {
-	if cols.Rank() != 2 {
-		panic(fmt.Sprintf("tensor: Col2Im needs rank-2 input, got %v", cols.shape))
+	checkCol2Im(cols, c, h, w, kh, kw, stride, pad)
+	out := New(c, h, w)
+	col2imScatter(out.data, cols, c, h, w, kh, kw, stride, pad)
+	return out
+}
+
+// Col2ImInto is Col2Im into a caller-owned destination of shape (C, H, W).
+// dst is fully overwritten. Steady-state calls perform zero heap
+// allocations.
+func Col2ImInto(dst, cols *Tensor, c, h, w, kh, kw, stride, pad int) {
+	checkCol2Im(cols, c, h, w, kh, kw, stride, pad)
+	if dst.Rank() != 3 || dst.shape[0] != c || dst.shape[1] != h || dst.shape[2] != w {
+		panic(fmt.Sprintf("tensor: Col2ImInto destination shape %v, want (%d, %d, %d)", dst.shape, c, h, w))
 	}
+	dst.Zero()
+	col2imScatter(dst.data, cols, c, h, w, kh, kw, stride, pad)
+}
+
+// col2imScatter accumulates cols into out (len c·h·w, already zeroed).
+//
+//helcfl:noalloc
+func col2imScatter(out []float64, cols *Tensor, c, h, w, kh, kw, stride, pad int) {
 	oh := (h+2*pad-kh)/stride + 1
 	ow := (w+2*pad-kw)/stride + 1
-	if cols.shape[0] != c*kh*kw || cols.shape[1] != oh*ow {
-		panic(fmt.Sprintf("tensor: Col2Im shape %v inconsistent with (C,H,W)=(%d,%d,%d) kernel (%d,%d) stride %d pad %d",
-			cols.shape, c, h, w, kh, kw, stride, pad))
-	}
-	out := New(c, h, w)
-	ocols := oh * ow
+	col2imScatterStrided(out, cols.data, oh*ow, 0, c, h, w, kh, kw, stride, pad, oh, ow)
+}
+
+// col2imScatterStrided accumulates one sample's columns — unroll row r
+// starting at r·rowStride+colOff of colsData — into out (len c·h·w, already
+// zeroed) in the fixed (channel, ki, kj, oi, oj) order of the reference
+// kernel, so overlapping receptive fields sum in a deterministic sequence.
+//
+//helcfl:noalloc
+func col2imScatterStrided(out, colsData []float64, rowStride, colOff, c, h, w, kh, kw, stride, pad, oh, ow int) {
 	for ch := 0; ch < c; ch++ {
-		plane := out.data[ch*h*w : (ch+1)*h*w]
+		plane := out[ch*h*w : (ch+1)*h*w]
 		for ki := 0; ki < kh; ki++ {
 			for kj := 0; kj < kw; kj++ {
-				rowBase := ((ch*kh+ki)*kw + kj) * ocols
+				rowBase := ((ch*kh+ki)*kw+kj)*rowStride + colOff
 				for oi := 0; oi < oh; oi++ {
 					ii := oi*stride + ki - pad
 					if ii < 0 || ii >= h {
 						continue
 					}
-					src := cols.data[rowBase+oi*ow : rowBase+(oi+1)*ow]
+					src := colsData[rowBase+oi*ow : rowBase+(oi+1)*ow]
 					dst := plane[ii*w : (ii+1)*w]
 					for oj := 0; oj < ow; oj++ {
 						jj := oj*stride + kj - pad
@@ -85,7 +193,57 @@ func Col2Im(cols *Tensor, c, h, w, kh, kw, stride, pad int) *Tensor {
 			}
 		}
 	}
-	return out
+}
+
+// Col2ImBatchInto is the adjoint of Im2ColBatchInto: it scatters a
+// (C·kh·kw, B·oh·ow) sample-major column matrix back into dst of shape
+// (B, C, H, W). dst is fully overwritten. Samples touch disjoint image
+// planes, so the batch dimension shards across goroutines for large batches
+// without affecting the result; steady-state serial calls perform zero heap
+// allocations.
+func Col2ImBatchInto(dst, cols *Tensor, b, c, h, w, kh, kw, stride, pad int) {
+	if stride <= 0 {
+		panic("tensor: Col2ImBatch stride must be positive")
+	}
+	oh := (h+2*pad-kh)/stride + 1
+	ow := (w+2*pad-kw)/stride + 1
+	ckk, ocols := c*kh*kw, oh*ow
+	if cols.Rank() != 2 || cols.shape[0] != ckk || cols.shape[1] != b*ocols {
+		panic(fmt.Sprintf("tensor: Col2ImBatch columns shape %v inconsistent with (B,C,H,W)=(%d,%d,%d,%d) kernel (%d,%d) stride %d pad %d",
+			cols.shape, b, c, h, w, kh, kw, stride, pad))
+	}
+	if dst.Rank() != 4 || dst.shape[0] != b || dst.shape[1] != c || dst.shape[2] != h || dst.shape[3] != w {
+		panic(fmt.Sprintf("tensor: Col2ImBatchInto destination shape %v, want (%d, %d, %d, %d)", dst.shape, b, c, h, w))
+	}
+	dst.Zero()
+	plane := c * h * w
+	if workers := WorkersFor(b, b*ckk*ocols); workers > 1 {
+		Shard(b, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				col2imScatterStrided(dst.data[i*plane:(i+1)*plane], cols.data, b*ocols, i*ocols, c, h, w, kh, kw, stride, pad, oh, ow)
+			}
+		})
+	} else {
+		for i := 0; i < b; i++ {
+			col2imScatterStrided(dst.data[i*plane:(i+1)*plane], cols.data, b*ocols, i*ocols, c, h, w, kh, kw, stride, pad, oh, ow)
+		}
+	}
+}
+
+// checkCol2Im validates Col2Im arguments.
+func checkCol2Im(cols *Tensor, c, h, w, kh, kw, stride, pad int) {
+	if cols.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: Col2Im needs rank-2 input, got %v", cols.shape))
+	}
+	if stride <= 0 {
+		panic("tensor: Col2Im stride must be positive")
+	}
+	oh := (h+2*pad-kh)/stride + 1
+	ow := (w+2*pad-kw)/stride + 1
+	if cols.shape[0] != c*kh*kw || cols.shape[1] != oh*ow {
+		panic(fmt.Sprintf("tensor: Col2Im shape %v inconsistent with (C,H,W)=(%d,%d,%d) kernel (%d,%d) stride %d pad %d",
+			cols.shape, c, h, w, kh, kw, stride, pad))
+	}
 }
 
 // ConvOutSize returns the spatial output size for a convolution dimension.

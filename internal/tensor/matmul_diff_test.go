@@ -1,0 +1,296 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The differential harness: the tiled/parallel kernels must be bit-for-bit
+// identical to the retained naive references for every shape — including
+// dims that are not multiples of the block sizes — and every input,
+// including exact zeros (the zero-skip path), negative zeros, and huge
+// magnitude spreads. Identity is checked on raw float64 bits, not with a
+// tolerance.
+
+// bitIdentical reports whether two tensors match shape and raw bits.
+func bitIdentical(a, b *Tensor) bool {
+	if !a.SameShape(b) {
+		return false
+	}
+	ad, bd := a.Data(), b.Data()
+	for i := range ad {
+		if math.Float64bits(ad[i]) != math.Float64bits(bd[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// fillAdversarial populates t with values that stress accumulation order:
+// mixed magnitudes, sign flips, exact zeros (~1/4 of entries), and the
+// occasional negative zero.
+func fillAdversarial(t *Tensor, rng *rand.Rand) {
+	d := t.Data()
+	for i := range d {
+		switch rng.Intn(8) {
+		case 0, 1:
+			d[i] = 0
+		case 2:
+			d[i] = math.Copysign(0, -1)
+		case 3:
+			d[i] = rng.NormFloat64() * 1e8
+		case 4:
+			d[i] = rng.NormFloat64() * 1e-8
+		default:
+			d[i] = rng.NormFloat64()
+		}
+	}
+}
+
+// diffDims cover degenerate vectors, sizes straddling the k/n block
+// boundaries, and a few awkward primes.
+var diffDims = []int{1, 2, 3, 7, 17, 63, 64, 65, 100, 255, 256, 257}
+
+func TestMatMulTiledMatchesNaiveBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 60; trial++ {
+		m := diffDims[rng.Intn(len(diffDims))]
+		k := diffDims[rng.Intn(len(diffDims))]
+		n := diffDims[rng.Intn(len(diffDims))]
+		if m*k*n > 1<<22 {
+			continue // bound test time; the large-product path is covered below
+		}
+		a, b := New(m, k), New(k, n)
+		fillAdversarial(a, rng)
+		fillAdversarial(b, rng)
+
+		want := MatMulNaive(a, b)
+		if got := MatMul(a, b); !bitIdentical(got, want) {
+			t.Fatalf("MatMul (%d,%d)x(%d,%d) diverges from naive", m, k, k, n)
+		}
+		dst := New(m, n)
+		dst.Fill(3.5) // Into must fully overwrite a dirty destination
+		MatMulInto(dst, a, b)
+		if !bitIdentical(dst, want) {
+			t.Fatalf("MatMulInto (%d,%d)x(%d,%d) diverges from naive", m, k, k, n)
+		}
+
+		at := a.Transpose() // (k, m): aᵀ·b == naive(a)·b
+		wantTA := MatMulTransANaive(at, b)
+		if got := MatMulTransA(at, b); !bitIdentical(got, wantTA) {
+			t.Fatalf("MatMulTransA (%d,%d)ᵀx(%d,%d) diverges from naive", k, m, k, n)
+		}
+		dst.Fill(-1)
+		MatMulTransAInto(dst, at, b)
+		if !bitIdentical(dst, wantTA) {
+			t.Fatalf("MatMulTransAInto (%d,%d)ᵀx(%d,%d) diverges from naive", k, m, k, n)
+		}
+
+		bt := b.Transpose() // (n, k): a·btᵀ == a·b shapes
+		wantTB := MatMulTransBNaive(a, bt)
+		if got := MatMulTransB(a, bt); !bitIdentical(got, wantTB) {
+			t.Fatalf("MatMulTransB (%d,%d)x(%d,%d)ᵀ diverges from naive", m, k, n, k)
+		}
+		dst.Fill(7)
+		MatMulTransBInto(dst, a, bt)
+		if !bitIdentical(dst, wantTB) {
+			t.Fatalf("MatMulTransBInto (%d,%d)x(%d,%d)ᵀ diverges from naive", m, k, n, k)
+		}
+	}
+}
+
+// TestMatMulParallelMatchesSerial forces the goroutine-sharded path (the
+// product exceeds parallelMinFlops and workers > 1) and pins bit-identity
+// against both the single-worker tiled run and the naive reference. Runs
+// meaningfully under -race: shards must touch disjoint rows.
+func TestMatMulParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m, k, n := 150, 130, 90 // 1.755M flops > parallelMinFlops
+	a, b := New(m, k), New(k, n)
+	fillAdversarial(a, rng)
+	fillAdversarial(b, rng)
+	at, bt := a.Transpose(), b.Transpose()
+
+	prev := SetWorkers(1)
+	defer SetWorkers(prev)
+	serial := MatMul(a, b)
+	serialTA := MatMulTransA(at, b)
+	serialTB := MatMulTransB(a, bt)
+
+	for _, w := range []int{2, 3, 8} {
+		SetWorkers(w)
+		if got := MatMul(a, b); !bitIdentical(got, serial) {
+			t.Fatalf("parallel MatMul (workers=%d) diverges from serial", w)
+		}
+		if got := MatMulTransA(at, b); !bitIdentical(got, serialTA) {
+			t.Fatalf("parallel MatMulTransA (workers=%d) diverges from serial", w)
+		}
+		if got := MatMulTransB(a, bt); !bitIdentical(got, serialTB) {
+			t.Fatalf("parallel MatMulTransB (workers=%d) diverges from serial", w)
+		}
+	}
+	if !bitIdentical(serial, MatMulNaive(a, b)) {
+		t.Fatal("serial tiled MatMul diverges from naive on the parallel-sized product")
+	}
+}
+
+func TestIm2ColCol2ImIntoMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cases := []struct{ c, h, w, kh, kw, stride, pad int }{
+		{1, 1, 1, 1, 1, 1, 0},   // degenerate 1x1
+		{3, 8, 8, 3, 3, 1, 1},   // the experiment geometry
+		{2, 7, 5, 3, 2, 2, 1},   // non-square, stride 2
+		{1, 9, 1, 3, 1, 1, 1},   // 1-wide column image
+		{4, 16, 16, 5, 5, 3, 2}, // large stride, fat kernel
+	}
+	for _, tc := range cases {
+		x := New(tc.c, tc.h, tc.w)
+		fillAdversarial(x, rng)
+		want := Im2ColNaive(x, tc.kh, tc.kw, tc.stride, tc.pad)
+		if got := Im2Col(x, tc.kh, tc.kw, tc.stride, tc.pad); !bitIdentical(got, want) {
+			t.Fatalf("Im2Col %+v diverges from naive", tc)
+		}
+		dst := New(want.Dim(0), want.Dim(1))
+		dst.Fill(9)
+		Im2ColInto(dst, x, tc.kh, tc.kw, tc.stride, tc.pad)
+		if !bitIdentical(dst, want) {
+			t.Fatalf("Im2ColInto %+v diverges from naive", tc)
+		}
+
+		cols := New(want.Dim(0), want.Dim(1))
+		fillAdversarial(cols, rng)
+		wantIm := Col2ImNaive(cols, tc.c, tc.h, tc.w, tc.kh, tc.kw, tc.stride, tc.pad)
+		if got := Col2Im(cols, tc.c, tc.h, tc.w, tc.kh, tc.kw, tc.stride, tc.pad); !bitIdentical(got, wantIm) {
+			t.Fatalf("Col2Im %+v diverges from naive", tc)
+		}
+		dim := New(tc.c, tc.h, tc.w)
+		dim.Fill(-2)
+		Col2ImInto(dim, cols, tc.c, tc.h, tc.w, tc.kh, tc.kw, tc.stride, tc.pad)
+		if !bitIdentical(dim, wantIm) {
+			t.Fatalf("Col2ImInto %+v diverges from naive", tc)
+		}
+	}
+}
+
+// TestMatMulDegenerateVectors pins the 1×N/N×1 edge shapes explicitly.
+func TestMatMulDegenerateVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{1, 64, 257} {
+		row := New(1, n)
+		col := New(n, 1)
+		fillAdversarial(row, rng)
+		fillAdversarial(col, rng)
+		if got, want := MatMul(row, col), MatMulNaive(row, col); !bitIdentical(got, want) {
+			t.Fatalf("1x%d · %dx1 diverges", n, n)
+		}
+		if got, want := MatMul(col, row), MatMulNaive(col, row); !bitIdentical(got, want) {
+			t.Fatalf("%dx1 · 1x%d diverges", n, n)
+		}
+	}
+}
+
+// TestMatMulPanicsPreserved: the tiled kernels must reject the same bad
+// shapes the naive kernels rejected.
+func TestMatMulPanicsPreserved(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	a23, a32, v3 := New(2, 3), New(3, 2), New(3)
+	mustPanic("MatMul mismatch", func() { MatMul(a23, a23) })
+	mustPanic("MatMul rank", func() { MatMul(v3, a23) })
+	mustPanic("MatMulTransA mismatch", func() { MatMulTransA(a23, a32) })
+	mustPanic("MatMulTransB mismatch", func() { MatMulTransB(a23, New(2, 4)) })
+	mustPanic("MatMulInto bad dst", func() { MatMulInto(New(2, 3), a23, a32) })
+	mustPanic("MatMulTransAInto bad dst", func() { MatMulTransAInto(New(2, 2), a23, a23) })
+	mustPanic("MatMulTransBInto bad dst", func() { MatMulTransBInto(New(3, 3), a23, New(4, 3)) })
+	mustPanic("Im2ColInto bad dst", func() { Im2ColInto(New(1, 1), New(1, 4, 4), 3, 3, 1, 0) })
+	mustPanic("Col2ImInto bad dst", func() { Col2ImInto(New(1, 2, 2), New(9, 4), 1, 4, 4, 3, 3, 1, 0) })
+	mustPanic("Col2Im zero stride", func() { Col2Im(New(9, 4), 1, 4, 4, 3, 3, 0, 0) })
+}
+
+// TestConvBatchKernelsMatchPerSample pins the batched (sample-major) im2col
+// and col2im against per-sample naive assembly, serial and with the batch
+// dimension force-sharded across goroutines.
+func TestConvBatchKernelsMatchPerSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b, c, h, w, kh, kw, stride, pad := 5, 3, 8, 8, 3, 3, 1, 1
+	x := New(b, c, h, w)
+	fillAdversarial(x, rng)
+	oh := ConvOutSize(h, kh, stride, pad)
+	ow := ConvOutSize(w, kw, stride, pad)
+	ckk, positions, plane := c*kh*kw, oh*ow, c*h*w
+
+	// Per-sample reference assembly.
+	wantCols := New(ckk, b*positions)
+	for i := 0; i < b; i++ {
+		xi := FromSlice(x.Data()[i*plane:(i+1)*plane], c, h, w)
+		ci := Im2ColNaive(xi, kh, kw, stride, pad)
+		for r := 0; r < ckk; r++ {
+			copy(wantCols.Data()[r*b*positions+i*positions:r*b*positions+(i+1)*positions],
+				ci.Data()[r*positions:(r+1)*positions])
+		}
+	}
+	cols := New(ckk, b*positions)
+	cols.Fill(5)
+	Im2ColBatchInto(cols, x, kh, kw, stride, pad)
+	if !bitIdentical(cols, wantCols) {
+		t.Fatal("Im2ColBatchInto diverges from per-sample naive assembly")
+	}
+
+	grad := New(ckk, b*positions)
+	fillAdversarial(grad, rng)
+	wantImg := New(b, c, h, w)
+	scratch := New(ckk, positions)
+	for i := 0; i < b; i++ {
+		for r := 0; r < ckk; r++ {
+			copy(scratch.Data()[r*positions:(r+1)*positions],
+				grad.Data()[r*b*positions+i*positions:r*b*positions+(i+1)*positions])
+		}
+		img := Col2ImNaive(scratch, c, h, w, kh, kw, stride, pad)
+		copy(wantImg.Data()[i*plane:(i+1)*plane], img.Data())
+	}
+	img := New(b, c, h, w)
+	img.Fill(-4)
+	Col2ImBatchInto(img, grad, b, c, h, w, kh, kw, stride, pad)
+	if !bitIdentical(img, wantImg) {
+		t.Fatal("Col2ImBatchInto diverges from per-sample naive assembly")
+	}
+
+	// Force the goroutine-sharded path — a batch big enough to clear the
+	// flops gate (64·(8·3·3)·256 ≈ 1.18M ≥ parallelMinFlops) — and verify
+	// bit-identity against the serial result under -race.
+	bb, bc := 64, 8
+	bx := New(bb, bc, 16, 16)
+	fillAdversarial(bx, rng)
+	bckk := bc * kh * kw
+	bpos := ConvOutSize(16, kh, stride, pad) * ConvOutSize(16, kw, stride, pad)
+	bgrad := New(bckk, bb*bpos)
+	fillAdversarial(bgrad, rng)
+
+	prev := SetWorkers(1)
+	defer SetWorkers(prev)
+	serialCols := New(bckk, bb*bpos)
+	Im2ColBatchInto(serialCols, bx, kh, kw, stride, pad)
+	serialImg := New(bb, bc, 16, 16)
+	Col2ImBatchInto(serialImg, bgrad, bb, bc, 16, 16, kh, kw, stride, pad)
+	for _, workers := range []int{2, 5} {
+		SetWorkers(workers)
+		cols2 := New(bckk, bb*bpos)
+		Im2ColBatchInto(cols2, bx, kh, kw, stride, pad)
+		if !bitIdentical(cols2, serialCols) {
+			t.Fatalf("sharded Im2ColBatchInto (workers=%d) diverges", workers)
+		}
+		img2 := New(bb, bc, 16, 16)
+		Col2ImBatchInto(img2, bgrad, bb, bc, 16, 16, kh, kw, stride, pad)
+		if !bitIdentical(img2, serialImg) {
+			t.Fatalf("sharded Col2ImBatchInto (workers=%d) diverges", workers)
+		}
+	}
+}

@@ -214,6 +214,32 @@ func (t *Tensor) ColSums() *Tensor {
 	return out
 }
 
+// AddColSumsInto treats t as a (rows, cols) matrix and adds its per-column
+// sums into dst (length cols). The allocation-free form of ColSums for
+// gradient accumulation.
+//
+//helcfl:noalloc
+func (t *Tensor) AddColSumsInto(dst *Tensor) {
+	checkAddColSumsInto(t, dst)
+	rows, cols := t.shape[0], t.shape[1]
+	for r := 0; r < rows; r++ {
+		row := t.data[r*cols : (r+1)*cols]
+		for c, v := range row {
+			dst.data[c] += v
+		}
+	}
+}
+
+// checkAddColSumsInto validates AddColSumsInto operands.
+func checkAddColSumsInto(t, dst *Tensor) {
+	if t.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: AddColSumsInto needs rank 2, got shape %v", t.shape))
+	}
+	if dst.Size() != t.shape[1] {
+		panic(fmt.Sprintf("tensor: AddColSumsInto destination size %d != cols %d", dst.Size(), t.shape[1]))
+	}
+}
+
 // AddRowVector treats t as a (rows, cols) matrix and adds v (length cols)
 // to every row in place, returning t. This is the bias-broadcast update.
 func (t *Tensor) AddRowVector(v *Tensor) *Tensor {

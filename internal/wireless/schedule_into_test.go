@@ -1,0 +1,66 @@
+package wireless
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestScheduleTDMAIntoMatchesScheduleTDMA is the differential gate for the
+// insertion-sort scheduler: across randomized request sets — including
+// heavy ComputeDone ties, which exercise the stable tie-break — the
+// buffer-reusing form must produce the bit-identical schedule to the
+// original stable-sort implementation it replaced.
+func TestScheduleTDMAIntoMatchesScheduleTDMA(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	var buf []UploadSlot
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(40) + 1
+		reqs := make([]UploadRequest, n)
+		for i := range reqs {
+			// Coarse grid of compute-done times forces frequent exact ties.
+			reqs[i] = UploadRequest{
+				User:        rng.Intn(n), // duplicate users allowed
+				ComputeDone: float64(rng.Intn(5)),
+				Duration:    rng.Float64() + 0.01,
+			}
+		}
+		wantSlots, wantMk := ScheduleTDMA(reqs)
+		gotSlots, gotMk := ScheduleTDMAInto(buf, reqs)
+		buf = gotSlots // reuse across trials: growth must not change results
+		if math.Float64bits(gotMk) != math.Float64bits(wantMk) {
+			t.Fatalf("trial %d: makespan %g, want %g", trial, gotMk, wantMk)
+		}
+		if len(gotSlots) != len(wantSlots) {
+			t.Fatalf("trial %d: %d slots, want %d", trial, len(gotSlots), len(wantSlots))
+		}
+		for i := range wantSlots {
+			g, w := gotSlots[i], wantSlots[i]
+			if g.User != w.User ||
+				math.Float64bits(g.Start) != math.Float64bits(w.Start) ||
+				math.Float64bits(g.End) != math.Float64bits(w.End) ||
+				math.Float64bits(g.Wait) != math.Float64bits(w.Wait) {
+				t.Fatalf("trial %d slot %d: got %+v, want %+v", trial, i, g, w)
+			}
+		}
+	}
+}
+
+// TestScheduleTDMAIntoReuse pins the allocation contract: once grown, the
+// slot buffer is reused with zero heap allocations per call.
+func TestScheduleTDMAIntoReuse(t *testing.T) {
+	reqs := make([]UploadRequest, 32)
+	for i := range reqs {
+		reqs[i] = UploadRequest{User: i, ComputeDone: float64(32 - i), Duration: 0.5}
+	}
+	buf, _ := ScheduleTDMAInto(nil, reqs)
+	n := testing.AllocsPerRun(20, func() {
+		buf, _ = ScheduleTDMAInto(buf, reqs)
+	})
+	if n != 0 {
+		t.Errorf("warm ScheduleTDMAInto allocates %v times, want 0", n)
+	}
+	if got, _ := ScheduleTDMAInto(buf[:0], nil); len(got) != 0 {
+		t.Fatalf("empty request set returned %d slots", len(got))
+	}
+}

@@ -7,7 +7,6 @@ package wireless
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // Channel describes the shared uplink.
@@ -96,38 +95,56 @@ func ScheduleTDMA(reqs []UploadRequest) ([]UploadSlot, float64) {
 	if len(reqs) == 0 {
 		return nil, 0
 	}
-	order := make([]int, len(reqs))
-	for i := range order {
-		order[i] = i
+	return ScheduleTDMAInto(nil, reqs)
+}
+
+// ScheduleTDMAInto is ScheduleTDMA reusing dst's backing array when it is
+// large enough, so a caller scheduling every round can amortize the slot
+// slice to zero steady-state allocations. The schedule is identical to
+// ScheduleTDMA: a stable insertion sort on (ComputeDone, User) produces the
+// same permutation as the stable library sort it replaces. Returns the
+// (possibly regrown) slot slice and the round makespan.
+func ScheduleTDMAInto(dst []UploadSlot, reqs []UploadRequest) ([]UploadSlot, float64) {
+	if len(reqs) == 0 {
+		return dst[:0], 0
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		ra, rb := reqs[order[a]], reqs[order[b]]
-		if ra.ComputeDone != rb.ComputeDone {
-			return ra.ComputeDone < rb.ComputeDone
-		}
-		return ra.User < rb.User
-	})
-	slots := make([]UploadSlot, 0, len(reqs))
-	free := 0.0 // time the channel becomes free
-	for _, i := range order {
-		r := reqs[i]
+	if cap(dst) < len(reqs) {
+		dst = make([]UploadSlot, len(reqs))
+	}
+	dst = dst[:len(reqs)]
+	// Stage each request as a pending slot (Start holds ComputeDone, End
+	// holds Duration until the sweep below), insertion-sorting on arrival.
+	// Insertion sort shifting only strictly-greater keys is stable, so ties
+	// keep input order exactly like sort.SliceStable.
+	for i, r := range reqs {
 		if r.Duration <= 0 {
 			panic(fmt.Sprintf("wireless: non-positive upload duration %g for user %d", r.Duration, r.User))
 		}
-		start := r.ComputeDone
+		dst[i] = UploadSlot{User: r.User, Start: r.ComputeDone, End: r.Duration}
+		for k := i; k > 0; k-- {
+			p, c := dst[k-1], dst[k]
+			if p.Start < c.Start || (p.Start == c.Start && p.User <= c.User) { //helcfl:allow(floatcompare) exact FCFS tie-break on identical compute-done times, same key the stable sort used
+				break
+			}
+			dst[k-1], dst[k] = c, p
+		}
+	}
+	free := 0.0 // time the channel becomes free
+	for i := range dst {
+		computeDone, dur := dst[i].Start, dst[i].End
+		start := computeDone
 		if free > start {
 			start = free
 		}
-		slot := UploadSlot{
-			User:  r.User,
+		dst[i] = UploadSlot{
+			User:  dst[i].User,
 			Start: start,
-			End:   start + r.Duration,
-			Wait:  start - r.ComputeDone,
+			End:   start + dur,
+			Wait:  start - computeDone,
 		}
-		slots = append(slots, slot)
-		free = slot.End
+		free = dst[i].End
 	}
-	return slots, free
+	return dst, free
 }
 
 // TotalWait sums the slack across all slots.
