@@ -1,0 +1,97 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"helcfl/internal/experiments"
+	"helcfl/internal/fleet"
+	"helcfl/internal/obs"
+	"helcfl/internal/obs/span"
+)
+
+// fleetConfig carries the dispatcher knobs for one distributed campaign.
+type fleetConfig struct {
+	addr    string
+	journal string
+	resume  bool
+	ttl     time.Duration
+	outDir  string
+	metrics *obs.Registry
+	verbose bool
+	trace   *span.Recorder
+}
+
+// runFleetCoordinator is runGrid's distributed twin: it expands the same
+// plan, but instead of executing cells on the local pool it leases them
+// to helcfl-node workers over HTTP and merges their results into the
+// same fixed-index slice, so Render sees bit-identical input either way.
+// The sweep finishes when every cell completes; SIGINT/SIGTERM cancel
+// the wait and exit nonzero (a journaled sweep resumes where it left
+// off).
+func runFleetCoordinator(ctx context.Context, def experiments.Definition, preset experiments.Preset, seed int64, opt experiments.Options, cfg fleetConfig) error {
+	// Match runGrid's plan construction exactly: workers rebuild the plan
+	// from (experiment, preset, seed, seeds), and the fingerprint handshake
+	// rejects any skew.
+	preset.Sink = obs.Synchronized(preset.Sink)
+	plan, err := def.Plan(preset, seed, opt)
+	if err != nil {
+		return err
+	}
+	var logf func(format string, args ...interface{})
+	if cfg.verbose {
+		logf = func(format string, args ...interface{}) {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		}
+	}
+	coord, err := fleet.NewCoordinator(fleet.CoordinatorConfig{
+		Info: fleet.PlanInfo{
+			Experiment: def.Name,
+			Preset:     preset.Name,
+			Seed:       seed,
+			Seeds:      opt.Seeds,
+		},
+		Cells:       plan.Cells,
+		Decode:      experiments.DecodeCellResult,
+		JournalPath: cfg.journal,
+		Resume:      cfg.resume,
+		LeaseTTL:    cfg.ttl,
+		Log:         logf,
+		Metrics:     cfg.metrics,
+		Trace:       cfg.trace,
+	})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return fmt.Errorf("fleet listener: %w", err)
+	}
+	srv := &http.Server{Handler: coord.Handler()}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(stderr, "fleet server:", err)
+		}
+	}()
+	fmt.Fprintf(stderr, "%s: coordinating %d cells (%d remaining) on http://%s\n",
+		def.Name, len(plan.Cells), coord.Remaining(), ln.Addr())
+	res, waitErr := coord.Wait(ctx)
+	// Stop admitting lease traffic before rendering; a short grace period
+	// lets in-flight completions land their responses.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(stderr, "fleet server shutdown:", err)
+	}
+	if waitErr != nil {
+		return waitErr
+	}
+	_, asmSp := span.StartCtx(ctx, "grid.assemble")
+	err = plan.Render(res, newOutput(cfg.outDir))
+	asmSp.End()
+	return err
+}

@@ -14,6 +14,7 @@ import (
 	"helcfl/internal/dataset"
 	"helcfl/internal/nn"
 	"helcfl/internal/obs/span"
+	"helcfl/internal/retry"
 )
 
 // newSeededRand is a tiny helper shared with the server.
@@ -203,22 +204,24 @@ type httpResult struct {
 	body   []byte
 }
 
+// retryPolicy is the client's shared backoff schedule (see internal/retry):
+// BaseBackoff doubling per attempt, capped at 2s, upper half jittered by the
+// client's seeded RNG.
+func (c *Client) retryPolicy() retry.Policy {
+	return retry.Policy{MaxRetries: c.cfg.MaxRetries, Base: c.cfg.BaseBackoff, Jitter: c.rng}
+}
+
 // do issues the request built by build, retrying transient failures
 // (transport errors, per-attempt timeouts, 5xx) up to MaxRetries times with
-// jittered exponential backoff. build is called per attempt — so request
-// bodies are fresh — with the attempt's own context (the caller's ctx,
-// bounded by RequestTimeout when set), which it must attach via
-// http.NewRequestWithContext. Context cancellation aborts immediately with
-// ctx.Err(); exhausting the retry budget returns an error wrapping
-// ErrUnavailable.
+// the shared retry.Policy jittered exponential backoff. build is called per
+// attempt — so request bodies are fresh — with the attempt's own context
+// (the caller's ctx, bounded by RequestTimeout when set), which it must
+// attach via http.NewRequestWithContext. Context cancellation aborts
+// immediately with ctx.Err(); exhausting the retry budget returns an error
+// wrapping ErrUnavailable.
 func (c *Client) do(ctx context.Context, what string, build func(ctx context.Context) (*http.Request, error)) (*httpResult, error) {
-	var lastErr error
-	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
-		if attempt > 0 {
-			if err := c.backoff(ctx, attempt); err != nil {
-				return nil, err
-			}
-		}
+	var out *httpResult
+	err := c.retryPolicy().Do(ctx, func(ctx context.Context, attempt int) error {
 		attemptCtx := ctx
 		cancel := context.CancelFunc(func() {})
 		if c.cfg.RequestTimeout > 0 {
@@ -227,7 +230,7 @@ func (c *Client) do(ctx context.Context, what string, build func(ctx context.Con
 		req, err := build(attemptCtx)
 		if err != nil {
 			cancel()
-			return nil, err
+			return err
 		}
 		// One span per attempt: retries are separate requests on the wire
 		// and should be separately attributed. The header carries this
@@ -244,10 +247,9 @@ func (c *Client) do(ctx context.Context, what string, build func(ctx context.Con
 			sp.End()
 			cancel()
 			if ctx.Err() != nil {
-				return nil, ctx.Err()
+				return ctx.Err()
 			}
-			lastErr = err
-			continue
+			return retry.Transient(err)
 		}
 		body, readErr := io.ReadAll(resp.Body)
 		_ = resp.Body.Close()
@@ -256,40 +258,34 @@ func (c *Client) do(ctx context.Context, what string, build func(ctx context.Con
 			sp.SetStr("error", "read")
 			sp.End()
 			if ctx.Err() != nil {
-				return nil, ctx.Err()
+				return ctx.Err()
 			}
-			lastErr = readErr
-			continue
+			return retry.Transient(readErr)
 		}
 		sp.SetInt("status", int64(resp.StatusCode))
 		sp.End()
 		if resp.StatusCode >= 500 {
-			lastErr = fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body))
-			continue
+			return retry.Transient(fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body)))
 		}
-		return &httpResult{status: resp.StatusCode, body: body}, nil
+		out = &httpResult{status: resp.StatusCode, body: body}
+		return nil
+	})
+	if err != nil {
+		var ex *retry.ExhaustedError
+		if errors.As(err, &ex) {
+			return nil, fmt.Errorf("deploy: user %d: %s failed after %d attempt(s): %w: %v",
+				c.cfg.Info.User, what, ex.Attempts, ErrUnavailable, ex.Last)
+		}
+		return nil, err
 	}
-	return nil, fmt.Errorf("deploy: user %d: %s failed after %d attempt(s): %w: %v",
-		c.cfg.Info.User, what, c.cfg.MaxRetries+1, ErrUnavailable, lastErr)
+	return out, nil
 }
 
-// backoff sleeps before retry `attempt` (1-based): BaseBackoff doubling per
-// attempt, capped at 2s, with the upper half jittered by the client's seeded
-// RNG. Returns early with ctx.Err() on cancellation.
+// backoff sleeps before retry `attempt` (1-based) on the client's shared
+// schedule; the Reconnects loop uses it to give a restarting FLCC time to
+// come back. Returns early with ctx.Err() on cancellation.
 func (c *Client) backoff(ctx context.Context, attempt int) error {
-	d := c.cfg.BaseBackoff << (attempt - 1)
-	if max := 2 * time.Second; d > max || d <= 0 {
-		d = 2 * time.Second
-	}
-	d = d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
-	timer := time.NewTimer(d)
-	defer timer.Stop()
-	select {
-	case <-ctx.Done():
-		return ctx.Err()
-	case <-timer.C:
-		return nil
-	}
+	return c.retryPolicy().Sleep(ctx, attempt)
 }
 
 func (c *Client) register(ctx context.Context) error {

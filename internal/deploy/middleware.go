@@ -42,7 +42,9 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 // process; the server keeps serving. logf, reqs, panics, and tr may each
 // be nil to disable that facet. With tr set, every request records an
 // "http.server" span parented at the caller's TraceHeader ref when
-// present (cross-process stitching) or at the server's trace root.
+// present (cross-process stitching) or at the server's trace root, and
+// the handler's request context carries the span so handler-side spans
+// (span.StartCtx) nest under the request.
 func Middleware(next http.Handler, logf Logf, reqs *obs.CounterVec, panics *obs.Counter, tr *span.Recorder) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
@@ -50,6 +52,9 @@ func Middleware(next http.Handler, logf Logf, reqs *obs.CounterVec, panics *obs.
 		parent, _ := ParseTraceHeader(r.Header.Get(TraceHeader))
 		sp := tr.Start(parent, "http.server")
 		sp.SetStr("path", r.URL.Path)
+		if tr != nil {
+			r = r.WithContext(span.WithParent(r.Context(), tr, sp.Ref()))
+		}
 		defer func() {
 			if rec := recover(); rec != nil {
 				if panics != nil {

@@ -197,3 +197,18 @@ func (p Preset) Targets(s Setting) []float64 {
 	}
 	return p.NonIIDTargets
 }
+
+// LookupPreset resolves a preset by its Name ("paper", "fast", "tiny").
+// Fleet workers use it to rebuild the coordinator's plan locally from the
+// preset name alone, so no configuration crosses the wire — only identity.
+func LookupPreset(name string) (Preset, error) {
+	switch name {
+	case "paper":
+		return Paper(), nil
+	case "fast":
+		return Fast(), nil
+	case "tiny":
+		return Tiny(), nil
+	}
+	return Preset{}, fmt.Errorf("experiments: unknown preset %q", name)
+}

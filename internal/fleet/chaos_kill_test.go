@@ -1,0 +1,285 @@
+//go:build chaos
+
+package fleet_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// envInt reads an integer knob so CI can scale the sweep (e.g.
+// HELCFL_FLEET_SEEDS=100 drives a 1000-cell campaign) while the default
+// `make chaos` run stays fast.
+func envInt(name string, def int) int {
+	if s := os.Getenv(name); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return def
+}
+
+// proc is one child process with captured output and an async wait.
+type proc struct {
+	name string
+	cmd  *exec.Cmd
+	out  bytes.Buffer
+	errb bytes.Buffer
+	done chan error
+}
+
+func startProc(t *testing.T, name, bin string, args ...string) *proc {
+	t.Helper()
+	p := &proc{name: name, cmd: exec.Command(bin, args...), done: make(chan error, 1)}
+	p.cmd.Stdout = &p.out
+	p.cmd.Stderr = &p.errb
+	if err := p.cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", name, err)
+	}
+	go func() { p.done <- p.cmd.Wait() }()
+	t.Cleanup(func() { _ = p.cmd.Process.Kill() })
+	return p
+}
+
+// kill SIGKILLs the process if it is still running and reports whether it
+// actually delivered the kill.
+func (p *proc) kill() bool {
+	select {
+	case err := <-p.done:
+		p.done <- err // put it back for wait()
+		return false
+	default:
+		_ = p.cmd.Process.Signal(syscall.SIGKILL)
+		return true
+	}
+}
+
+func (p *proc) wait(t *testing.T, timeout time.Duration) error {
+	t.Helper()
+	select {
+	case err := <-p.done:
+		return err
+	case <-time.After(timeout):
+		_ = p.cmd.Process.Kill()
+		t.Fatalf("%s did not exit within %s\nstdout:\n%s\nstderr:\n%s", p.name, timeout, p.out.String(), p.errb.String())
+		return nil
+	}
+}
+
+func buildBinary(t *testing.T, dir, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(dir, filepath.Base(pkg))
+	cmd := exec.Command("go", "build", "-o", bin, pkg)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+func freePort(t *testing.T) int {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := ln.Addr().(*net.TCPAddr).Port
+	_ = ln.Close()
+	return port
+}
+
+// stripWroteLines drops the `wrote <path>` lines newOutput prints, whose
+// directories necessarily differ between the serial and fleet runs.
+func stripWroteLines(s string) string {
+	var keep []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, "wrote ") {
+			continue
+		}
+		keep = append(keep, line)
+	}
+	return strings.Join(keep, "\n")
+}
+
+// readDirIfAny returns the directory's files, or an empty map when the
+// run wrote no artifacts (the directory is only created on first write).
+func readDirIfAny(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	files := map[string]string{}
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return files
+	}
+	if err != nil {
+		t.Fatalf("read %s: %v", dir, err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[e.Name()] = string(data)
+	}
+	return files
+}
+
+// killSweep shapes one chaos scenario.
+type killSweep struct {
+	campaign         []string      // helcfl args up to but excluding -out/-fleet
+	workers          int           // fleet size; every worker is killed once
+	killCoordinator  bool          // SIGKILL + journal-resume the coordinator too
+	killBase         time.Duration // minimum delay before each kill
+	killSpread       time.Duration // seeded extra delay on top of killBase
+	requireArtifacts bool          // fail if the campaign wrote no artifacts
+}
+
+// run executes the campaign twice — once serially in one process, once
+// over a worker fleet under seeded SIGKILLs — and asserts the rendered
+// stdout and every artifact are byte-identical.
+func (ks killSweep) run(t *testing.T, helcfl, node string, rng *rand.Rand) {
+	dir := t.TempDir()
+
+	// Serial baseline: one process, one worker, no network.
+	serialDir := filepath.Join(dir, "serial")
+	serial := startProc(t, "serial", helcfl, append(ks.campaign[:len(ks.campaign):len(ks.campaign)], "-parallel", "1", "-out", serialDir)...)
+	if err := serial.wait(t, 20*time.Minute); err != nil {
+		t.Fatalf("serial run: %v\nstderr:\n%s", err, serial.errb.String())
+	}
+
+	// Distributed sweep under fire.
+	fleetDir := filepath.Join(dir, "fleet")
+	journal := filepath.Join(dir, "journal.wal")
+	addr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	coordArgs := append(ks.campaign[:len(ks.campaign):len(ks.campaign)],
+		"-out", fleetDir, "-fleet", addr, "-fleet-journal", journal, "-fleet-ttl", "2s", "-v")
+	coord := startProc(t, "coordinator", helcfl, coordArgs...)
+
+	startWorker := func(i, gen int) *proc {
+		name := fmt.Sprintf("w%d.%d", i, gen)
+		return startProc(t, name, node, "worker",
+			"-coordinator", "http://"+addr, "-name", name,
+			"-seed", strconv.Itoa(100+10*i+gen), "-retries", "12")
+	}
+	workers := make([]*proc, ks.workers)
+	for i := range workers {
+		workers[i] = startWorker(i, 0)
+	}
+
+	// The schedule: kill worker 0, then (optionally) the coordinator, then
+	// the other workers, each after a seeded delay, replacing every
+	// casualty. Late in a small sweep a victim may already have exited; the
+	// kill is skipped and logged, and the byte-identity assertions still
+	// hold.
+	sleep := func() {
+		time.Sleep(ks.killBase + time.Duration(rng.Int63n(int64(ks.killSpread))))
+	}
+	coordinatorKilled := false
+	for i := range workers {
+		sleep()
+		if workers[i].kill() {
+			t.Logf("killed worker %s", workers[i].name)
+		} else {
+			t.Logf("worker %s already exited; kill skipped", workers[i].name)
+		}
+		workers[i] = startWorker(i, 1)
+		if i == 0 && ks.killCoordinator {
+			sleep()
+			if coord.kill() {
+				coordinatorKilled = true
+				t.Log("killed coordinator; resuming from journal")
+				<-coord.done // reap before rebinding the address
+				coord = startProc(t, "coordinator-resumed", helcfl, append(coordArgs, "-fleet-resume")...)
+			} else {
+				t.Log("coordinator already exited; kill skipped")
+			}
+		}
+	}
+
+	if err := coord.wait(t, 20*time.Minute); err != nil {
+		t.Fatalf("coordinator: %v\nstderr:\n%s", err, coord.errb.String())
+	}
+	if coordinatorKilled && !strings.Contains(coord.errb.String(), "recovered") {
+		t.Errorf("resumed coordinator never reported journal recovery\nstderr:\n%s", coord.errb.String())
+	}
+	// The sweep is merged and rendered; surviving workers are torn down
+	// hard (their results are already durable — that is the point).
+	for _, w := range workers {
+		w.kill()
+		<-w.done
+	}
+
+	if got, want := stripWroteLines(coord.out.String()), stripWroteLines(serial.out.String()); got != want {
+		t.Errorf("fleet stdout differs from serial\nfleet:\n%s\nserial:\n%s", got, want)
+	}
+	if len(serial.out.String()) == 0 {
+		t.Error("serial run rendered nothing")
+	}
+	serialArts, fleetArts := readDirIfAny(t, serialDir), readDirIfAny(t, fleetDir)
+	if ks.requireArtifacts && len(serialArts) == 0 {
+		t.Fatal("campaign wrote no artifacts")
+	}
+	var names []string
+	for name := range serialArts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(fleetArts) != len(serialArts) {
+		t.Errorf("artifact count differs: fleet %d, serial %d", len(fleetArts), len(serialArts))
+	}
+	for _, name := range names {
+		if fleetArts[name] != serialArts[name] {
+			t.Errorf("artifact %s differs between fleet and serial", name)
+		}
+	}
+	t.Logf("byte-identical stdout and %d artifacts after %d worker kills (coordinator killed: %v)",
+		len(names), ks.workers, coordinatorKilled)
+}
+
+// TestChaosFleetKillSweep is the kill-tolerance acceptance test at the
+// process level, against real helcfl / helcfl-node binaries:
+//
+//   - seeds: a multi-seed campaign (cells = 10 × HELCFL_FLEET_SEEDS; CI
+//     sets 100 for a 1000-cell sweep) across HELCFL_FLEET_WORKERS
+//     workers, every worker SIGKILLed once at a seeded point and
+//     replaced, and the coordinator SIGKILLed once mid-sweep and resumed
+//     from its journal.
+//   - fig2: an artifact-writing campaign under worker kills, proving the
+//     CSV artifacts merge byte-identically too.
+func TestChaosFleetKillSweep(t *testing.T) {
+	dir := t.TempDir()
+	helcfl := buildBinary(t, dir, "helcfl/cmd/helcfl")
+	node := buildBinary(t, dir, "helcfl/cmd/helcfl-node")
+	chaosSeed := int64(envInt("HELCFL_FLEET_CHAOS_SEED", 1))
+	rng := rand.New(rand.NewSource(chaosSeed))
+	t.Logf("chaos seed %d", chaosSeed)
+
+	t.Run("seeds", func(t *testing.T) {
+		nSeeds := envInt("HELCFL_FLEET_SEEDS", 4)
+		killSweep{
+			campaign:        []string{"seeds", "-preset", "tiny", "-seed", "7", "-n", strconv.Itoa(nSeeds)},
+			workers:         envInt("HELCFL_FLEET_WORKERS", 3),
+			killCoordinator: true,
+			killBase:        400 * time.Millisecond,
+			killSpread:      900 * time.Millisecond,
+		}.run(t, helcfl, node, rng)
+	})
+	t.Run("fig2", func(t *testing.T) {
+		killSweep{
+			campaign:         []string{"fig2", "-preset", "tiny", "-seed", "7"},
+			workers:          3,
+			killBase:         150 * time.Millisecond,
+			killSpread:       400 * time.Millisecond,
+			requireArtifacts: true,
+		}.run(t, helcfl, node, rng)
+	})
+}

@@ -1,0 +1,73 @@
+package fleet
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"helcfl/internal/checkpoint"
+)
+
+// Fleet journal record types. They share the checkpoint WAL framing
+// (CRC-checked, fsync-per-record, torn-tail tolerant) but a distinct type
+// range from the deploy server's round WAL (1, 2), so a misdirected file
+// is caught as soon as it is replayed.
+const (
+	// RecordFleetPlan opens a journal: payload is the plan fingerprint and
+	// cell count. Every journal starts with exactly one; replaying against
+	// a different plan is refused.
+	RecordFleetPlan checkpoint.RecordType = 0x10
+	// RecordFleetGrant logs a lease grant: Round is the cell index, User
+	// the fencing token. Written (and fsynced) before the lease response,
+	// so the token counter never regresses across a coordinator crash.
+	RecordFleetGrant checkpoint.RecordType = 0x11
+	// RecordFleetComplete logs an accepted completion: Round is the cell
+	// index, User the fencing token, Payload the encoded result (see
+	// completePayload). Written before the 204 acknowledgment, so an acked
+	// cell is never re-run.
+	RecordFleetComplete checkpoint.RecordType = 0x12
+)
+
+// Completion payload tags.
+const (
+	payloadResult = 0x00 // remainder is the encoded cell result
+	payloadError  = 0x01 // remainder is a deterministic cell error string
+)
+
+// planPayload encodes the RecordFleetPlan body.
+func planPayload(fingerprint uint64, cells int) []byte {
+	b := make([]byte, 12)
+	binary.LittleEndian.PutUint64(b[0:8], fingerprint)
+	binary.LittleEndian.PutUint32(b[8:12], uint32(cells))
+	return b
+}
+
+// parsePlanPayload reverses planPayload.
+func parsePlanPayload(b []byte) (fingerprint uint64, cells int, err error) {
+	if len(b) != 12 {
+		return 0, 0, fmt.Errorf("fleet: plan record payload is %d bytes, want 12", len(b))
+	}
+	return binary.LittleEndian.Uint64(b[0:8]), int(binary.LittleEndian.Uint32(b[8:12])), nil
+}
+
+// completePayload tags an encoded result or a cell error for the journal.
+func completePayload(result []byte, cellErr string) []byte {
+	if cellErr != "" {
+		return append([]byte{payloadError}, cellErr...)
+	}
+	return append([]byte{payloadResult}, result...)
+}
+
+// parseCompletePayload reverses completePayload.
+func parseCompletePayload(b []byte) (result []byte, cellErr string, err error) {
+	if len(b) == 0 {
+		return nil, "", fmt.Errorf("fleet: empty completion payload")
+	}
+	switch b[0] {
+	case payloadResult:
+		return b[1:], "", nil
+	case payloadError:
+		return nil, string(b[1:]), nil
+	default:
+		return nil, "", fmt.Errorf("fleet: unknown completion payload tag %#x", b[0])
+	}
+}

@@ -1,0 +1,37 @@
+package fleet
+
+import "helcfl/internal/obs"
+
+// coordMetrics are the coordinator's instruments, exposed on whatever
+// /metrics endpoint the caller mounts the registry on.
+type coordMetrics struct {
+	granted, expired, reassigned   *obs.Counter
+	completed                      *obs.Counter
+	dupRejected, staleRejected     *obs.Counter
+	cells, done, leased            *obs.Gauge
+	attempts                       *obs.Histogram
+	recoverySec                    *obs.Gauge
+	recoveredDone, recoveredLeases *obs.Gauge
+}
+
+func newCoordMetrics(reg *obs.Registry) *coordMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &coordMetrics{
+		granted:       reg.Counter("helcfl_fleet_leases_granted_total", "Cell leases granted to workers (fresh grants and reassignments)."),
+		expired:       reg.Counter("helcfl_fleet_leases_expired_total", "Leases whose deadline passed without completion or heartbeat."),
+		reassigned:    reg.Counter("helcfl_fleet_leases_reassigned_total", "Grants of cells that had been granted before (token bumped)."),
+		completed:     reg.Counter("helcfl_fleet_cells_completed_total", "Completions accepted and merged."),
+		dupRejected:   reg.Counter("helcfl_fleet_duplicate_completions_rejected_total", "Completions rejected because the cell was already done (at-most-once)."),
+		staleRejected: reg.Counter("helcfl_fleet_stale_completions_rejected_total", "Completions rejected because a newer fencing token had been granted."),
+		cells:         reg.Gauge("helcfl_fleet_cells", "Size of the campaign grid."),
+		done:          reg.Gauge("helcfl_fleet_cells_done", "Cells completed so far."),
+		leased:        reg.Gauge("helcfl_fleet_leases_live", "Leases currently live (granted, unexpired, incomplete)."),
+		attempts:      reg.Histogram("helcfl_fleet_cell_attempts", "Grants needed per completed cell (1 = no reassignment).", obs.ExpBuckets(1, 2, 8)),
+		recoverySec:   reg.Gauge("helcfl_fleet_recovery_seconds", "Wall-clock seconds spent replaying the journal at startup."),
+		recoveredDone: reg.Gauge("helcfl_fleet_recovered_cells", "Cells restored as done from the journal at startup."),
+		recoveredLeases: reg.Gauge("helcfl_fleet_recovered_leases",
+			"Live leases restored from the journal at startup (kept completable under their old token)."),
+	}
+}

@@ -1,0 +1,169 @@
+package fleet_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+
+	"helcfl/internal/experiments"
+	"helcfl/internal/fleet"
+	"helcfl/internal/grid"
+	"helcfl/internal/obs"
+)
+
+// resolveRegistryPlan is the worker-side plan rebuild the CLI uses: look
+// the experiment and preset up in the registry and expand the grid. It
+// must mirror the coordinator's plan construction exactly or the
+// fingerprint handshake fails.
+func resolveRegistryPlan(info fleet.PlanInfo) ([]grid.Cell, error) {
+	def, ok := experiments.LookupExperiment(info.Experiment)
+	if !ok {
+		return nil, fmt.Errorf("unknown experiment %q", info.Experiment)
+	}
+	p, err := experiments.LookupPreset(info.Preset)
+	if err != nil {
+		return nil, err
+	}
+	p.Sink = obs.Synchronized(p.Sink)
+	plan, err := def.Plan(p, info.Seed, experiments.Options{Seeds: info.Seeds})
+	if err != nil {
+		return nil, err
+	}
+	return plan.Cells, nil
+}
+
+func registryPlan(t *testing.T, name string, seed int64, opt experiments.Options) *experiments.Plan {
+	t.Helper()
+	def, ok := experiments.LookupExperiment(name)
+	if !ok {
+		t.Fatalf("no %s experiment", name)
+	}
+	p, err := experiments.LookupPreset("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Sink = obs.Synchronized(p.Sink)
+	plan, err := def.Plan(p, seed, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// renderPlan captures a plan's rendered stream and artifacts.
+func renderPlan(t *testing.T, plan *experiments.Plan, res []any) (string, map[string]string) {
+	t.Helper()
+	var buf bytes.Buffer
+	arts := map[string]string{}
+	err := plan.Render(res, experiments.Output{
+		W: &buf,
+		WriteArtifact: func(name string, data []byte) error {
+			arts[name] = string(data)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	return buf.String(), arts
+}
+
+// TestFleetMatchesSerialOnRealExperiments is the distributed grid's core
+// guarantee on real campaign cells: a coordinator plus three workers that
+// rebuild the plan from the registry, run cells through the gob codec,
+// and merge over HTTP produce the same raw results, rendered bytes, and
+// artifacts as a serial grid.Runner.
+func TestFleetMatchesSerialOnRealExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains real cells; skipped in -short")
+	}
+	seed := int64(3)
+	opt := experiments.Options{Seeds: 2}
+	for _, name := range []string{"fig1", "seeds"} {
+		t.Run(name, func(t *testing.T) {
+			serialPlan := registryPlan(t, name, seed, opt)
+			serialRes, err := (&grid.Runner{Parallel: 1}).Run(context.Background(), serialPlan.Cells)
+			if err != nil {
+				t.Fatalf("serial run: %v", err)
+			}
+
+			fleetPlan := registryPlan(t, name, seed, opt)
+			coord, err := fleet.NewCoordinator(fleet.CoordinatorConfig{
+				Info: fleet.PlanInfo{
+					Experiment: name,
+					Preset:     "tiny",
+					Seed:       seed,
+					Seeds:      opt.Seeds,
+				},
+				Cells:  fleetPlan.Cells,
+				Decode: experiments.DecodeCellResult,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer coord.Close()
+			srv := httptest.NewServer(coord.Handler())
+			defer srv.Close()
+
+			var wg sync.WaitGroup
+			for i := 0; i < 3; i++ {
+				w, err := fleet.NewWorker(fleet.WorkerConfig{
+					Coordinator: srv.URL,
+					Name:        fmt.Sprintf("w%d", i),
+					Resolve:     resolveRegistryPlan,
+					Encode:      experiments.EncodeCellResult,
+					Seed:        int64(100 + i),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if err := w.Run(context.Background()); err != nil {
+						t.Errorf("worker: %v", err)
+					}
+				}()
+			}
+			fleetRes, err := coord.Wait(context.Background())
+			wg.Wait()
+			if err != nil {
+				t.Fatalf("fleet run: %v", err)
+			}
+
+			// The wire codec strips trained models from fl.Result in
+			// transit, so canonicalize the serial results through the same
+			// round trip before comparing raw values.
+			canon := make([]any, len(serialRes))
+			for i, v := range serialRes {
+				enc, err := experiments.EncodeCellResult(v)
+				if err != nil {
+					t.Fatalf("encode serial cell %d: %v", i, err)
+				}
+				canon[i], err = experiments.DecodeCellResult(enc)
+				if err != nil {
+					t.Fatalf("decode serial cell %d: %v", i, err)
+				}
+			}
+			if !reflect.DeepEqual(canon, fleetRes) {
+				t.Fatal("fleet raw results differ from serial")
+			}
+
+			serialOut, serialArts := renderPlan(t, serialPlan, serialRes)
+			fleetOut, fleetArts := renderPlan(t, fleetPlan, fleetRes)
+			if serialOut != fleetOut {
+				t.Fatalf("rendered output differs:\nserial:\n%s\nfleet:\n%s", serialOut, fleetOut)
+			}
+			if !reflect.DeepEqual(serialArts, fleetArts) {
+				t.Fatalf("artifacts differ: %v vs %v", serialArts, fleetArts)
+			}
+			if len(serialOut) == 0 {
+				t.Fatal("experiment rendered nothing")
+			}
+		})
+	}
+}

@@ -1,0 +1,107 @@
+// Package fleet distributes a campaign grid across worker processes with
+// kill tolerance: a coordinator leases cells to workers over HTTP and
+// merges their results into the same fixed-index slice a single-process
+// grid.Runner produces, bit-identically.
+//
+// The protocol is lease-based with fencing tokens (see docs/ROBUSTNESS.md):
+//
+//   - A lease grants one cell (by index) to one worker for a TTL, under a
+//     fencing token drawn from a global monotonic counter. Heartbeats
+//     extend the TTL; an expired lease makes the cell grantable again
+//     under a new, larger token.
+//   - A completion is accepted iff its token is the latest granted for
+//     that cell AND the cell is not already done — so a re-granted cell
+//     merges exactly once no matter how many killed, stalled, or revived
+//     workers eventually report it (at-most-once).
+//   - The coordinator journals every grant and completion through the
+//     checkpoint WAL before acknowledging, so a coordinator crash resumes
+//     mid-sweep without re-running finished cells and without ever
+//     reissuing a token (tokens never regress across restarts).
+//
+// Workers never receive code or configuration: they rebuild the identical
+// deterministic plan locally from the PlanInfo identity (experiment,
+// preset, seed) and verify the cell-key fingerprint before leasing, so a
+// version- or flag-skewed worker is rejected up front instead of merging
+// results at wrong indices.
+package fleet
+
+// HTTP endpoints served by the Coordinator's Handler.
+const (
+	// PathPlan returns the PlanInfo identity (GET).
+	PathPlan = "/fleet/plan"
+	// PathLease grants the next available cell (POST LeaseRequest).
+	PathLease = "/fleet/lease"
+	// PathHeartbeat extends a live lease's deadline (POST HeartbeatRequest).
+	PathHeartbeat = "/fleet/heartbeat"
+	// PathComplete reports a finished cell (POST CompleteRequest).
+	PathComplete = "/fleet/complete"
+)
+
+// PlanInfo is the campaign identity a worker rebuilds the plan from. Only
+// identity crosses the wire — never cells, code, or configuration.
+type PlanInfo struct {
+	// Experiment and Preset name the registered definition and preset.
+	Experiment string `json:"experiment"`
+	// Preset is the preset name ("paper", "fast", "tiny").
+	Preset string `json:"preset"`
+	// Seed is the campaign base seed.
+	Seed int64 `json:"seed"`
+	// Seeds is the seed count for multi-seed experiments (Options.Seeds).
+	Seeds int `json:"seeds"`
+	// Cells is the plan size; a worker whose rebuilt plan disagrees must
+	// not lease.
+	Cells int `json:"cells"`
+	// Fingerprint is grid.Fingerprint over the ordered cell keys.
+	Fingerprint uint64 `json:"fingerprint"`
+}
+
+// LeaseRequest asks for the next grantable cell.
+type LeaseRequest struct {
+	// Worker identifies the requester (logs, lease bookkeeping).
+	Worker string `json:"worker"`
+}
+
+// Lease states returned by PathLease.
+const (
+	// StateGranted carries a cell lease.
+	StateGranted = "granted"
+	// StateWait means every remaining cell is currently leased; retry
+	// after a backoff (leases may expire or complete).
+	StateWait = "wait"
+	// StateDone means the sweep is complete; the worker should exit.
+	StateDone = "done"
+)
+
+// LeaseResponse answers a lease request.
+type LeaseResponse struct {
+	State string `json:"state"`
+	// Index and Key identify the granted cell (StateGranted only). Key is
+	// echoed so the worker can cross-check its rebuilt plan.
+	Index int    `json:"index,omitempty"`
+	Key   string `json:"key,omitempty"`
+	// Token is the fencing token for this grant.
+	Token uint64 `json:"token,omitempty"`
+	// TTLMillis is the lease duration; heartbeat well within it.
+	TTLMillis int64 `json:"ttl_millis,omitempty"`
+	// Remaining counts cells not yet completed, for progress logs.
+	Remaining int `json:"remaining"`
+}
+
+// HeartbeatRequest extends a lease. A fenced (re-granted) or completed
+// cell answers 409, telling the worker to abandon the cell.
+type HeartbeatRequest struct {
+	Worker string `json:"worker"`
+	Index  int    `json:"index"`
+	Token  uint64 `json:"token"`
+}
+
+// CompleteRequest reports a finished cell. Exactly one of Result or Error
+// is meaningful: Result is the encoded cell value (the coordinator's
+// Decode hook reverses it), Error a deterministic cell failure.
+type CompleteRequest struct {
+	Worker string `json:"worker"`
+	Index  int    `json:"index"`
+	Token  uint64 `json:"token"`
+	Result []byte `json:"result,omitempty"`
+	Error  string `json:"error,omitempty"`
+}

@@ -1,0 +1,30 @@
+package grid
+
+import "testing"
+
+func fpCell(exp, scheme string, seed int64) Cell {
+	return Cell{Experiment: exp, Preset: "tiny", Setting: "IID", Scheme: scheme, Seed: seed}
+}
+
+func TestFingerprintIdentifiesPlans(t *testing.T) {
+	a := []Cell{fpCell("train", "HELCFL", 1), fpCell("train", "FedAvg", 1)}
+	b := []Cell{fpCell("train", "HELCFL", 1), fpCell("train", "FedAvg", 1)}
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatal("identical plans should share a fingerprint")
+	}
+	// Order matters: leases address cells by index.
+	swapped := []Cell{b[1], b[0]}
+	if Fingerprint(a) == Fingerprint(swapped) {
+		t.Fatal("reordered plan should change the fingerprint")
+	}
+	changed := []Cell{fpCell("train", "HELCFL", 2), fpCell("train", "FedAvg", 1)}
+	if Fingerprint(a) == Fingerprint(changed) {
+		t.Fatal("changed seed should change the fingerprint")
+	}
+	if Fingerprint(a) == Fingerprint(a[:1]) {
+		t.Fatal("truncated plan should change the fingerprint")
+	}
+	if Fingerprint(nil) != Fingerprint([]Cell{}) {
+		t.Fatal("empty plans should agree")
+	}
+}

@@ -57,8 +57,13 @@ var Packages = map[string]Class{
 	"helcfl/internal/chaos":      ClassRuntime,
 	"helcfl/internal/checkpoint": ClassRuntime,
 	"helcfl/internal/deploy":     ClassRuntime,
-	"helcfl/internal/lint":       ClassRuntime,
-	"helcfl/internal/obs":        ClassRuntime,
+	// The fleet coordinator/worker pair leases cells over HTTP with
+	// wall-clock lease deadlines; the cells it runs stay deterministic.
+	"helcfl/internal/fleet": ClassRuntime,
+	"helcfl/internal/lint":  ClassRuntime,
+	"helcfl/internal/obs":   ClassRuntime,
+	// The shared backoff engine sleeps on timers by design.
+	"helcfl/internal/retry": ClassRuntime,
 	// The flight recorder is crash forensics: signals, wall clock,
 	// filesystem dumps, and HTTP by design.
 	"helcfl/internal/obs/flight": ClassRuntime,
@@ -95,6 +100,8 @@ var DurabilityPackages = map[string]bool{
 // deadlines propagate. The ctxflow analyzer applies here.
 var ContextPackages = map[string]bool{
 	"helcfl/internal/deploy": true,
+	"helcfl/internal/fleet":  true,
+	"helcfl/internal/retry":  true,
 }
 
 // MapOrderExtra extends the maporder analyzer beyond the deterministic set:
