@@ -41,10 +41,12 @@ bench:
 	$(GO) run ./cmd/helcfl bench -preset tiny -experiment all -bench-out BENCH_experiments.json
 
 # In-tree static analysis (internal/lint): determinism, map-order,
-# float-comparison, durability, and context-flow invariants. Exit is
-# nonzero on any finding not covered by a justified //helcfl:allow.
+# float-comparison, durability, context-flow, allocation, span-lifecycle,
+# lock-discipline, goroutine-lifecycle, and wire-codec invariants. Exit is
+# nonzero on any finding not covered by a justified //helcfl:allow, and
+# (-stale) on any allow directive that no longer suppresses anything.
 # See docs/STATIC_ANALYSIS.md.
 lint:
-	$(GO) run ./cmd/helcfl-lint ./...
+	$(GO) run ./cmd/helcfl-lint -stale ./...
 
 check: build vet fmt lint race

@@ -1,17 +1,19 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
 
 // TestRealModuleClean runs the driver the way `make lint` does — over the
-// real repository — and requires a clean exit: zero unsuppressed findings
+// real repository, with the stale-suppression audit on — and requires a
+// clean exit: zero unsuppressed findings and zero stale allow directives
 // across every package in the module.
 func TestRealModuleClean(t *testing.T) {
 	var stdout, stderr strings.Builder
-	if code := run([]string{"./..."}, &stdout, &stderr); code != 0 {
-		t.Fatalf("helcfl-lint ./... over the real module exited %d\nstdout:\n%s\nstderr:\n%s",
+	if code := run([]string{"-stale", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("helcfl-lint -stale ./... over the real module exited %d\nstdout:\n%s\nstderr:\n%s",
 			code, stdout.String(), stderr.String())
 	}
 	if !strings.Contains(stderr.String(), "helcfl-lint: ok") {
@@ -34,13 +36,79 @@ func TestSeededViolationFails(t *testing.T) {
 	}
 }
 
+// TestStaleDirective pins the stale-suppression audit: a module whose only
+// allow directive suppresses nothing passes a plain run but fails -stale
+// with a rule "stale" finding.
+func TestStaleDirective(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-C", "testdata/stalemodule", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("plain run over testdata/stalemodule exited %d, want 0\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	code := run([]string{"-C", "testdata/stalemodule", "-stale", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("-stale run over testdata/stalemodule exited %d, want 1\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), `stale: allow directive for "nondeterminism" suppresses nothing`) {
+		t.Errorf("missing stale finding in stdout: %q", stdout.String())
+	}
+}
+
+// TestJSONOutput pins the machine-readable mode: over the bad module the
+// driver still exits 1 but stdout is one JSON document carrying the finding.
+func TestJSONOutput(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-C", "testdata/badmodule", "-json", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("-json run over testdata/badmodule exited %d, want 1\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	var rep jsonReport
+	if err := json.Unmarshal([]byte(stdout.String()), &rep); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if !rep.Failed {
+		t.Errorf("jsonReport.Failed = false, want true")
+	}
+	found := false
+	for _, f := range rep.Findings {
+		if f.Rule == "nondeterminism" && strings.Contains(f.Message, "time.Now") && f.Line > 0 && f.File != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no nondeterminism finding in JSON output:\n%s", stdout.String())
+	}
+}
+
+// TestJSONClean verifies a clean -json run reports failed=false and exits 0.
+func TestJSONClean(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-C", "testdata/stalemodule", "-json", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-json clean run exited %d, want 0\nstderr:\n%s", code, stderr.String())
+	}
+	var rep jsonReport
+	if err := json.Unmarshal([]byte(stdout.String()), &rep); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if rep.Failed || rep.Packages == 0 {
+		t.Errorf("jsonReport = %+v, want failed=false with packages > 0", rep)
+	}
+}
+
 // TestListAnalyzers and TestBadPattern cover the driver's small CLI surface.
 func TestListAnalyzers(t *testing.T) {
 	var stdout, stderr strings.Builder
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("-list exited %d", code)
 	}
-	for _, name := range []string{"nondeterminism", "maporder", "floatcompare", "durability", "ctxflow"} {
+	for _, name := range []string{
+		"nondeterminism", "maporder", "floatcompare", "durability", "ctxflow",
+		"noalloc", "spanend", "lockheld", "golife", "wirecodec",
+	} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing analyzer %s:\n%s", name, stdout.String())
 		}

@@ -1,0 +1,3 @@
+module helcfl
+
+go 1.22

@@ -1,0 +1,15 @@
+// Fixture module for the -stale driver test: the code is clean, so the
+// leftover allow directive suppresses nothing — a plain run must pass and a
+// -stale run must fail with a stale finding.
+package fl
+
+// Steps is deterministic; the directive below excused a wall-clock read
+// that has since been removed.
+func Steps(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		//helcfl:allow(nondeterminism) historical: round timing used the wall clock here
+		total += i
+	}
+	return total
+}

@@ -1,0 +1,14 @@
+package deploy
+
+import (
+	"testing"
+
+	"helcfl/internal/leaktest"
+)
+
+// TestMain gates the whole deploy test binary behind the goroutine-leak
+// harness: every server, client loop, and chaos proxy a test starts must be
+// shut down and joined by the time the last test finishes.
+func TestMain(m *testing.M) {
+	leaktest.Main(m)
+}

@@ -71,6 +71,7 @@ func (s *Server) initDurabilityLocked() error {
 	}
 	restored := false
 	if s.cfg.Resume {
+		//helcfl:allow(lockheld) runs from NewServer before the server is shared; no handler can contend for the lock during restore
 		payload, err := checkpoint.ReadFile(s.snapshotPath())
 		switch {
 		case errors.Is(err, os.ErrNotExist):
@@ -92,6 +93,7 @@ func (s *Server) initDurabilityLocked() error {
 	if !restored {
 		// Stale records from an abandoned campaign must not leak into this
 		// one.
+		//helcfl:allow(lockheld) runs from NewServer before the server is shared; no handler can contend for the lock during restore
 		return s.wal.Reset()
 	}
 	if err := s.replayLocked(records); err != nil {
@@ -233,11 +235,13 @@ func (s *Server) checkpointLocked(resetWAL bool) {
 	if !resetWAL || s.wal == nil {
 		return
 	}
+	//helcfl:allow(lockheld) the WAL truncation must be atomic with the snapshot it folded into; the state lock is that atomicity boundary
 	if err := s.wal.Reset(); err != nil {
 		s.logf("checkpoint: wal reset failed: %v", err)
 		return
 	}
 	if s.phase == PhaseTraining {
+		//helcfl:allow(lockheld) the round marker must land in the same lock hold as the truncation above, or a crash between them replays into the wrong round
 		if err := s.wal.Append(checkpoint.Record{Type: checkpoint.RecordRoundStart, Round: s.round}); err != nil {
 			s.logf("checkpoint: wal round marker failed: %v", err)
 		}
@@ -275,6 +279,7 @@ func (s *Server) writeSnapshotLocked() error {
 	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
 		return fmt.Errorf("deploy: encode checkpoint: %w", err)
 	}
+	//helcfl:allow(lockheld) the snapshot serialized under the lock must hit disk before state can advance; releasing mid-write would let the next upload mutate what the fsync claims to capture
 	return checkpoint.WriteFile(s.snapshotPath(), buf.Bytes())
 }
 

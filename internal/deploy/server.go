@@ -513,6 +513,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	// the WAL fsync replays this exact payload, so the client's retry
 	// deduplicates instead of aggregating twice (at-most-once aggregation).
 	if s.wal != nil {
+		//helcfl:allow(lockheld) WAL-before-ack: the upload must be durable before the lock releases and the aggregation becomes visible, or a crash after the 200 double-counts the retry
 		if err := s.wal.Append(checkpoint.Record{
 			Type: checkpoint.RecordUpload, Round: round, User: user, Payload: body,
 		}); err != nil {

@@ -386,8 +386,10 @@ func (e *Engine) Step() (bool, error) {
 	// exits below return without ending these spans, so they are never
 	// recorded — every *recorded* round has its full phase set, which the
 	// inspect gate asserts.
+	//helcfl:allow(spanend) deliberately un-Ended on the error and dead-fleet exits: an aborted round must never be recorded, so the inspect phase gate only sees complete rounds
 	roundSp := cfg.Trace.Start(e.runSp.Ref(), "fl.round")
 	roundSp.SetInt("round", int64(j))
+	//helcfl:allow(spanend) deliberately un-Ended on the error and dead-fleet exits, same contract as roundSp above
 	planSp := cfg.Trace.Start(roundSp.Ref(), "fl.round.plan")
 	if cfg.Trace != nil {
 		if tp, ok := cfg.Planner.(TracedPlanner); ok {

@@ -363,6 +363,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	// crashes after answering has durably burned this token, so a restart
 	// can never grant it to someone else.
 	if c.journal != nil {
+		//helcfl:allow(lockheld) the grant must be journaled before the lease escapes the lock; fsyncing after release would let a crashed coordinator re-grant a burned fencing token
 		if err := c.journal.Append(checkpoint.Record{Type: RecordFleetGrant, Round: idx, User: int(token)}); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
@@ -474,6 +475,7 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	if c.journal != nil {
 		rec := checkpoint.Record{Type: RecordFleetComplete, Round: req.Index, User: int(req.Token),
 			Payload: completePayload(req.Result, req.Error)}
+		//helcfl:allow(lockheld) the completion must be durable inside the same lock hold that marks the cell done, or a crash after the 204 forgets an acknowledged result
 		if err := c.journal.Append(rec); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return

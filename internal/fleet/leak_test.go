@@ -1,0 +1,14 @@
+package fleet
+
+import (
+	"testing"
+
+	"helcfl/internal/leaktest"
+)
+
+// TestMain gates the whole fleet test binary behind the goroutine-leak
+// harness: coordinator heartbeat monitors, worker poll loops, and campaign
+// goroutines must all be joined by the time the last test finishes.
+func TestMain(m *testing.M) {
+	leaktest.Main(m)
+}

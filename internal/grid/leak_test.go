@@ -1,0 +1,13 @@
+package grid
+
+import (
+	"testing"
+
+	"helcfl/internal/leaktest"
+)
+
+// TestMain gates the whole grid test binary behind the goroutine-leak
+// harness: runner worker pools must drain and join before the binary exits.
+func TestMain(m *testing.M) {
+	leaktest.Main(m)
+}

@@ -1,0 +1,99 @@
+package leaktest
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCatchesDeliberateLeak is the harness's own acceptance test: a
+// goroutine parked on a channel after the baseline snapshot must be
+// reported as leaked, and must stop being reported once released.
+func TestCatchesDeliberateLeak(t *testing.T) {
+	base := ids()
+
+	release := make(chan struct{})
+	parked := make(chan struct{})
+	go func() {
+		close(parked)
+		<-release
+	}()
+	<-parked
+
+	leaked := settle(base, 200*time.Millisecond)
+	if len(leaked) != 1 {
+		t.Fatalf("settle found %d leaked goroutine(s), want exactly the parked one:\n%s",
+			len(leaked), strings.Join(leaked, "\n\n"))
+	}
+	if !strings.Contains(leaked[0], "TestCatchesDeliberateLeak") {
+		t.Errorf("leaked stack does not point at the leaking test:\n%s", leaked[0])
+	}
+
+	close(release)
+	if leaked := settle(base, grace); len(leaked) != 0 {
+		t.Errorf("goroutine still reported after release:\n%s", strings.Join(leaked, "\n\n"))
+	}
+}
+
+// TestCheckPassesOnJoinedWork verifies the deferred Check form stays quiet
+// when every spawned goroutine is joined before the test returns.
+func TestCheckPassesOnJoinedWork(t *testing.T) {
+	defer Check(t)()
+
+	var wg sync.WaitGroup
+	results := make(chan int, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results <- i * i
+		}(i)
+	}
+	wg.Wait()
+	close(results)
+	sum := 0
+	for v := range results {
+		sum += v
+	}
+	if sum != 140 {
+		t.Fatalf("sum = %d, want 140", sum)
+	}
+}
+
+// TestBenignFilters pins the filter list: the snapshot goroutine itself and
+// the testing harness never count as leaks against an empty baseline.
+func TestBenignFilters(t *testing.T) {
+	leaked := leakedSince(map[int64]bool{})
+	for _, stack := range leaked {
+		if strings.Contains(stack, "helcfl/internal/leaktest.stacks(") {
+			t.Errorf("snapshot goroutine reported as a leak:\n%s", stack)
+		}
+		if strings.Contains(stack, "testing.tRunner(") && strings.Contains(stack, "[running]") {
+			t.Errorf("current test goroutine reported as a leak:\n%s", stack)
+		}
+	}
+}
+
+// TestGoroutineID covers the stack-header parser against real and corrupt
+// headers.
+func TestGoroutineID(t *testing.T) {
+	for _, tc := range []struct {
+		block string
+		id    int64
+		ok    bool
+	}{
+		{"goroutine 1 [running]:\nmain.main()", 1, true},
+		{"goroutine 4711 [chan receive]:\nx()", 4711, true},
+		{"\ngoroutine 9 [select]:\nx()", 9, true},
+		{"not a goroutine header", 0, false},
+		{"goroutine N [running]:", 0, false},
+		{"goroutine 12", 0, false},
+		{"", 0, false},
+	} {
+		id, ok := goroutineID(tc.block)
+		if id != tc.id || ok != tc.ok {
+			t.Errorf("goroutineID(%q) = (%d, %v), want (%d, %v)", tc.block, id, ok, tc.id, tc.ok)
+		}
+	}
+}

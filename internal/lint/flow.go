@@ -1,0 +1,324 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// flow.go is the shared release-on-all-paths walker behind the spanend and
+// lockheld analyzers. Both rules reduce to the same question: a resource is
+// acquired at one statement (a span Started, a mutex Locked) and must be
+// released on every control-flow path from there to function exit — early
+// returns, panics, and falling off the end included. The walker is an
+// abstract interpreter over statement lists, not a real CFG: branches merge
+// conservatively (held on either arm counts as held), break/continue/goto
+// give up on that path rather than guess, and closures are never entered
+// (a resource that escapes into a closure is the client's job to exclude
+// before walking).
+
+// flowState tracks one resource along one path.
+type flowState struct {
+	// held: the resource has been acquired and not released on this path.
+	held bool
+	// leakable: an exit while held should be reported. A deferred release
+	// clears it (the resource stays held to the end, but every exit runs
+	// the release).
+	leakable bool
+}
+
+// merge joins the states of two branches that both fall through.
+func (s flowState) merge(o flowState) flowState {
+	return flowState{held: s.held || o.held, leakable: s.leakable || o.leakable}
+}
+
+// flowClient parameterizes walkFlow for one tracked resource.
+type flowClient struct {
+	// acquire reports whether s is the acquisition site.
+	acquire func(s ast.Stmt) bool
+	// release reports whether s directly releases the resource.
+	release func(s ast.Stmt) bool
+	// deferRelease reports whether d schedules the release on all exits.
+	deferRelease func(d *ast.DeferStmt) bool
+	// onHeld, if non-nil, sees every node evaluated while the resource is
+	// held: statements, branch conditions, and return results. Clients use
+	// it to flag operations that must not run under the resource. Nodes
+	// inside nested function literals are never passed.
+	onHeld func(n ast.Node)
+	// onLeak is called for each exit reached while the resource is held
+	// and leakable: pos locates the exit, kind names it ("return",
+	// "panic", "function end", "loop end").
+	onLeak func(pos token.Pos, kind string)
+}
+
+// walkFlow runs the client's resource through body.
+func walkFlow(body *ast.BlockStmt, c *flowClient) {
+	w := &flowWalker{c: c}
+	out, term := w.list(body.List, flowState{})
+	if !term && out.held && out.leakable {
+		c.onLeak(body.Rbrace, "function end")
+	}
+}
+
+type flowWalker struct {
+	c *flowClient
+}
+
+// list walks stmts with entry state in. It returns the state at the end of
+// the list and whether every path through it terminated (returned, panicked,
+// or branched away) before reaching the end.
+func (w *flowWalker) list(stmts []ast.Stmt, in flowState) (flowState, bool) {
+	st := in
+	for _, s := range stmts {
+		var term bool
+		st, term = w.stmt(s, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+// held passes n to the client's onHeld hook if the resource is held here.
+func (w *flowWalker) held(st flowState, n ast.Node) {
+	if st.held && w.c.onHeld != nil && n != nil {
+		w.c.onHeld(n)
+	}
+}
+
+// leak reports an exit at pos of the given kind if one is pending.
+func (w *flowWalker) leak(st flowState, pos token.Pos, kind string) {
+	if st.held && st.leakable {
+		w.c.onLeak(pos, kind)
+	}
+}
+
+// stmt interprets one statement. The returned bool reports termination: no
+// path through s falls through to the next statement.
+func (w *flowWalker) stmt(s ast.Stmt, st flowState) (flowState, bool) {
+	if s == nil {
+		return st, false
+	}
+	if w.c.acquire(s) {
+		return flowState{held: true, leakable: true}, false
+	}
+	if w.c.release(s) {
+		return flowState{}, false
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return w.list(s.List, st)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	case *ast.IfStmt:
+		st, term := w.stmt(s.Init, st)
+		if term {
+			return st, true
+		}
+		w.held(st, s.Cond)
+		thenSt, thenTerm := w.list(s.Body.List, st)
+		elseSt, elseTerm := st, false
+		if s.Else != nil {
+			elseSt, elseTerm = w.stmt(s.Else, st)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			return thenSt.merge(elseSt), false
+		}
+	case *ast.ForStmt:
+		st, term := w.stmt(s.Init, st)
+		if term {
+			return st, true
+		}
+		w.held(st, s.Cond)
+		return w.loopBody(s.Body, st, s.Post)
+	case *ast.RangeStmt:
+		w.held(st, s.X)
+		return w.loopBody(s.Body, st, nil)
+	case *ast.SwitchStmt:
+		st, term := w.stmt(s.Init, st)
+		if term {
+			return st, true
+		}
+		w.held(st, s.Tag)
+		return w.clauses(s.Body, st, !switchHasDefault(s.Body))
+	case *ast.TypeSwitchStmt:
+		st, term := w.stmt(s.Init, st)
+		if term {
+			return st, true
+		}
+		return w.clauses(s.Body, st, !switchHasDefault(s.Body))
+	case *ast.SelectStmt:
+		// The select itself is the blocking point; its per-case channel
+		// operations are not reported separately.
+		w.held(st, s)
+		return w.selectClauses(s.Body, st)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.held(st, r)
+		}
+		w.leak(st, s.Pos(), "return")
+		return st, true
+	case *ast.BranchStmt:
+		// break/continue/goto: give up on this path rather than model
+		// label targets — conservative non-reporting.
+		return st, true
+	case *ast.DeferStmt:
+		if w.c.deferRelease != nil && w.c.deferRelease(s) {
+			st.leakable = false
+		}
+		return st, false
+	case *ast.ExprStmt:
+		if isTerminalCall(s.X) {
+			if isPanicCall(s.X) {
+				w.held(st, s)
+				w.leak(st, s.Pos(), "panic")
+			}
+			return st, true
+		}
+		w.held(st, s)
+		return st, false
+	case *ast.GoStmt:
+		// The spawned body runs in another frame; only the call's argument
+		// expressions are evaluated here.
+		for _, a := range s.Call.Args {
+			w.held(st, a)
+		}
+		return st, false
+	default:
+		// AssignStmt, DeclStmt, SendStmt, IncDecStmt, EmptyStmt, …
+		w.held(st, s)
+		return st, false
+	}
+}
+
+// loopBody walks a for/range body. The body may run zero times, so the
+// loop's exit state merges the entry state with the body's; a resource
+// acquired inside the body must be released by the end of the iteration or
+// it leaks when the next one starts.
+func (w *flowWalker) loopBody(body *ast.BlockStmt, in flowState, post ast.Stmt) (flowState, bool) {
+	out, term := w.list(body.List, in)
+	if !term {
+		if post != nil {
+			out, _ = w.stmt(post, out)
+		}
+		if !in.held && out.held && out.leakable {
+			w.c.onLeak(body.Rbrace, "loop end")
+			out.leakable = false
+		}
+	}
+	return in.merge(out), false
+}
+
+// clauses walks the case bodies of a switch. When mayFallThrough is set (no
+// default clause) the entry state joins the merge.
+func (w *flowWalker) clauses(body *ast.BlockStmt, in flowState, mayFallThrough bool) (flowState, bool) {
+	var out flowState
+	merged := false
+	for _, cl := range body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			w.held(in, e)
+		}
+		st, term := w.list(cc.Body, in)
+		if term {
+			continue
+		}
+		if merged {
+			out = out.merge(st)
+		} else {
+			out, merged = st, true
+		}
+	}
+	if mayFallThrough {
+		if merged {
+			out = out.merge(in)
+		} else {
+			out, merged = in, true
+		}
+	}
+	if !merged {
+		// Every clause terminated and a default guarantees one runs.
+		return in, len(body.List) > 0
+	}
+	return out, false
+}
+
+// selectClauses walks the comm clauses of a select. Exactly one case always
+// runs (an empty select blocks forever and is treated as terminating); the
+// per-case channel operations belong to the select already reported by the
+// caller, so they are not interpreted separately.
+func (w *flowWalker) selectClauses(body *ast.BlockStmt, in flowState) (flowState, bool) {
+	var out flowState
+	merged := false
+	for _, cl := range body.List {
+		cc, ok := cl.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		st, term := w.list(cc.Body, in)
+		if term {
+			continue
+		}
+		if merged {
+			out = out.merge(st)
+		} else {
+			out, merged = st, true
+		}
+	}
+	if !merged {
+		return in, true
+	}
+	return out, false
+}
+
+// switchHasDefault reports whether a switch body has a default clause.
+func switchHasDefault(body *ast.BlockStmt) bool {
+	for _, cl := range body.List {
+		if cc, ok := cl.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// isPanicCall reports whether e is a call to the panic builtin.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// isTerminalCall reports whether e is a call that never returns: panic,
+// os.Exit, or a log.Fatal variant.
+func isTerminalCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		return id.Name == "panic"
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if x, ok := sel.X.(*ast.Ident); ok {
+			switch {
+			case x.Name == "os" && sel.Sel.Name == "Exit":
+				return true
+			case x.Name == "log" && (sel.Sel.Name == "Fatal" || sel.Sel.Name == "Fatalf" || sel.Sel.Name == "Fatalln"):
+				return true
+			}
+		}
+	}
+	return false
+}

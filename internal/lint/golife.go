@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLife bans fire-and-forget goroutines in the concurrent runtime packages
+// (policy.GoroutineScopedPackages). Every `go` statement there must show a
+// visible lifecycle a reviewer can point at: a sync.WaitGroup the spawner
+// joins (Done in the body), a channel the goroutine communicates on (send,
+// receive, close, select, or ranging a channel — done-channels and ctx-bound
+// loops included), or — for a named function — a context, channel, or
+// WaitGroup passed in, so the join lives behind the call. A goroutine with
+// none of these outlives its campaign silently; the internal/leaktest
+// harness catches that at test time, this rule catches it at review time.
+var GoLife = &Analyzer{
+	Name: "golife",
+	Doc:  "require every go statement in runtime packages to have a visible join or lifecycle",
+	Run:  runGoLife,
+}
+
+func runGoLife(p *Pass) {
+	if !IsGoroutineScoped(p.Path) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if fl, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				if !goBodyHasLifecycle(p, fl.Body) {
+					p.Reportf(g.Pos(), "fire-and-forget goroutine: the body joins no WaitGroup and communicates on no channel; give it a WaitGroup, done channel, or ctx-bound loop")
+				}
+				return true
+			}
+			if !goCallHasLifecycle(p, g.Call) {
+				p.Reportf(g.Pos(), "fire-and-forget goroutine: the call receives no context, channel, or WaitGroup; give the callee a lifecycle the spawner can join")
+			}
+			return true
+		})
+	}
+}
+
+// goBodyHasLifecycle reports whether a goroutine body contains a visible
+// join or communication point.
+func goBodyHasLifecycle(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := p.Info.Types[n.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+					found = true
+				}
+			}
+			if name := calleeName(p, n); name == "sync.WaitGroup.Done" || name == "sync.WaitGroup.Wait" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// goCallHasLifecycle reports whether a named-call goroutine receives a
+// lifecycle through its arguments: a context.Context, a channel, or a
+// sync.WaitGroup.
+func goCallHasLifecycle(p *Pass, call *ast.CallExpr) bool {
+	for _, a := range call.Args {
+		t := p.Info.Types[a].Type
+		if t == nil {
+			continue
+		}
+		if isLifecycleType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func isLifecycleType(t types.Type) bool {
+	for {
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+			continue
+		}
+		break
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (path == "context" && name == "Context") || (path == "sync" && name == "WaitGroup")
+}

@@ -1,0 +1,264 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockHeld polices the two ways a mutex rots a concurrent runtime: holding
+// it across a blocking operation (an HTTP round-trip, an fsync, a channel
+// send/receive, a sleep — the obs register-while-scrape race fixed in PR 6
+// was exactly this class), and failing to release it on some path. For every
+// sync.Mutex/RWMutex Lock the analyzer proves an Unlock on all control-flow
+// exits (a defer counts for every exit) and reports any blocking operation
+// evaluated while the lock is held. Functions whose name ends in "Locked"
+// follow the repo's convention of running entirely under a caller's lock, so
+// their whole body is checked for blocking operations. The blocking set is
+// the stdlib's (net/http round-trips, File.Sync, time.Sleep, WaitGroup.Wait,
+// channel operations) plus the module's own policy.BlockingCalls.
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc:  "require mutexes to be released on all paths and never held across blocking operations",
+	Run:  runLockHeld,
+}
+
+// stdlibBlocking maps qualified stdlib call names to why they block.
+var stdlibBlocking = map[string]string{
+	"time.Sleep":                      "sleeps",
+	"sync.WaitGroup.Wait":             "waits for goroutines",
+	"os.File.Sync":                    "fsyncs",
+	"net/http.Get":                    "does an HTTP round-trip",
+	"net/http.Post":                   "does an HTTP round-trip",
+	"net/http.PostForm":               "does an HTTP round-trip",
+	"net/http.Head":                   "does an HTTP round-trip",
+	"net/http.Client.Do":              "does an HTTP round-trip",
+	"net/http.Client.Get":             "does an HTTP round-trip",
+	"net/http.Client.Post":            "does an HTTP round-trip",
+	"net/http.Client.PostForm":        "does an HTTP round-trip",
+	"net/http.Client.Head":            "does an HTTP round-trip",
+	"net/http.Transport.RoundTrip":    "does an HTTP round-trip",
+	"net/http.RoundTripper.RoundTrip": "does an HTTP round-trip",
+}
+
+func runLockHeld(p *Pass) {
+	for _, f := range p.Files {
+		seen := map[token.Pos]bool{} // dedupe blocking reports across nested locks
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok {
+				return true
+			}
+			if fd.Body == nil {
+				return true
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				lockHeldBody(p, fd.Body, fd.Name.Name+" runs under the caller's lock", seen)
+			}
+			return true
+		})
+		for _, frame := range frames(f) {
+			lockHeldFrame(p, frame, seen)
+		}
+	}
+}
+
+// lockSite is one mu.Lock()/mu.RLock() statement.
+type lockSite struct {
+	stmt   ast.Stmt
+	recv   string // rendered receiver expression, e.g. "c.mu"
+	unlock string // the matching release method name
+	pos    token.Pos
+}
+
+func lockHeldFrame(p *Pass, body *ast.BlockStmt, seen map[token.Pos]bool) {
+	var sites []lockSite
+	inspectFrame(body, func(n ast.Node) {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return
+		}
+		if site, ok := asLockCall(p, es); ok {
+			sites = append(sites, site)
+		}
+	})
+	for _, s := range sites {
+		lock := s.recv + "." + strings.TrimSuffix(s.unlock, "Unlock") + "Lock()"
+		held := lock + " is held"
+		reported := false
+		walkFlow(body, &flowClient{
+			acquire: func(st ast.Stmt) bool { return st == s.stmt },
+			release: func(st ast.Stmt) bool { return isUnlockStmt(p, st, s) },
+			deferRelease: func(d *ast.DeferStmt) bool {
+				return isUnlockCall(p, d.Call, s) || deferredClosureUnlocks(p, d, s)
+			},
+			onHeld: func(n ast.Node) { reportBlocking(p, n, held, seen) },
+			onLeak: func(pos token.Pos, kind string) {
+				if reported {
+					return
+				}
+				reported = true
+				p.Reportf(s.pos, "%s is not released on all paths (%s at line %d); unlock before every exit or defer the %s",
+					lock, kind, p.Fset.Position(pos).Line, s.unlock)
+			},
+		})
+	}
+}
+
+// lockHeldBody checks a body that is lock-held from entry to exit (the
+// *Locked naming convention) for blocking operations only.
+func lockHeldBody(p *Pass, body *ast.BlockStmt, held string, seen map[token.Pos]bool) {
+	w := &flowWalker{c: &flowClient{
+		acquire: func(ast.Stmt) bool { return false },
+		release: func(ast.Stmt) bool { return false },
+		onHeld:  func(n ast.Node) { reportBlocking(p, n, held, seen) },
+		onLeak:  func(token.Pos, string) {},
+	}}
+	w.list(body.List, flowState{held: true})
+}
+
+// asLockCall matches `x.Lock()` / `x.RLock()` on a sync mutex.
+func asLockCall(p *Pass, es *ast.ExprStmt) (lockSite, bool) {
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return lockSite{}, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockSite{}, false
+	}
+	name := sel.Sel.Name
+	if name != "Lock" && name != "RLock" {
+		return lockSite{}, false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockSite{}, false
+	}
+	unlock := "Unlock"
+	if name == "RLock" {
+		unlock = "RUnlock"
+	}
+	return lockSite{stmt: es, recv: types.ExprString(sel.X), unlock: unlock, pos: call.Pos()}, true
+}
+
+// isUnlockStmt matches the statement `recv.Unlock()` for s.
+func isUnlockStmt(p *Pass, st ast.Stmt, s lockSite) bool {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	return ok && isUnlockCall(p, call, s)
+}
+
+// isUnlockCall matches the call `recv.Unlock()` for s.
+func isUnlockCall(p *Pass, call *ast.CallExpr, s lockSite) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != s.unlock {
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	return types.ExprString(sel.X) == s.recv
+}
+
+// deferredClosureUnlocks matches `defer func() { ...; recv.Unlock(); ... }()`.
+func deferredClosureUnlocks(p *Pass, d *ast.DeferStmt, s lockSite) bool {
+	fl, ok := d.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isUnlockCall(p, call, s) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// reportBlocking scans the expressions of n (nested function literals
+// excluded — they run in another frame) for operations that block, and
+// reports each one found while a lock is held.
+func reportBlocking(p *Pass, n ast.Node, held string, seen map[token.Pos]bool) {
+	report := func(pos token.Pos, what, why string) {
+		if seen[pos] {
+			return
+		}
+		seen[pos] = true
+		p.Reportf(pos, "%s %s while %s; do the blocking work outside the lock", what, why, held)
+	}
+	if sel, ok := n.(*ast.SelectStmt); ok {
+		report(sel.Pos(), "select", "blocks on channel operations")
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			report(c.Arrow, "channel send", "blocks until received")
+		case *ast.UnaryExpr:
+			if c.Op == token.ARROW {
+				report(c.OpPos, "channel receive", "blocks until sent")
+			}
+		case *ast.CallExpr:
+			name := calleeName(p, c)
+			if name == "" {
+				return true
+			}
+			if why, ok := stdlibBlocking[name]; ok {
+				report(c.Pos(), displayName(name), why)
+			} else if why, ok := BlockingCalls[name]; ok {
+				report(c.Pos(), displayName(name), why)
+			}
+		}
+		return true
+	})
+}
+
+// calleeName resolves a call to its qualified name: "import/path.Func" for a
+// package function, "import/path.Type.Method" for a method (pointer
+// receivers dereferenced, so *T and T methods share a name).
+func calleeName(p *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if s, ok := p.Info.Selections[sel]; ok {
+		fn, ok := s.Obj().(*types.Func)
+		if !ok {
+			return ""
+		}
+		recv := s.Recv()
+		for {
+			if ptr, ok := recv.(*types.Pointer); ok {
+				recv = ptr.Elem()
+				continue
+			}
+			break
+		}
+		named, ok := recv.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return ""
+		}
+		return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + fn.Name()
+	}
+	if fn := pkgFunc(p, sel); fn != nil {
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	return ""
+}
+
+// displayName shortens a qualified name to pkg.Type.Method for a message.
+func displayName(q string) string {
+	if i := strings.LastIndexByte(q, '/'); i >= 0 {
+		return q[i+1:]
+	}
+	return q
+}

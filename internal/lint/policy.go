@@ -85,6 +85,9 @@ var Packages = map[string]Class{
 
 	// The corpus harness for this package's own tests.
 	"helcfl/internal/lint/linttest": ClassRuntime,
+
+	// The goroutine-leak test harness snapshots runtime stacks by design.
+	"helcfl/internal/leaktest": ClassRuntime,
 }
 
 // DurabilityPackages hold persistence code where a missed fsync or a
@@ -125,6 +128,40 @@ var ToleranceHelpers = map[string]bool{
 	"helcfl/internal/tensor.Tensor.Equal": true,
 }
 
+// GoroutineScopedPackages are the concurrent-runtime packages where a `go`
+// statement must show a visible lifecycle — a WaitGroup join, a done/result
+// channel, or a ctx-bound loop. A fire-and-forget goroutine here outlives its
+// campaign, which is exactly what the leaktest harness catches at runtime;
+// the golife analyzer catches it at review time.
+var GoroutineScopedPackages = map[string]bool{
+	"helcfl/internal/deploy":     true,
+	"helcfl/internal/fleet":      true,
+	"helcfl/internal/grid":       true,
+	"helcfl/internal/obs":        true,
+	"helcfl/internal/obs/flight": true,
+	"helcfl/internal/obs/span":   true,
+}
+
+// WireCodecPackages hold the experiments registry, where every cell result
+// type a grid.Cell's Run can return must carry a gob registration in the
+// fleet wire codec (Encode/DecodeCellResult). The wirecodec analyzer applies
+// here.
+var WireCodecPackages = map[string]bool{
+	"helcfl/internal/experiments": true,
+}
+
+// BlockingCalls are module-internal functions that block on I/O (fsync,
+// network) and therefore must not run while a mutex is held. Keys are
+// qualified names ("import/path.Func" or "import/path.Type.Method"), values
+// say why the call blocks; the lockheld analyzer reports them alongside the
+// stdlib's own blocking operations.
+var BlockingCalls = map[string]string{
+	"helcfl/internal/checkpoint.WAL.Append": "fsyncs a WAL record to disk",
+	"helcfl/internal/checkpoint.WAL.Reset":  "truncates and fsyncs the WAL",
+	"helcfl/internal/checkpoint.WriteFile":  "writes and fsyncs a snapshot",
+	"helcfl/internal/checkpoint.ReadFile":   "reads a snapshot from disk",
+}
+
 // Classified reports whether path is in the policy table. Corpus packages
 // under a lint testdata tree mirror real module paths, so they classify the
 // same way.
@@ -148,6 +185,12 @@ func IsDurability(path string) bool { return DurabilityPackages[path] }
 
 // IsContextScoped reports whether the ctxflow analyzer applies to path.
 func IsContextScoped(path string) bool { return ContextPackages[path] }
+
+// IsGoroutineScoped reports whether the golife analyzer applies to path.
+func IsGoroutineScoped(path string) bool { return GoroutineScopedPackages[path] }
+
+// IsWireCodecScoped reports whether the wirecodec analyzer applies to path.
+func IsWireCodecScoped(path string) bool { return WireCodecPackages[path] }
 
 // InModule reports whether path names this module or a package inside it.
 func InModule(path, module string) bool {

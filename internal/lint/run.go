@@ -4,7 +4,10 @@ import "sort"
 
 // Analyzers returns the full suite in its canonical order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Nondeterminism, MapOrder, FloatCompare, Durability, CtxFlow, NoAlloc}
+	return []*Analyzer{
+		Nondeterminism, MapOrder, FloatCompare, Durability, CtxFlow, NoAlloc,
+		SpanEnd, LockHeld, GoLife, WireCodec,
+	}
 }
 
 // RuleNames returns the set of rule names an //helcfl:allow directive may
@@ -26,6 +29,19 @@ func RuleNames(analyzers []*Analyzer) map[string]bool {
 //   - rule "policy": a module package absent from the policy table
 //     (policy.go), so new packages must be classified explicitly.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	return run(pkgs, analyzers, false)
+}
+
+// RunWithStale is Run plus the stale-suppression audit: every well-formed
+// //helcfl:allow directive that suppressed no finding becomes a rule "stale"
+// finding, so a suppression outliving the code it excused is removed rather
+// than rotting into a blanket exemption. Stale findings cannot themselves be
+// suppressed.
+func RunWithStale(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	return run(pkgs, analyzers, true)
+}
+
+func run(pkgs []*Package, analyzers []*Analyzer, stale bool) []Finding {
 	rules := RuleNames(analyzers)
 	var out []Finding
 	for _, pkg := range pkgs {
@@ -38,6 +54,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 				Message: "package " + pkg.Path + " is not classified in internal/lint/policy.go; add it as deterministic or runtime",
 			})
 		}
+		consumed := map[string]map[int]bool{}
 		for _, a := range analyzers {
 			pass := &Pass{Path: pkg.Path, Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info}
 			a.Run(pass)
@@ -46,8 +63,26 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 				if dir, ok := suppression(dirs, a.Name, f.Pos); ok {
 					f.Suppressed = true
 					f.Reason = dir.reason
+					if consumed[f.Pos.Filename] == nil {
+						consumed[f.Pos.Filename] = map[int]bool{}
+					}
+					consumed[f.Pos.Filename][dir.line] = true
 				}
 				out = append(out, f)
+			}
+		}
+		if stale {
+			for file, lines := range dirs {
+				for line, d := range lines {
+					if consumed[file][line] {
+						continue
+					}
+					out = append(out, Finding{
+						Rule:    "stale",
+						Pos:     pkg.Fset.Position(d.pos),
+						Message: "allow directive for " + quote(d.rule) + " suppresses nothing; the rule no longer fires here — remove the directive",
+					})
+				}
 			}
 		}
 	}

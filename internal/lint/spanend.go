@@ -1,0 +1,285 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpanEnd protects the helcfl-inspect trace phase-coverage gate: a span that
+// is Started but not Ended on some path (early return, panic, ctx-cancel
+// branch) leaves a hole in the recorded phase set, and the CI gate fails a
+// whole campaign over it. The analyzer tracks every local variable assigned
+// from a call returning a span type (internal/obs/span.Span and the
+// internal/obs.Span timer) and proves that each one reaches End() on all
+// control-flow exits — a defer counts for every exit, a discarded span
+// result can never be Ended and is reported outright. Spans that escape the
+// frame (stored in a struct field, captured by a closure, passed or
+// returned) are the owner's responsibility and are skipped.
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc:  "require every Started span to reach End() on all control-flow paths",
+	Run:  runSpanEnd,
+}
+
+// spanPackages are the package paths whose named type Span is tracked.
+var spanPackages = map[string]bool{
+	"helcfl/internal/obs/span": true,
+	"helcfl/internal/obs":      true,
+}
+
+func runSpanEnd(p *Pass) {
+	for _, f := range p.Files {
+		for _, frame := range frames(f) {
+			spanEndFrame(p, frame)
+		}
+	}
+}
+
+// frames returns the body of every function declaration and function
+// literal in f; each is analyzed as its own frame.
+func frames(f *ast.File) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				out = append(out, n.Body)
+			}
+		case *ast.FuncLit:
+			out = append(out, n.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// spanStart is one statement that binds a span-typed call result to a local.
+type spanStart struct {
+	stmt ast.Stmt     // the assignment or declaration statement
+	obj  types.Object // the span variable
+	pos  token.Pos    // where to report
+}
+
+func spanEndFrame(p *Pass, body *ast.BlockStmt) {
+	starts := collectSpanStarts(p, body)
+	for _, s := range starts {
+		if spanEscapes(p, body, s.obj) {
+			continue
+		}
+		if hasDeferredEnd(p, body, s.obj) {
+			continue
+		}
+		reported := false
+		walkFlow(body, &flowClient{
+			acquire: func(st ast.Stmt) bool { return st == s.stmt },
+			release: func(st ast.Stmt) bool { return isEndCall(p, st, s.obj) },
+			onLeak: func(pos token.Pos, kind string) {
+				if reported {
+					return
+				}
+				reported = true
+				p.Reportf(s.pos, "span %s does not reach End() on all paths (%s at line %d); end it before every exit or defer the End",
+					s.obj.Name(), kind, p.Fset.Position(pos).Line)
+			},
+		})
+	}
+}
+
+// collectSpanStarts finds every statement in body (nested function literals
+// excluded — they are their own frames) that binds a span-typed call result,
+// reporting outright the results that are discarded and can never be Ended.
+func collectSpanStarts(p *Pass, body *ast.BlockStmt) []spanStart {
+	var out []spanStart
+	inspectFrame(body, func(n ast.Node) {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Rhs) != 1 {
+				return
+			}
+			call, ok := st.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			for i, lhs := range st.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				t := resultType(p, call, i, len(st.Lhs))
+				if t == nil || !isSpanType(t) {
+					continue
+				}
+				if id.Name == "_" {
+					p.Reportf(id.Pos(), "span result discarded; it can never be Ended — bind it and End it, or do not start it")
+					continue
+				}
+				obj := p.Info.Defs[id]
+				if obj == nil {
+					obj = p.Info.Uses[id]
+				}
+				if obj != nil {
+					out = append(out, spanStart{stmt: st, obj: obj, pos: id.Pos()})
+				}
+			}
+		case *ast.ExprStmt:
+			call, ok := st.X.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			if t := p.Info.Types[call].Type; t != nil && tupleHasSpan(t) {
+				p.Reportf(call.Pos(), "span result discarded; it can never be Ended — bind it and End it, or do not start it")
+			}
+		}
+	})
+	return out
+}
+
+// inspectFrame walks body like ast.Inspect but does not descend into nested
+// function literals.
+func inspectFrame(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// resultType returns the type bound to the i-th of n left-hand sides of an
+// assignment from call.
+func resultType(p *Pass, call *ast.CallExpr, i, n int) types.Type {
+	t := p.Info.Types[call].Type
+	if t == nil {
+		return nil
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		if i < tup.Len() {
+			return tup.At(i).Type()
+		}
+		return nil
+	}
+	if n == 1 && i == 0 {
+		return t
+	}
+	return nil
+}
+
+// isSpanType reports whether t is (a pointer to) a tracked span type.
+func isSpanType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Span" && spanPackages[named.Obj().Pkg().Path()]
+}
+
+// tupleHasSpan reports whether t is a span type or a tuple containing one.
+func tupleHasSpan(t types.Type) bool {
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isSpanType(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isSpanType(t)
+}
+
+// spanEscapes reports whether obj is used in body in a way that moves
+// responsibility for End() elsewhere: captured by a closure, passed as an
+// argument, returned, assigned onward, sent on a channel, or having its
+// address taken. Method calls on the span itself and reassignments of the
+// variable are the only benign uses.
+func spanEscapes(p *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	benign := map[*ast.Ident]bool{}
+	var funcLits []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			funcLits = append(funcLits, n)
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					benign[id] = true // receiver of a method call
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					benign[id] = true // assignment target
+				}
+			}
+		case *ast.ValueSpec:
+			for _, name := range n.Names {
+				benign[name] = true // declaration
+			}
+		}
+		return true
+	})
+	inFuncLit := func(pos token.Pos) bool {
+		for _, fl := range funcLits {
+			if fl.Pos() <= pos && pos < fl.End() {
+				return true
+			}
+		}
+		return false
+	}
+	escapes := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || escapes {
+			return !escapes
+		}
+		if p.Info.Uses[id] != obj && p.Info.Defs[id] != obj {
+			return true
+		}
+		if inFuncLit(id.Pos()) || !benign[id] {
+			escapes = true
+		}
+		return true
+	})
+	return escapes
+}
+
+// hasDeferredEnd reports whether body contains `defer obj.End()`.
+func hasDeferredEnd(p *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	inspectFrame(body, func(n ast.Node) {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok || found {
+			return
+		}
+		if isEndCallExpr(p, d.Call, obj) {
+			found = true
+		}
+	})
+	return found
+}
+
+// isEndCall reports whether st is the statement `obj.End()`.
+func isEndCall(p *Pass, st ast.Stmt, obj types.Object) bool {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	return ok && isEndCallExpr(p, call, obj)
+}
+
+// isEndCallExpr reports whether call is `obj.End()`.
+func isEndCallExpr(p *Pass, call *ast.CallExpr, obj types.Object) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && p.Info.Uses[id] == obj
+}

@@ -1,0 +1,96 @@
+package grid
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// Approved shapes: a WaitGroup join, channel communication, a done-channel
+// loop, closing a channel, ranging a channel, and named calls that receive a
+// lifecycle.
+
+func joinedByWaitGroup(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+func sendsResult(ch chan int) {
+	go func() {
+		work()
+		ch <- 1
+	}()
+}
+
+func doneChannelLoop(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+func closesChannel(ch chan int) {
+	go func() {
+		work()
+		close(ch)
+	}()
+}
+
+func rangesChannel(ch chan int) {
+	go func() {
+		for range ch {
+			work()
+		}
+	}()
+}
+
+func namedWithCtx(ctx context.Context) {
+	go pump(ctx)
+}
+
+func namedWithChannel(ch chan int) {
+	go drain(ch)
+}
+
+func namedWithWaitGroup(wg *sync.WaitGroup) {
+	go joined(wg)
+}
+
+func pump(ctx context.Context)  { <-ctx.Done() }
+func drain(ch chan int)         { <-ch }
+func joined(wg *sync.WaitGroup) { wg.Done() }
+func orphan()                   { work() }
+
+// Violations: nothing joins or bounds the goroutine.
+
+func fireAndForget() {
+	go func() { // want "fire-and-forget goroutine: the body joins no WaitGroup and communicates on no channel"
+		work()
+	}()
+}
+
+func fireAndForgetNamed() {
+	go orphan() // want "fire-and-forget goroutine: the call receives no context, channel, or WaitGroup"
+}
+
+// allowed pins the escape hatch.
+func allowed() {
+	//helcfl:allow(golife) process-lifetime janitor; dies with the process by design
+	go func() {
+		work()
+	}()
+}

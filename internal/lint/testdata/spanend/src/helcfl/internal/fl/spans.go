@@ -1,0 +1,130 @@
+package fl
+
+import (
+	"context"
+	"errors"
+
+	"helcfl/internal/obs"
+	"helcfl/internal/obs/span"
+)
+
+var errNope = errors.New("nope")
+
+func work() {}
+
+// Approved shapes: defer, End on every exit, the conditional-timer idiom,
+// and spans that escape to another owner.
+
+func deferred(r *span.Recorder, fail bool) error {
+	sp := r.Start(span.Ref{}, "work")
+	defer sp.End()
+	if fail {
+		return errNope
+	}
+	return nil
+}
+
+func endsEverywhere(r *span.Recorder, n int) int {
+	sp := r.Start(span.Ref{}, "compute")
+	if n < 0 {
+		sp.End()
+		return -1
+	}
+	sp.End()
+	return n
+}
+
+func startCtx(ctx context.Context) error {
+	runCtx, runSp := span.StartCtx(ctx, "cell.run")
+	defer runSp.End()
+	<-runCtx.Done()
+	return runCtx.Err()
+}
+
+// conditionalTimer is the grid-runner idiom: a zero Span is assigned only
+// when metrics are on, and End is reached unconditionally.
+func conditionalTimer(h *obs.Hist, on bool) {
+	var timer obs.Span
+	if on {
+		timer = obs.StartSpan(h)
+	}
+	work()
+	timer.End()
+}
+
+// handedOff escapes by returning: the caller owns the End.
+func handedOff(r *span.Recorder) span.Span {
+	sp := r.Start(span.Ref{}, "handed off")
+	return sp
+}
+
+// capturedByClosure escapes into the closure: the closure owns the End.
+func capturedByClosure(r *span.Recorder) func() {
+	sp := r.Start(span.Ref{}, "deferred elsewhere")
+	return func() { sp.End() }
+}
+
+// Violations: exits that skip the End.
+
+func earlyReturn(r *span.Recorder, fail bool) error {
+	sp := r.Start(span.Ref{}, "work") // want "span sp does not reach End\(\) on all paths \(return"
+	if fail {
+		return errNope
+	}
+	sp.End()
+	return nil
+}
+
+func panics(r *span.Recorder, bad bool) {
+	sp := r.Start(span.Ref{}, "work") // want "span sp does not reach End\(\) on all paths \(panic"
+	if bad {
+		panic("bad")
+	}
+	sp.End()
+}
+
+func fallsOffEnd(r *span.Recorder) {
+	sp := r.Start(span.Ref{}, "work") // want "span sp does not reach End\(\) on all paths \(function end"
+	work()
+	_ = sp.Ref()
+}
+
+func leaksInLoop(r *span.Recorder, xs []int) {
+	for _, x := range xs {
+		sp := r.Start(span.Ref{}, "iter") // want "span sp does not reach End\(\) on all paths \(loop end"
+		if x > 0 {
+			sp.End()
+		}
+	}
+}
+
+// ctxCancelBranch loses the span on the cancellation arm.
+func ctxCancelBranch(ctx context.Context, r *span.Recorder, ch chan int) error {
+	sp := r.Start(span.Ref{}, "wait") // want "span sp does not reach End\(\) on all paths \(return"
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-ch:
+	}
+	sp.End()
+	return nil
+}
+
+// Discarded results can never be Ended.
+
+func discarded(ctx context.Context, r *span.Recorder) {
+	r.Start(span.Ref{}, "dropped")        // want "span result discarded"
+	ctx2, _ := span.StartCtx(ctx, "oops") // want "span result discarded"
+	_ = ctx2
+}
+
+// allowed pins the escape hatch: a justified directive silences the rule.
+func allowed(r *span.Recorder, fail bool) error {
+	//helcfl:allow(spanend) aborted work is deliberately left unrecorded
+	sp := r.Start(span.Ref{}, "work")
+	if fail {
+		return errNope
+	}
+	sp.End()
+	return nil
+}

@@ -1,0 +1,23 @@
+// Package span is a corpus mirror of the real tracer: just enough API
+// surface (Ref, Span, Recorder.Start, StartCtx, End) for the spanend corpus
+// to typecheck against the same import path the analyzer matches.
+package span
+
+import "context"
+
+type Ref struct{ ID uint64 }
+
+type Span struct{ id uint64 }
+
+func (s Span) End()                      {}
+func (s Span) Ref() Ref                  { return Ref{} }
+func (s Span) SetInt(k string, v int64)  {}
+func (s Span) SetStr(k string, v string) {}
+
+type Recorder struct{}
+
+func (r *Recorder) Start(parent Ref, name string) Span { return Span{} }
+
+func StartCtx(ctx context.Context, name string) (context.Context, Span) {
+	return ctx, Span{}
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+
+	"helcfl/internal/grid"
+)
+
+var errSkip = errors.New("skip")
+
+// missingRun is produced by a cell but never registered: the exhaustiveness
+// hole fleet mode would hit at decode time.
+type missingRun struct{ X int }
+
+func anyResult() any { return nil }
+
+func opaqueRun(context.Context) (any, error) { return nil, nil }
+
+// forwarded pins the tuple-forward shape: `return helper(ctx)` where the
+// helper's concrete first result is what crosses the wire.
+func forwarded(context.Context) (*ptrRun, error) { return &ptrRun{}, nil }
+
+func cells() []grid.Cell {
+	return []grid.Cell{
+		{
+			Experiment: "good",
+			Run:        func(context.Context) (any, error) { return goodRun{Acc: 1}, nil },
+		},
+		{
+			Experiment: "ptr",
+			Run: func(context.Context) (any, error) {
+				if false {
+					return nil, errSkip // the nil error path is not a result type
+				}
+				return &ptrRun{}, nil
+			},
+		},
+		{
+			Experiment: "forward",
+			Run:        func(ctx context.Context) (any, error) { return forwarded(ctx) },
+		},
+		{
+			Experiment: "missing",
+			Run:        func(context.Context) (any, error) { return missingRun{}, nil }, // want "cell result type missingRun has no gob.Register in the wire codec"
+		},
+		{
+			Experiment: "iface",
+			Run:        func(context.Context) (any, error) { return anyResult(), nil }, // want "cell Run returns an interface-typed result"
+		},
+		{
+			Experiment: "opaque",
+			Run:        opaqueRun, // want "cell Run is not a function literal"
+		},
+	}
+}

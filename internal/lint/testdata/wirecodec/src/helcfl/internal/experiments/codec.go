@@ -1,0 +1,38 @@
+package experiments
+
+import "encoding/gob"
+
+func init() {
+	gob.Register(goodRun{})
+	gob.Register(&ptrRun{})
+	gob.Register(selfCodec{})
+	gob.Register(badFields{}) // want "wire type badFields has unexported field badFields.secret"
+	gob.Register(chanField{}) // want "wire type chanField has chan-typed field chanField.C"
+	gob.Register(nestedBad{}) // want "wire type innerT has unexported field innerT.ok"
+}
+
+// goodRun and ptrRun are registered with gob-safe fields: no findings.
+type goodRun struct{ Acc float64 }
+type ptrRun struct{ N int }
+
+// selfCodec owns its wire format via GobEncoder, so its unexported field is
+// exempt from the audit.
+type selfCodec struct{ hidden int }
+
+func (selfCodec) GobEncode() ([]byte, error) { return nil, nil }
+func (*selfCodec) GobDecode([]byte) error    { return nil }
+
+// badFields has a field gob silently drops.
+type badFields struct {
+	Public float64
+	secret int
+}
+
+// chanField cannot be gob-encoded at all.
+type chanField struct{ C chan int }
+
+// nestedBad is clean at the top level but carries an unsafe struct one hop
+// down — the audit recurses.
+type nestedBad struct{ Inner innerT }
+
+type innerT struct{ ok bool }

@@ -1,0 +1,11 @@
+// Package grid is a corpus mirror of the campaign grid: the Cell type at
+// the real import path, so the wirecodec analyzer anchors on it.
+package grid
+
+import "context"
+
+type Cell struct {
+	Experiment, Preset, Setting, Scheme, Variant string
+	Seed                                         int64
+	Run                                          func(ctx context.Context) (any, error)
+}

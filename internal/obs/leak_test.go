@@ -1,0 +1,14 @@
+package obs
+
+import (
+	"testing"
+
+	"helcfl/internal/leaktest"
+)
+
+// TestMain gates the whole obs test binary behind the goroutine-leak
+// harness: scrape and race tests hammer the registry from many goroutines,
+// and every one of them must be joined before the binary exits.
+func TestMain(m *testing.M) {
+	leaktest.Main(m)
+}
