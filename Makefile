@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race chaos recover fmt vet lint check bench
+.PHONY: build test race chaos recover fmt vet lint check bench bench-scale
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,13 @@ vet:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x ./...
 	$(GO) run ./cmd/helcfl bench -preset tiny -experiment all -bench-out BENCH_experiments.json
+
+# Million-user scheduling sweep: time one FLCC round plan (Eq. 20 utility
+# sweep + streaming top-N + Algorithm 3 DVFS) on synthetic SoA fleets of
+# Q ∈ {100, 1e3, 1e5, 1e6} and record BENCH_scale.json (see docs/SCALE.md).
+# The committed reference requires the Q=1e6 plan under one second.
+bench-scale:
+	$(GO) run ./cmd/helcfl bench-scale -scale-out BENCH_scale.json -budget-sec 1.0
 
 # In-tree static analysis (internal/lint): determinism, map-order,
 # float-comparison, durability, context-flow, allocation, span-lifecycle,

@@ -15,15 +15,19 @@
 //	seeds     multi-seed robustness of all orderings
 //	budget    best accuracy under a training deadline (constraint 14)
 //	battery   fleet lifetime under finite device batteries
+//	hier      hierarchical edge-aggregation tier, E ∈ {1,2,4,8} aggregators
 //	all       fig1+fig2+table1+fig3+ablation plus the headline summary,
 //	          deduplicated into one campaign grid
 //	bench     time an experiment serially vs in parallel, write JSON
 //
 // Bespoke commands (single runs, not grids):
 //
-//	trace     JSONL round telemetry for one scheme
-//	train     train one scheme and save the global model to -model
-//	eval      evaluate a saved model on a preset's test set
+//	trace       JSONL round telemetry for one scheme
+//	train       train one scheme and save the global model to -model
+//	eval        evaluate a saved model on a preset's test set
+//	bench-scale time one FLCC round plan on synthetic fleets of
+//	            Q ∈ {100, 1e3, 1e5, 1e6} users, write BENCH_scale.json
+//	            (see docs/SCALE.md)
 //
 // Flags:
 //
@@ -37,6 +41,10 @@
 //	-n             seed count               (seeds)
 //	-experiment    experiment to time       (bench; default all)
 //	-bench-out     bench JSON path          (bench)
+//	-scale-out     scale JSON path          (bench-scale; default BENCH_scale.json)
+//	-max-q         largest fleet size swept (bench-scale; default 1000000)
+//	-budget-sec    fail if the largest Q's mean plan time exceeds this
+//	               many seconds, 0 disables (bench-scale; the CI gate)
 //	-metrics-addr  serve live /metrics, /healthz and /debug/pprof on this
 //	               address for the duration of the run (e.g. :8080)
 //	-trace-out     stream phase spans as JSONL to this file (see
@@ -105,7 +113,7 @@ func run(args []string) error {
 
 func runCtx(ctx context.Context, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: helcfl <fig1|fig2|table1|fig3|ablation|seeds|budget|battery|all|bench|trace|train|eval> [-preset paper|fast|tiny] [-seed N] [-parallel N] [-out dir]")
+		return fmt.Errorf("usage: helcfl <fig1|fig2|table1|fig3|ablation|seeds|budget|battery|hier|all|bench|trace|train|eval|bench-scale> [-preset paper|fast|tiny] [-seed N] [-parallel N] [-out dir]")
 	}
 	cmd := args[0]
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
@@ -119,6 +127,9 @@ func runCtx(ctx context.Context, args []string) error {
 	modelPath := fs.String("model", "model.helcfl", "model file for train/eval")
 	benchName := fs.String("experiment", "all", "experiment to time for the bench command")
 	benchOut := fs.String("bench-out", "BENCH_experiments.json", "path for the bench JSON report")
+	scaleOut := fs.String("scale-out", "BENCH_scale.json", "path for the bench-scale JSON report")
+	maxQ := fs.Int("max-q", 1000000, "largest fleet size swept by bench-scale")
+	budgetSec := fs.Float64("budget-sec", 0, "bench-scale fails if the largest Q's mean plan time exceeds this many seconds (0 disables)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address during the run")
 	traceOut := fs.String("trace-out", "", "stream phase spans as JSONL to this file")
 	flightDir := fs.String("flightrec-out", "", "directory for flight-recorder dumps (panic, SIGQUIT, end of run)")
@@ -175,6 +186,8 @@ func runCtx(ctx context.Context, args []string) error {
 			return runEval(preset, *seed, *settingName, *modelPath)
 		case "bench":
 			return runBench(ctx, preset, *seed, *benchName, *benchOut, opt)
+		case "bench-scale":
+			return runBenchScale(*seed, *maxQ, *scaleOut, *budgetSec)
 		}
 
 		def, ok := experiments.LookupExperiment(cmd)

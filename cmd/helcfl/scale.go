@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"helcfl/internal/core"
+	"helcfl/internal/device"
+	"helcfl/internal/wireless"
+)
+
+// The bench-scale command: how far does one FLCC scheduling decision scale?
+// For each fleet size Q it generates a key-derived SoA fleet, initializes
+// the scheduler (the Algorithm 2 initialization phase), and times the
+// steady-state PlanRoundInto — the full Eq. (20) utility sweep, streaming
+// top-N selection, and Algorithm 3 DVFS solve for N = Q·C users — over
+// warm reused buffers, exactly the hot path the fl engine drives. Results
+// land in a JSON report (BENCH_scale.json at the repo root is the committed
+// reference) with honest machine metadata.
+
+// scaleModelBits matches the golden tiny-MLP payload (C_model), keeping the
+// scale numbers comparable with the committed campaign artifacts.
+const scaleModelBits = 208256
+
+// scaleQs is the default sweep, three decades up to a million users.
+var scaleQs = []int{100, 1000, 100000, 1000000}
+
+// scaleReport is the BENCH_scale.json schema.
+type scaleReport struct {
+	GoVersion  string       `json:"go_version"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	NumCPU     int          `json:"num_cpu"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	ModelBits  float64      `json:"model_bits"`
+	Fraction   float64      `json:"fraction"`
+	Points     []scalePoint `json:"points"`
+}
+
+type scalePoint struct {
+	Q           int     `json:"q"`
+	Selected    int     `json:"selected"`
+	CatalogSec  float64 `json:"catalog_sec"`
+	InitSec     float64 `json:"init_sec"`
+	Reps        int     `json:"reps"`
+	PlanMeanSec float64 `json:"plan_mean_sec"`
+	PlanMinSec  float64 `json:"plan_min_sec"`
+	HeapPushes  int     `json:"heap_pushes"`
+}
+
+// runBenchScale executes the sweep up to maxQ, writes the JSON report, and
+// enforces budgetSec (when positive) against the largest Q's mean plan time
+// — the CI gate.
+func runBenchScale(seed int64, maxQ int, outPath string, budgetSec float64) error {
+	ch := wireless.DefaultChannel()
+	rep := scaleReport{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		ModelBits:  scaleModelBits,
+		Fraction:   core.DefaultParams().Fraction,
+	}
+	for _, q := range scaleQs {
+		if q > maxQ {
+			break
+		}
+		cfg := device.DefaultCatalogConfig()
+		cfg.Q = q
+		cfg.SamplesLow, cfg.SamplesHigh = 20, 60
+
+		t0 := time.Now()
+		fleet := device.NewFleet(cfg, seed)
+		catalogSec := time.Since(t0).Seconds()
+
+		t0 = time.Now()
+		sched, err := core.NewFleetScheduler(fleet, ch, scaleModelBits, core.DefaultParams())
+		if err != nil {
+			return err
+		}
+		initSec := time.Since(t0).Seconds()
+
+		// Warm the buffers, then time steady-state rounds. Reps scale down
+		// with Q so the whole sweep stays interactive.
+		var sel []int
+		var freqs []float64
+		sel, freqs = sched.PlanRoundInto(sel, freqs, ch, scaleModelBits)
+		reps := 1000
+		if q >= 100000 {
+			reps = 50
+		}
+		if q >= 1000000 {
+			reps = 20
+		}
+		total := 0.0
+		minSec := 0.0
+		for r := 0; r < reps; r++ {
+			t0 = time.Now()
+			sel, freqs = sched.PlanRoundInto(sel, freqs, ch, scaleModelBits)
+			d := time.Since(t0).Seconds()
+			total += d
+			if minSec == 0 || d < minSec {
+				minSec = d
+			}
+		}
+		pt := scalePoint{
+			Q:           q,
+			Selected:    len(sel),
+			CatalogSec:  catalogSec,
+			InitSec:     initSec,
+			Reps:        reps,
+			PlanMeanSec: total / float64(reps),
+			PlanMinSec:  minSec,
+			HeapPushes:  sched.LastHeapPushes(),
+		}
+		rep.Points = append(rep.Points, pt)
+		fmt.Fprintf(stderr, "bench-scale: Q=%d selected=%d catalog=%.3fs init=%.3fs plan mean=%.6fs min=%.6fs (%d reps)\n",
+			pt.Q, pt.Selected, pt.CatalogSec, pt.InitSec, pt.PlanMeanSec, pt.PlanMinSec, reps)
+	}
+	if len(rep.Points) == 0 {
+		return fmt.Errorf("bench-scale: -max-q %d below the smallest sweep size %d", maxQ, scaleQs[0])
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "bench-scale: wrote %s\n", outPath)
+	if budgetSec > 0 {
+		last := rep.Points[len(rep.Points)-1]
+		if last.PlanMeanSec > budgetSec {
+			return fmt.Errorf("bench-scale: Q=%d mean plan time %.4fs exceeds budget %.4fs", last.Q, last.PlanMeanSec, budgetSec)
+		}
+		fmt.Fprintf(stderr, "bench-scale: Q=%d mean plan %.4fs within budget %.4fs\n", last.Q, last.PlanMeanSec, budgetSec)
+	}
+	return nil
+}

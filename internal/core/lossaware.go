@@ -33,8 +33,8 @@ func NewLossAwareScheduler(s *Scheduler, lambda float64) (*LossAwareScheduler, e
 	return &LossAwareScheduler{
 		Scheduler: s,
 		Lambda:    lambda,
-		lastLoss:  make([]float64, len(s.devs)),
-		seen:      make([]bool, len(s.devs)),
+		lastLoss:  make([]float64, s.NumUsers()),
+		seen:      make([]bool, s.NumUsers()),
 	}, nil
 }
 
@@ -84,19 +84,20 @@ func (l *LossAwareScheduler) Utility(q int) float64 {
 // SelectRound mirrors Algorithm 2's loop over the augmented utility.
 func (l *LossAwareScheduler) SelectRound() []int {
 	n := l.NumSelect()
-	utilities := make([]float64, len(l.devs))
-	for q := range l.devs {
+	users := l.NumUsers()
+	utilities := make([]float64, users)
+	for q := 0; q < users; q++ {
 		utilities[q] = l.Utility(q)
 	}
 	l.lastUtil = utilities
-	selectable := make([]bool, len(l.devs))
+	selectable := make([]bool, users)
 	for q := range selectable {
 		selectable[q] = true
 	}
 	selected := make([]int, 0, n)
 	for len(selected) < n {
 		best := -1
-		for q := range l.devs {
+		for q := 0; q < users; q++ {
 			if !selectable[q] {
 				continue
 			}
@@ -109,7 +110,7 @@ func (l *LossAwareScheduler) SelectRound() []int {
 		}
 		selectable[best] = false
 		selected = append(selected, best)
-		l.alpha[best]++
+		l.markSelected(best)
 	}
 	return selected
 }

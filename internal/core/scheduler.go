@@ -2,9 +2,17 @@
 // scheduler. It contains the utility function of Eq. (20), the
 // utility-driven greedy-decay user selection of Algorithm 2, and the
 // DVFS-enabled operating-frequency determination of Algorithm 3.
+//
+// The scheduler's state is structure-of-arrays (device.Fleet plus parallel
+// delay/decay columns) and its selection loop is a streaming top-N heap, so
+// a single round plan scales to Q=10⁶ users in well under a second (see
+// docs/SCALE.md and BENCH_scale.json); the retained naive references
+// (SelectRoundNaive, FrequencyPlan) pin the fast paths bit-identical to the
+// paper's literal algorithms.
 package core
 
 import (
+	"container/heap"
 	"fmt"
 	"sort"
 
@@ -51,10 +59,12 @@ func (p Params) Validate() error {
 
 // Scheduler is the FLCC-side state of Algorithm 2: the per-user static
 // delays measured in the initialization phase and the appearance counters
-// α_q that drive utility decay.
+// α_q that drive utility decay. All per-user state lives in parallel
+// slices over the fleet (structure-of-arrays), and every per-round buffer
+// is reused, so a steady-state PlanRoundInto allocates nothing.
 type Scheduler struct {
 	params Params
-	devs   []*device.Device
+	fleet  *device.Fleet
 
 	// tcalMax[q] is T_q^cal at f_q^max (Algorithm 2, line 3).
 	tcalMax []float64
@@ -62,10 +72,24 @@ type Scheduler struct {
 	tcom []float64
 	// alpha[q] counts how often user q has been selected (Eq. 20).
 	alpha []int
+	// etaPow[q] memoizes η^{α_q}: multiplied by η at each selection instead
+	// of recomputed by an O(α) loop every utility evaluation. The product
+	// performs the same multiplication sequence as the retained pow loop,
+	// so the two are bit-identical at any α (pinned by TestEtaPowMemo).
+	etaPow []float64
 	// lastUtil[q] is the utility of user q computed at the most recent
 	// SelectRound, before that round's decay increments — the decision
-	// state the observability layer reports.
+	// state the observability layer reports. Reused across rounds.
 	lastUtil []float64
+
+	// Streaming top-N selection scratch (see selectAppend).
+	heap       selHeap
+	heapPushes int
+
+	// Algorithm 3 scratch (see frequencyPlanInto).
+	planOrder []int
+	planDelay []float64
+	sorter    planSorter
 
 	// tr/trParent attribute PlanRound's two phases (Algorithm 2 selection,
 	// Algorithm 3 DVFS solve) to the caller's span trace; nil/zero when
@@ -81,9 +105,9 @@ func (s *Scheduler) SetTrace(rec *span.Recorder, parent span.Ref) {
 	s.tr, s.trParent = rec, parent
 }
 
-// NewScheduler runs the initialization of Algorithm 2 (lines 1–7): it
-// derives every user's compute delay at maximum frequency and upload delay,
-// and zeroes the appearance counters. modelBits is C_model for Eq. (7).
+// NewScheduler runs the initialization of Algorithm 2 (lines 1–7) over an
+// AoS device slice: it validates the fleet, snapshots it into SoA form, and
+// derives the static delay columns. modelBits is C_model for Eq. (7).
 func NewScheduler(devs []*device.Device, ch wireless.Channel, modelBits float64, params Params) (*Scheduler, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
@@ -91,40 +115,91 @@ func NewScheduler(devs []*device.Device, ch wireless.Channel, modelBits float64,
 	if len(devs) == 0 {
 		return nil, fmt.Errorf("core: no devices")
 	}
-	s := &Scheduler{
-		params:  params,
-		devs:    devs,
-		tcalMax: make([]float64, len(devs)),
-		tcom:    make([]float64, len(devs)),
-		alpha:   make([]int, len(devs)),
-	}
-	for q, d := range devs {
+	for _, d := range devs {
 		if err := d.Validate(); err != nil {
 			return nil, err
 		}
 		if d.NumSamples <= 0 {
 			return nil, fmt.Errorf("core: device %d has no local data", d.ID)
 		}
-		s.tcalMax[q] = float64(params.StepsPerRound) * d.ComputeDelayAtMax()
-		s.tcom[q] = ch.UploadDelay(modelBits, d.TxPower, d.ChannelGain)
 	}
+	return newFleetScheduler(device.FleetOf(devs), ch, modelBits, params)
+}
+
+// NewFleetScheduler is NewScheduler directly on SoA fleet state — the
+// million-user path, skipping the AoS detour entirely.
+func NewFleetScheduler(fleet *device.Fleet, ch wireless.Channel, modelBits float64, params Params) (*Scheduler, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if fleet == nil || fleet.Len() == 0 {
+		return nil, fmt.Errorf("core: no devices")
+	}
+	if err := fleet.Validate(); err != nil {
+		return nil, err
+	}
+	for q := 0; q < fleet.Len(); q++ {
+		if fleet.NumSamples[q] <= 0 {
+			return nil, fmt.Errorf("core: device %d has no local data", q)
+		}
+	}
+	return newFleetScheduler(fleet, ch, modelBits, params)
+}
+
+// newFleetScheduler derives the static delay columns; the fleet is already
+// validated. tcom fills through the vectorized Eq. (7) kernel; tcalMax is
+// the same expression per index as the AoS loop it replaced.
+func newFleetScheduler(fleet *device.Fleet, ch wireless.Channel, modelBits float64, params Params) (*Scheduler, error) {
+	q := fleet.Len()
+	s := &Scheduler{
+		params:  params,
+		fleet:   fleet,
+		tcalMax: make([]float64, q),
+		tcom:    make([]float64, q),
+		alpha:   make([]int, q),
+		etaPow:  make([]float64, q),
+	}
+	scale := float64(params.StepsPerRound)
+	for i := 0; i < q; i++ {
+		s.tcalMax[i] = scale * fleet.ComputeDelayAtMax(i)
+		s.etaPow[i] = 1
+	}
+	ch.UploadDelayInto(s.tcom, modelBits, fleet.TxPower, fleet.ChannelGain)
 	return s, nil
 }
+
+// Fleet exposes the scheduler's SoA state (read-only by convention).
+func (s *Scheduler) Fleet() *device.Fleet { return s.fleet }
+
+// NumUsers returns Q, the fleet size.
+func (s *Scheduler) NumUsers() int { return s.fleet.Len() }
 
 // Utility returns u_q = η^{α_q} / (T_q^cal + T_q^com), Eq. (20), for user q
 // at the current appearance count.
 func (s *Scheduler) Utility(q int) float64 {
-	return pow(s.params.Eta, s.alpha[q]) / (s.tcalMax[q] + s.tcom[q])
+	return s.etaPow[q] / (s.tcalMax[q] + s.tcom[q])
 }
 
 // pow computes η^a for a non-negative integer a without the math.Pow
-// rounding surprises for small exponents.
+// rounding surprises for small exponents. Retained as the reference for
+// the incremental etaPow memoization (ImportState rebuilds the memo with
+// it, and TestEtaPowMemo pins the bit-identity); the per-round hot path no
+// longer calls it.
 func pow(eta float64, a int) float64 {
 	out := 1.0
 	for ; a > 0; a-- {
 		out *= eta
 	}
 	return out
+}
+
+// markSelected records one Algorithm 2 selection of user q: the appearance
+// counter and the memoized η^{α_q} advance together (the only way etaPow
+// stays coherent — every selection path, including the loss-aware
+// extension's, must route through here).
+func (s *Scheduler) markSelected(q int) {
+	s.alpha[q]++
+	s.etaPow[q] *= s.params.Eta
 }
 
 // Appearances returns a copy of the appearance counters α.
@@ -140,41 +215,169 @@ func (s *Scheduler) LastUtilities() []float64 {
 
 // NumSelect returns N = max(Q·C, 1), the per-round selection count.
 func (s *Scheduler) NumSelect() int {
-	n := int(float64(len(s.devs)) * s.params.Fraction)
+	n := int(float64(s.fleet.Len()) * s.params.Fraction)
 	if n < 1 {
 		n = 1
 	}
 	return n
 }
 
-// SelectRound runs the selection loop of Algorithm 2 (lines 8–19): it
-// greedily picks the N users with the largest utilities and increments each
-// winner's appearance counter so its utility decays for later rounds.
-// The returned indices are positions in the scheduler's device slice,
-// in selection (descending utility) order.
+// LastHeapPushes reports how many heap insertions (initial fills plus root
+// replacements) the most recent selection performed — the work metric the
+// sched.select span exports as heap.pushes.
+func (s *Scheduler) LastHeapPushes() int { return s.heapPushes }
+
+// selHeap orders candidate indices worst-first under the Algorithm 2
+// selection key (utility descending, then index ascending): the root is the
+// weakest member of the current top-N. Lower utility is worse; on bitwise-
+// equal utilities the higher index is worse, because the naive argmax scans
+// indices ascending and only a strictly greater utility displaces the
+// incumbent.
+type selHeap struct {
+	idx  []int
+	util []float64
+}
+
+func (h *selHeap) Len() int { return len(h.idx) }
+func (h *selHeap) Less(i, j int) bool {
+	a, b := h.idx[i], h.idx[j]
+	if h.util[a] != h.util[b] { //helcfl:allow(floatcompare) exact tie-break: bitwise-equal utilities must fall through to the index order the naive argmax uses, and an epsilon would make selection input-order-dependent
+		return h.util[a] < h.util[b]
+	}
+	return a > b
+}
+func (h *selHeap) Swap(i, j int) { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+
+// Push and Pop satisfy heap.Interface but are never called: the scheduler
+// manages length by hand (heap.Init + heap.Fix) to keep interface boxing —
+// and its allocation — out of the hot loop.
+func (h *selHeap) Push(x any) { h.idx = append(h.idx, x.(int)) }
+func (h *selHeap) Pop() any {
+	old := h.idx
+	n := len(old)
+	x := old[n-1]
+	h.idx = old[:n-1]
+	return x
+}
+
+// computeUtilities refreshes the fleet-wide Eq. (20) utility vector into
+// the reused lastUtil buffer.
+func (s *Scheduler) computeUtilities() {
+	q := s.fleet.Len()
+	if cap(s.lastUtil) < q {
+		s.lastUtil = make([]float64, q)
+	}
+	s.lastUtil = s.lastUtil[:q]
+	for i := 0; i < q; i++ {
+		s.lastUtil[i] = s.etaPow[i] / (s.tcalMax[i] + s.tcom[i])
+	}
+}
+
+// SelectRound runs the selection of Algorithm 2 (lines 8–19) and returns a
+// freshly allocated index slice in selection (descending utility) order —
+// callers such as the FL engine retain it across rounds. The hot-path form
+// is SelectRoundAppend.
 func (s *Scheduler) SelectRound() []int {
 	n := s.NumSelect()
+	if q := s.fleet.Len(); n > q {
+		n = q
+	}
+	return s.selectAppend(make([]int, 0, n))
+}
+
+// SelectRoundAppend is SelectRound appending into dst (reusing its backing
+// array) — the zero-steady-state-allocation form.
+func (s *Scheduler) SelectRoundAppend(dst []int) []int {
+	return s.selectAppend(dst[:0])
+}
+
+// selectAppend is the streaming top-N selection: all Q candidates flow past
+// a size-N min-heap whose root is the weakest current winner, giving
+// O(Q + N·log N + R·log N) work for R root replacements — no full sort, no
+// allocation once buffers are warm. It returns the identical index
+// sequence, tie-breaks included, as the retained naive argmax
+// (SelectRoundNaive): utilities are computed before any decay increment,
+// replacement requires a strictly greater utility (an equal-utility
+// candidate has a higher index, which the naive scan never prefers), and
+// the final worst-first extraction filled back-to-front reproduces the
+// (utility desc, index asc) selection order exactly. The property test in
+// scheduler_equiv_test.go pins this under random fleets and forced ties.
+func (s *Scheduler) selectAppend(dst []int) []int {
+	s.computeUtilities()
+	q := s.fleet.Len()
+	n := s.NumSelect()
+	if n > q {
+		n = q
+	}
+	h := &s.heap
+	h.util = s.lastUtil
+	if cap(h.idx) < n {
+		h.idx = make([]int, 0, n)
+	}
+	h.idx = h.idx[:0]
+	for cand := 0; cand < n; cand++ {
+		h.idx = append(h.idx, cand)
+	}
+	heap.Init(h)
+	pushes := n
+	util := s.lastUtil
+	for cand := n; cand < q; cand++ {
+		if util[cand] > util[h.idx[0]] {
+			h.idx[0] = cand
+			heap.Fix(h, 0)
+			pushes++
+		}
+	}
+	s.heapPushes = pushes
+	// Extract worst-first, writing winners back-to-front: dst ends in
+	// selection (descending utility, ascending index on ties) order.
+	base := len(dst)
+	for i := 0; i < n; i++ {
+		dst = append(dst, 0)
+	}
+	for m := n; m > 0; m-- {
+		root := h.idx[0]
+		h.idx[0] = h.idx[m-1]
+		h.idx = h.idx[:m-1]
+		if m > 2 {
+			heap.Fix(h, 0)
+		}
+		dst[base+m-1] = root
+	}
+	for _, sel := range dst[base:] {
+		s.markSelected(sel) // utility decay for future rounds (line 18)
+	}
+	return dst
+}
+
+// SelectRoundNaive is the retained pre-heap reference: the literal
+// O(Q·N) repeated argmax of Algorithm 2 with utilities from the pow loop.
+// The equivalence property test runs it against SelectRound; production
+// paths never call it.
+func (s *Scheduler) SelectRoundNaive() []int {
+	n := s.NumSelect()
+	q := s.fleet.Len()
 	// Compute utilities for all selectable users (lines 8–10).
-	utilities := make([]float64, len(s.devs))
-	for q := range s.devs {
-		utilities[q] = s.Utility(q)
+	utilities := make([]float64, q)
+	for i := 0; i < q; i++ {
+		utilities[i] = pow(s.params.Eta, s.alpha[i]) / (s.tcalMax[i] + s.tcom[i])
 	}
 	s.lastUtil = utilities
-	selectable := make([]bool, len(s.devs))
-	for q := range selectable {
-		selectable[q] = true
+	selectable := make([]bool, q)
+	for i := range selectable {
+		selectable[i] = true
 	}
 	selected := make([]int, 0, n)
 	for len(selected) < n {
 		// argmax over the selectable set (line 15), ties broken by index
 		// for determinism.
 		best := -1
-		for q := range s.devs {
-			if !selectable[q] {
+		for i := 0; i < q; i++ {
+			if !selectable[i] {
 				continue
 			}
-			if best == -1 || utilities[q] > utilities[best] {
-				best = q
+			if best == -1 || utilities[i] > utilities[best] {
+				best = i
 			}
 		}
 		if best == -1 {
@@ -182,7 +385,7 @@ func (s *Scheduler) SelectRound() []int {
 		}
 		selectable[best] = false
 		selected = append(selected, best)
-		s.alpha[best]++ // utility decay for future rounds (line 18)
+		s.markSelected(best)
 	}
 	return selected
 }
@@ -198,36 +401,154 @@ func (s *Scheduler) TComOf(q int) float64 { return s.tcom[q] }
 func (s *Scheduler) TCalMaxOf(q int) float64 { return s.tcalMax[q] }
 
 // PlanRound runs one full FLCC scheduling decision: Algorithm 2 selection
-// followed by Algorithm 3 frequency determination. The returned frequencies
-// align with the returned device indices.
+// followed by Algorithm 3 frequency determination. The returned slices are
+// freshly allocated (the FL engine retains them in its round records); the
+// zero-allocation form is PlanRoundInto.
 func (s *Scheduler) PlanRound(ch wireless.Channel, modelBits float64) ([]int, []float64) {
 	selSp := s.tr.Start(s.trParent, "sched.select")
 	selected := s.SelectRound()
+	selSp.SetInt("fleet.size", int64(s.fleet.Len()))
+	selSp.SetInt("heap.pushes", int64(s.heapPushes))
 	selSp.End()
-	devs := make([]*device.Device, len(selected))
-	for i, q := range selected {
-		devs[i] = s.devs[q]
-	}
 	dvfsSp := s.tr.Start(s.trParent, "sched.dvfs")
-	freqs := FrequencyPlan(devs, ch, modelBits, s.params.StepsPerRound, s.params.Clamp)
+	freqs := s.FrequencyPlanSelected(selected, ch, modelBits)
 	dvfsSp.End()
-	// FrequencyPlan orders by ascending compute delay internally but
-	// returns frequencies aligned with its input order, so selected and
+	// frequencyPlanInto orders by ascending compute delay internally but
+	// writes frequencies aligned with its input order, so selected and
 	// freqs stay aligned here.
 	return selected, freqs
 }
 
-// FrequencyPlan implements Algorithm 3: determine the CPU operating
-// frequencies of the selected users by reclaiming TDMA slack. The users are
-// sorted by compute delay at maximum frequency; the first runs at f_max and
-// each subsequent user is slowed so its local update completes exactly when
-// the previous user's upload finishes.
+// PlanRoundInto is PlanRound reusing caller-owned result buffers — the
+// zero-steady-state-allocation form the scale benchmarks drive. selected
+// and freqs are overwritten (regrown if needed) and returned re-sliced;
+// unlike PlanRound, the results alias the arguments, so callers retaining
+// plans across rounds must copy them.
+func (s *Scheduler) PlanRoundInto(selected []int, freqs []float64, ch wireless.Channel, modelBits float64) ([]int, []float64) {
+	selSp := s.tr.Start(s.trParent, "sched.select")
+	selected = s.selectAppend(selected[:0])
+	selSp.SetInt("fleet.size", int64(s.fleet.Len()))
+	selSp.SetInt("heap.pushes", int64(s.heapPushes))
+	selSp.End()
+	dvfsSp := s.tr.Start(s.trParent, "sched.dvfs")
+	if cap(freqs) < len(selected) {
+		freqs = make([]float64, len(selected))
+	}
+	freqs = freqs[:len(selected)]
+	s.frequencyPlanInto(freqs, selected, ch, modelBits)
+	dvfsSp.End()
+	return selected, freqs
+}
+
+// FrequencyPlanSelected runs Algorithm 3 over the scheduler's SoA state for
+// the given fleet indices, returning a fresh frequency slice aligned with
+// selected. It is bit-identical to the retained AoS FrequencyPlan on the
+// corresponding device slice (ties broken by fleet index == device ID);
+// the differential test pins this.
+func (s *Scheduler) FrequencyPlanSelected(selected []int, ch wireless.Channel, modelBits float64) []float64 {
+	if len(selected) == 0 {
+		return nil
+	}
+	freqs := make([]float64, len(selected))
+	s.frequencyPlanInto(freqs, selected, ch, modelBits)
+	return freqs
+}
+
+// planSorter sorts position indices of one round's cohort by (compute delay
+// at f_max ascending, fleet index ascending) — Algorithm 3, line 1. The
+// keys are unique (selected holds distinct fleet indices), so plain
+// sort.Sort produces the same permutation as the stable sort in the naive
+// reference. A persistent struct sorted through a pointer receiver keeps
+// the sort.Interface conversion allocation-free.
+type planSorter struct {
+	order []int
+	delay []float64
+	sel   []int
+}
+
+func (p *planSorter) Len() int      { return len(p.order) }
+func (p *planSorter) Swap(i, j int) { p.order[i], p.order[j] = p.order[j], p.order[i] }
+func (p *planSorter) Less(i, j int) bool {
+	a, b := p.order[i], p.order[j]
+	if p.delay[a] != p.delay[b] { //helcfl:allow(floatcompare) exact sort tie-break: bitwise-equal delays must fall through to the index order, same key the naive FrequencyPlan comparator uses
+		return p.delay[a] < p.delay[b]
+	}
+	return p.sel[a] < p.sel[b]
+}
+
+// frequencyPlanInto is Algorithm 3 on SoA state writing into freqs (length
+// len(selected)), allocation-free once the scheduler's scratch is warm.
+func (s *Scheduler) frequencyPlanInto(freqs []float64, selected []int, ch wireless.Channel, modelBits float64) {
+	n := len(selected)
+	if n == 0 {
+		return
+	}
+	scale := float64(s.params.StepsPerRound)
+	fleet := s.fleet
+	if cap(s.planOrder) < n {
+		s.planOrder = make([]int, n)
+		s.planDelay = make([]float64, n)
+	}
+	order := s.planOrder[:n]
+	delay := s.planDelay[:n]
+	for i, q := range selected {
+		order[i] = i
+		delay[i] = scale * fleet.ComputeDelayAtMax(q)
+	}
+	// Line 1: ascending order of model-update delay at max frequency.
+	s.sorter = planSorter{order: order, delay: delay, sel: selected}
+	sort.Sort(&s.sorter)
+
+	// Lines 3–4: the first user has no slack and runs at maximum frequency.
+	first := order[0]
+	q0 := selected[first]
+	freqs[first] = fleet.FMax[q0]
+	// prevEnd is T_q^j of the previous user: the time its upload completes,
+	// assuming the chain starts at round time zero.
+	prevEnd := delay[first] + ch.UploadDelay(modelBits, fleet.TxPower[q0], fleet.ChannelGain[q0])
+
+	clamp := s.params.Clamp
+	for k := 1; k < n; k++ {
+		i := order[k]
+		q := selected[i]
+		// Line 9: stretch this user's computation to fill the previous
+		// user's total delay: f = π|D| / T_prev (Eq. (4) inverted).
+		f := scale * fleet.TotalCycles(q) / prevEnd
+		if clamp {
+			// Project onto [f_min, f_max] (constraint 15) and, when the
+			// device exposes discrete DVFS levels, snap UP to the next
+			// operating point so the chain time is never missed.
+			f = fleet.SnapFreq(q, f)
+		}
+		freqs[i] = f
+		// Line 8 for the next iteration: this user's total delay at the
+		// determined frequency. With clamping, the realized upload start is
+		// delayed to when the channel frees (compute may finish early after
+		// an f_min clamp) or pushed later (an f_max clamp cannot meet
+		// prevEnd), so chain on the realized completion time.
+		computeDone := scale * fleet.ComputeDelay(q, f)
+		start := computeDone
+		if clamp && prevEnd > start {
+			start = prevEnd
+		}
+		prevEnd = start + ch.UploadDelay(modelBits, fleet.TxPower[q], fleet.ChannelGain[q])
+	}
+}
+
+// FrequencyPlan implements Algorithm 3 over an AoS device slice: determine
+// the CPU operating frequencies of the selected users by reclaiming TDMA
+// slack. The users are sorted by compute delay at maximum frequency; the
+// first runs at f_max and each subsequent user is slowed so its local
+// update completes exactly when the previous user's upload finishes.
 //
-// The returned slice aligns with devs (input order). steps scales compute
-// delay as in Params.StepsPerRound. If clamp is true the frequencies are
-// projected onto [f_min, f_max] (constraint (15)) and the chaining uses the
-// realized post-clamp completion times; if false the function returns the
-// literal pseudocode values, which may violate the device's range.
+// This is the retained naive reference the SoA frequencyPlanInto is proven
+// bit-identical against (and the path baselines without a Scheduler still
+// use). The returned slice aligns with devs (input order). steps scales
+// compute delay as in Params.StepsPerRound. If clamp is true the
+// frequencies are projected onto [f_min, f_max] (constraint (15)) and the
+// chaining uses the realized post-clamp completion times; if false the
+// function returns the literal pseudocode values, which may violate the
+// device's range.
 func FrequencyPlan(devs []*device.Device, ch wireless.Channel, modelBits float64, steps int, clamp bool) []float64 {
 	if len(devs) == 0 {
 		return nil

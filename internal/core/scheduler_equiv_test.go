@@ -1,0 +1,293 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"helcfl/internal/device"
+	"helcfl/internal/wireless"
+)
+
+// tieFleet builds a fleet where blocks of devices share bitwise-identical
+// parameters, forcing exact utility ties the selection tie-break must
+// resolve by index.
+func tieFleet(q, blockSize int) *device.Fleet {
+	f := &device.Fleet{
+		FMin:            make([]float64, q),
+		FMax:            make([]float64, q),
+		CyclesPerSample: make([]float64, q),
+		Kappa:           make([]float64, q),
+		TxPower:         make([]float64, q),
+		ChannelGain:     make([]float64, q),
+		NumSamples:      make([]int, q),
+	}
+	for i := 0; i < q; i++ {
+		block := i / blockSize
+		f.FMin[i] = 0.3e9
+		f.FMax[i] = 1e9 + 0.1e9*float64(block%7)
+		f.CyclesPerSample[i] = 5e6
+		f.Kappa[i] = 2e-28
+		f.TxPower[i] = 0.2
+		f.ChannelGain[i] = 0.8 + 0.05*float64(block%5)
+		f.NumSamples[i] = 20 + 3*(block%4)
+	}
+	return f
+}
+
+func randomFleet(q int, seed int64) *device.Fleet {
+	cfg := device.DefaultCatalogConfig()
+	cfg.Q = q
+	cfg.SamplesLow, cfg.SamplesHigh = 20, 60
+	return device.NewFleet(cfg, seed)
+}
+
+// TestSelectRoundMatchesNaive is the ISSUE 10 equivalence property test:
+// across seeded random fleets, tie-heavy fleets, random fractions, and many
+// consecutive rounds, the streaming top-N heap selection must return the
+// exact index sequence of the retained naive repeated argmax — order and
+// tie-breaks included — and leave identical decay state behind.
+func TestSelectRoundMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	ch := wireless.DefaultChannel()
+	fleets := []*device.Fleet{
+		tieFleet(60, 6),   // dense exact ties
+		tieFleet(200, 50), // few huge tie groups
+	}
+	for trial := 0; trial < 8; trial++ {
+		fleets = append(fleets, randomFleet(30+rng.Intn(400), int64(trial)))
+	}
+	for fi, fl := range fleets {
+		p := DefaultParams()
+		p.Fraction = []float64{0.001, 0.05, 0.1, 0.33, 0.5, 1.0}[rng.Intn(6)]
+		heapSched, err := NewFleetScheduler(fl, ch, testModelBits, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naiveSched, err := NewFleetScheduler(fl, ch, testModelBits, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var reuse []int
+		for round := 0; round < 25; round++ {
+			var got []int
+			if round%2 == 0 {
+				got = heapSched.SelectRound()
+			} else {
+				reuse = heapSched.SelectRoundAppend(reuse)
+				got = reuse
+			}
+			want := naiveSched.SelectRoundNaive()
+			if len(got) != len(want) {
+				t.Fatalf("fleet %d round %d: heap selected %d users, naive %d", fi, round, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("fleet %d round %d: selection[%d] = %d (heap) vs %d (naive)\nheap:  %v\nnaive: %v",
+						fi, round, i, got[i], want[i], got, want)
+				}
+			}
+			for q := 0; q < fl.Len(); q++ {
+				if heapSched.alpha[q] != naiveSched.alpha[q] {
+					t.Fatalf("fleet %d round %d: alpha[%d] diverged (%d vs %d)", fi, round, q, heapSched.alpha[q], naiveSched.alpha[q])
+				}
+				if heapSched.lastUtil[q] != naiveSched.lastUtil[q] {
+					t.Fatalf("fleet %d round %d: lastUtil[%d] diverged (%v vs %v)", fi, round, q, heapSched.lastUtil[q], naiveSched.lastUtil[q])
+				}
+			}
+		}
+	}
+}
+
+// TestEtaPowMemo pins the incremental η^{α} memo bit-identical to the pow
+// reference loop out to α = 10⁴ — both perform the same multiplication
+// sequence, so not even 1-ulp drift is tolerated.
+func TestEtaPowMemo(t *testing.T) {
+	for _, eta := range []float64{0.9, 0.5, 0.99, 0.123456789} {
+		fl := randomFleet(3, 1)
+		p := DefaultParams()
+		p.Eta = eta
+		s, err := NewFleetScheduler(fl, wireless.DefaultChannel(), testModelBits, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := 0; a <= 10000; a++ {
+			if s.etaPow[0] != pow(eta, a) {
+				t.Fatalf("eta=%v alpha=%d: memo %v != pow %v", eta, a, s.etaPow[0], pow(eta, a))
+			}
+			s.markSelected(0)
+		}
+	}
+}
+
+// TestFrequencyPlanSelectedMatchesAoS differentially tests the SoA
+// Algorithm 3 against the retained AoS FrequencyPlan, clamped and literal,
+// continuous and discrete-DVFS, across random cohorts.
+func TestFrequencyPlanSelectedMatchesAoS(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ch := wireless.DefaultChannel()
+	for trial := 0; trial < 30; trial++ {
+		fl := randomFleet(50+rng.Intn(200), int64(trial+100))
+		devs := fl.Devices()
+		if trial%3 == 0 {
+			for _, d := range devs {
+				d.UniformLevels(4 + rng.Intn(5))
+			}
+			fl = device.FleetOf(devs)
+		}
+		p := DefaultParams()
+		p.Clamp = trial%2 == 0
+		p.StepsPerRound = 1 + trial%3
+		s, err := NewFleetScheduler(fl, ch, testModelBits, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 1 + rng.Intn(fl.Len())
+		selected := rng.Perm(fl.Len())[:n]
+		cohort := make([]*device.Device, n)
+		for i, q := range selected {
+			cohort[i] = devs[q]
+		}
+		want := FrequencyPlan(cohort, ch, testModelBits, p.StepsPerRound, p.Clamp)
+		got := s.FrequencyPlanSelected(selected, ch, testModelBits)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: freq[%d] = %v (SoA) vs %v (AoS), clamp=%v", trial, i, got[i], want[i], p.Clamp)
+			}
+		}
+	}
+}
+
+// TestPlanRoundIntoMatchesPlanRound checks the buffer-reusing form returns
+// the same plan as the allocating form round after round.
+func TestPlanRoundIntoMatchesPlanRound(t *testing.T) {
+	ch := wireless.DefaultChannel()
+	fl := randomFleet(300, 7)
+	a, err := NewFleetScheduler(fl, ch, testModelBits, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewFleetScheduler(fl, ch, testModelBits, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sel []int
+	var freqs []float64
+	for round := 0; round < 10; round++ {
+		wantSel, wantFreqs := a.PlanRound(ch, testModelBits)
+		sel, freqs = b.PlanRoundInto(sel, freqs, ch, testModelBits)
+		if len(sel) != len(wantSel) {
+			t.Fatalf("round %d: cohort size %d vs %d", round, len(sel), len(wantSel))
+		}
+		for i := range sel {
+			if sel[i] != wantSel[i] || freqs[i] != wantFreqs[i] {
+				t.Fatalf("round %d user %d: (%d, %v) vs (%d, %v)", round, i, sel[i], freqs[i], wantSel[i], wantFreqs[i])
+			}
+		}
+	}
+}
+
+// TestPlanRoundIntoZeroAlloc gates the steady-state scale path at zero
+// allocations per round.
+func TestPlanRoundIntoZeroAlloc(t *testing.T) {
+	ch := wireless.DefaultChannel()
+	fl := randomFleet(10000, 11)
+	s, err := NewFleetScheduler(fl, ch, testModelBits, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sel []int
+	var freqs []float64
+	sel, freqs = s.PlanRoundInto(sel, freqs, ch, testModelBits) // warm buffers
+	allocs := testing.AllocsPerRun(20, func() {
+		sel, freqs = s.PlanRoundInto(sel, freqs, ch, testModelBits)
+	})
+	if allocs != 0 {
+		t.Fatalf("PlanRoundInto allocates %v objects per round, want 0", allocs)
+	}
+}
+
+// TestImportStateRebuildsMemo checks a restored scheduler selects
+// bit-identically to one that never restarted (the etaPow memo must be
+// rebuilt from the imported counters).
+func TestImportStateRebuildsMemo(t *testing.T) {
+	ch := wireless.DefaultChannel()
+	fl := randomFleet(120, 13)
+	orig, err := NewFleetScheduler(fl, ch, testModelBits, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 7; round++ {
+		orig.SelectRound()
+	}
+	st := orig.ExportState()
+	restored, err := NewFleetScheduler(fl, ch, testModelBits, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.ImportState(st); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 7; round++ {
+		a := orig.SelectRound()
+		b := restored.SelectRound()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("round %d: restored scheduler diverged (%v vs %v)", round, a, b)
+			}
+		}
+	}
+}
+
+func BenchmarkSelectRound(b *testing.B) {
+	ch := wireless.DefaultChannel()
+	for _, q := range []int{1000, 100000} {
+		fl := randomFleet(q, 1)
+		s, err := NewFleetScheduler(fl, ch, testModelBits, DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sel []int
+		sel = s.SelectRoundAppend(sel)
+		b.Run(benchName(q), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sel = s.SelectRoundAppend(sel)
+			}
+		})
+	}
+}
+
+func BenchmarkFrequencyPlan(b *testing.B) {
+	ch := wireless.DefaultChannel()
+	for _, q := range []int{1000, 100000} {
+		fl := randomFleet(q, 1)
+		s, err := NewFleetScheduler(fl, ch, testModelBits, DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sel []int
+		var freqs []float64
+		sel, freqs = s.PlanRoundInto(sel, freqs, ch, testModelBits)
+		b.Run(benchName(q), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if cap(freqs) < len(sel) {
+					freqs = make([]float64, len(sel))
+				}
+				freqs = freqs[:len(sel)]
+				s.frequencyPlanInto(freqs, sel, ch, testModelBits)
+			}
+		})
+	}
+}
+
+func benchName(q int) string {
+	switch {
+	case q >= 1000000:
+		return "Q1e6"
+	case q >= 100000:
+		return "Q1e5"
+	default:
+		return "Q1e3"
+	}
+}

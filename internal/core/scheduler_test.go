@@ -68,7 +68,8 @@ func TestUtilityEq20(t *testing.T) {
 		}
 	}
 	// After two selections, utility decays by η².
-	s.alpha[0] = 2
+	s.markSelected(0)
+	s.markSelected(0)
 	want := 0.9 * 0.9 / (s.TCalMaxOf(0) + s.TComOf(0))
 	if got := s.Utility(0); math.Abs(got-want) > 1e-15 {
 		t.Fatalf("decayed utility = %g, want %g", got, want)

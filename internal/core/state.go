@@ -26,19 +26,26 @@ func (s *Scheduler) ExportState() SchedulerState {
 // exported snapshot. The fleet shape must match; a scheduler restored this
 // way makes bit-identical selections to one that never restarted.
 func (s *Scheduler) ImportState(st SchedulerState) error {
-	if len(st.Alpha) != len(s.devs) {
-		return fmt.Errorf("core: state has %d appearance counters for fleet of %d", len(st.Alpha), len(s.devs))
+	if len(st.Alpha) != s.NumUsers() {
+		return fmt.Errorf("core: state has %d appearance counters for fleet of %d", len(st.Alpha), s.NumUsers())
 	}
 	for q, a := range st.Alpha {
 		if a < 0 {
 			return fmt.Errorf("core: negative appearance counter %d for user %d", a, q)
 		}
 	}
-	if st.LastUtil != nil && len(st.LastUtil) != len(s.devs) {
-		return fmt.Errorf("core: state has %d utilities for fleet of %d", len(st.LastUtil), len(s.devs))
+	if st.LastUtil != nil && len(st.LastUtil) != s.NumUsers() {
+		return fmt.Errorf("core: state has %d utilities for fleet of %d", len(st.LastUtil), s.NumUsers())
 	}
 	s.alpha = append([]int(nil), st.Alpha...)
 	s.lastUtil = append([]float64(nil), st.LastUtil...)
+	// Rebuild the η^{α_q} memo from the restored counters with the pow
+	// reference — the same multiplication sequence the incremental updates
+	// perform, so a restored scheduler stays bit-identical to one that
+	// never restarted.
+	for q, a := range s.alpha {
+		s.etaPow[q] = pow(s.params.Eta, a)
+	}
 	return nil
 }
 
@@ -62,8 +69,8 @@ func (l *LossAwareScheduler) ExportState() LossAwareState {
 
 // ImportState restores a previously exported loss-aware snapshot.
 func (l *LossAwareScheduler) ImportState(st LossAwareState) error {
-	if len(st.LastLoss) != len(l.devs) || len(st.Seen) != len(l.devs) {
-		return fmt.Errorf("core: loss state sized %d/%d for fleet of %d", len(st.LastLoss), len(st.Seen), len(l.devs))
+	if len(st.LastLoss) != l.NumUsers() || len(st.Seen) != l.NumUsers() {
+		return fmt.Errorf("core: loss state sized %d/%d for fleet of %d", len(st.LastLoss), len(st.Seen), l.NumUsers())
 	}
 	if err := l.Scheduler.ImportState(st.Base); err != nil {
 		return err

@@ -7,6 +7,7 @@ package device
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 )
 
 // Constants shared by the paper's experimental setting (Section VII-A).
@@ -85,16 +86,38 @@ func (d *Device) ClampFreq(f float64) float64 {
 // never missed); requests above the top level return the top level. With
 // no levels configured it is ClampFreq.
 func (d *Device) SnapFreq(f float64) float64 {
-	f = d.ClampFreq(f)
-	if len(d.Levels) == 0 {
+	return snapToLevels(d.Levels, d.ClampFreq(f))
+}
+
+// snapToLevels returns the smallest level ≥ f−1e-9 (the 1 nHz tolerance
+// absorbs ULP noise from Algorithm 3's chaining arithmetic), or the top
+// level when f is above all of them. Levels are ascending, so binary search
+// finds the same level the linear scan it replaced did; the differential
+// test in device_test.go pins the equivalence, tolerance band included.
+// Empty levels mean a continuously tunable device: f passes through.
+func snapToLevels(levels []float64, f float64) float64 {
+	if len(levels) == 0 {
 		return f
 	}
-	for _, l := range d.Levels {
+	if i := sort.SearchFloat64s(levels, f-1e-9); i < len(levels) {
+		return levels[i]
+	}
+	return levels[len(levels)-1]
+}
+
+// snapToLevelsScan is the retained linear-scan reference of snapToLevels,
+// kept verbatim from the pre-binary-search SnapFreq so the differential
+// test has an independent oracle.
+func snapToLevelsScan(levels []float64, f float64) float64 {
+	if len(levels) == 0 {
+		return f
+	}
+	for _, l := range levels {
 		if l >= f-1e-9 {
 			return l
 		}
 	}
-	return d.Levels[len(d.Levels)-1]
+	return levels[len(levels)-1]
 }
 
 // UniformLevels equips the device with n evenly spaced DVFS operating
@@ -163,6 +186,11 @@ type CatalogConfig struct {
 	// Defaults give SNRs that put upload delays on the same second-scale as
 	// compute delays, matching the paper's regime where both matter.
 	GainLow, GainHigh float64
+	// SamplesLow and SamplesHigh, when SamplesHigh > 0, bound the uniformly
+	// sampled local dataset size |D_q| for fleets generated without a real
+	// data partition (the scale benchmarks). Zero (the default) leaves
+	// NumSamples unset, matching NewCatalog, whose draws they never touch.
+	SamplesLow, SamplesHigh int
 }
 
 // DefaultCatalogConfig returns the paper's experimental setting.

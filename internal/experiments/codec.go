@@ -14,6 +14,7 @@ import (
 // handshake), so both sides agree.
 func init() {
 	gob.Register(schemeRun{})
+	gob.Register(hierRun{})
 	gob.Register(modelRun{})
 	gob.Register(batteryRun{})
 	gob.Register(compressRun{})

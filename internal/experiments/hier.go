@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"helcfl/internal/core"
+	"helcfl/internal/fl"
+	"helcfl/internal/grid"
+	"helcfl/internal/metrics"
+	"helcfl/internal/obs/span"
+	"helcfl/internal/report"
+	"helcfl/internal/selection"
+)
+
+// The hierarchical edge-aggregation study: HELCFL with the fleet sharded
+// across E edge aggregators (selection.HierHELCFL). Each edge runs its own
+// Algorithm 2+3 plan against its own parallel TDMA uplink, and the FLCC
+// performs a second-level weighted FedAvg over the edge models. E = 1 is
+// the flat paper scheme (bit-identical; the selection/fl tests pin it), so
+// the sweep isolates what the tier buys: parallel uplinks shrink round
+// makespan while the two-level average perturbs accuracy only marginally.
+
+// hierEdgeCounts is the canonical CLI sweep.
+var hierEdgeCounts = []int{1, 2, 4, 8}
+
+// hierRun is one cell's result: the edge count plus the usual training run.
+type hierRun struct {
+	Edges int
+	Curve metrics.Curve
+	Res   *fl.Result
+}
+
+// HierCells returns one hierarchical training cell per edge count.
+func HierCells(p Preset, s Setting, seed int64, edgeCounts []int) ([]grid.Cell, error) {
+	cells := make([]grid.Cell, 0, len(edgeCounts))
+	for _, e := range edgeCounts {
+		if e <= 0 {
+			return nil, fmt.Errorf("experiments: non-positive edge count %d", e)
+		}
+		if e > p.Users {
+			return nil, fmt.Errorf("experiments: %d edge aggregators for %d users", e, p.Users)
+		}
+		edges := e
+		cells = append(cells, grid.Cell{
+			Experiment: "hier",
+			Preset:     p.Name,
+			Setting:    string(s),
+			Scheme:     "HELCFL-hier",
+			Variant:    fmt.Sprintf("edges=%d", edges),
+			Seed:       seed,
+			Run: func(ctx context.Context, _ *rand.Rand) (any, error) {
+				_, envSp := span.StartCtx(ctx, "cell.envbuild")
+				env, err := CachedEnv(p, s, seed)
+				envSp.End()
+				if err != nil {
+					return nil, err
+				}
+				runCtx, runSp := span.StartCtx(ctx, "cell.run")
+				defer runSp.End()
+				planner, err := selection.NewHierHELCFL(env.Devices, edges, env.Channel, env.ModelBits, core.Params{
+					Eta: p.Eta, Fraction: p.Fraction, StepsPerRound: p.LocalSteps, Clamp: true,
+				})
+				if err != nil {
+					return nil, err
+				}
+				cfg := fl.Config{
+					Spec:       env.Spec,
+					Devices:    env.Devices,
+					Channel:    env.Channel,
+					UserData:   env.UserData,
+					Test:       env.Synth.Test,
+					Planner:    planner,
+					LR:         env.Preset.LR,
+					LocalSteps: env.Preset.LocalSteps,
+					MaxRounds:  env.Preset.MaxRounds,
+					EvalEvery:  env.Preset.EvalEvery,
+					Seed:       env.Seed + 100, // model init shared with the flat schemes
+					Sink:       env.Preset.Sink,
+				}
+				if rec, parent := span.FromContext(runCtx); rec != nil {
+					cfg.Trace = rec
+					cfg.TraceParent = parent
+				}
+				res, err := fl.Run(cfg)
+				if err != nil {
+					return nil, err
+				}
+				return hierRun{
+					Edges: edges,
+					Curve: metrics.CurveFromRecords(planner.Name(), res.Records),
+					Res:   res,
+				}, nil
+			},
+		})
+	}
+	return cells, nil
+}
+
+// HierStudy is the assembled edge-count sweep for one data setting.
+type HierStudy struct {
+	Setting Setting
+	Edges   []int
+	// BestAcc and FinalAcc fingerprint the accuracy cost of two-level
+	// averaging; TotalTime shows the parallel-uplink makespan win.
+	BestAcc, FinalAcc []float64
+	TotalTime         []float64
+	TotalEnergy       []float64
+	MeanMakespan      []float64
+	MeanSlack         []float64
+}
+
+// AssembleHierStudy folds HierCells results into the sweep.
+func AssembleHierStudy(s Setting, edgeCounts []int, res []any) (*HierStudy, error) {
+	if len(res) != len(edgeCounts) {
+		return nil, fmt.Errorf("experiments: hier sweep got %d results, want %d", len(res), len(edgeCounts))
+	}
+	out := &HierStudy{Setting: s}
+	for i, e := range edgeCounts {
+		r, err := cellResult[hierRun](res, i)
+		if err != nil {
+			return nil, err
+		}
+		if r.Edges != e {
+			return nil, fmt.Errorf("experiments: hier result %d has %d edges, want %d", i, r.Edges, e)
+		}
+		rounds := float64(len(r.Res.Records))
+		slack := 0.0
+		for _, rec := range r.Res.Records {
+			slack += rec.Slack
+		}
+		out.Edges = append(out.Edges, e)
+		out.BestAcc = append(out.BestAcc, r.Res.BestAccuracy)
+		out.FinalAcc = append(out.FinalAcc, r.Res.FinalAccuracy)
+		out.TotalTime = append(out.TotalTime, r.Res.TotalTime)
+		out.TotalEnergy = append(out.TotalEnergy, r.Res.TotalEnergy)
+		out.MeanMakespan = append(out.MeanMakespan, r.Res.TotalTime/rounds)
+		out.MeanSlack = append(out.MeanSlack, slack/rounds)
+	}
+	return out, nil
+}
+
+// RunHierStudyGrid runs the sweep through a grid runner.
+func RunHierStudyGrid(ctx context.Context, r *grid.Runner, p Preset, s Setting, seed int64, edgeCounts []int) (*HierStudy, error) {
+	cells, err := HierCells(p, s, seed, edgeCounts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := runCells(ctx, r, cells)
+	if err != nil {
+		return nil, err
+	}
+	return AssembleHierStudy(s, edgeCounts, res)
+}
+
+// RunHierStudy runs the edge-count sweep serially-equivalent on the default
+// runner.
+func RunHierStudy(p Preset, s Setting, seed int64, edgeCounts []int) (*HierStudy, error) {
+	return RunHierStudyGrid(context.Background(), nil, p, s, seed, edgeCounts)
+}
+
+// Render produces the edge-count table.
+func (h *HierStudy) Render() *report.Table {
+	tb := report.NewTable(
+		fmt.Sprintf("Hierarchical edge aggregation (%s): E parallel uplinks + two-level FedAvg", h.Setting),
+		"edges", "best acc", "final acc", "total time (s)", "total energy (J)", "mean round (s)", "mean slack (s)")
+	for i, e := range h.Edges {
+		tb.AddRow(
+			fmt.Sprintf("%d", e),
+			fmt.Sprintf("%.4f", h.BestAcc[i]),
+			fmt.Sprintf("%.4f", h.FinalAcc[i]),
+			fmt.Sprintf("%.1f", h.TotalTime[i]),
+			fmt.Sprintf("%.1f", h.TotalEnergy[i]),
+			fmt.Sprintf("%.2f", h.MeanMakespan[i]),
+			fmt.Sprintf("%.2f", h.MeanSlack[i]),
+		)
+	}
+	return tb
+}
+
+// hierPlan is the "hier" experiment: the edge-count sweep in both data
+// settings.
+func hierPlan(p Preset, seed int64) (*Plan, error) {
+	counts := make([]int, 0, len(hierEdgeCounts))
+	for _, e := range hierEdgeCounts {
+		if e <= p.Users {
+			counts = append(counts, e)
+		}
+	}
+	subs := make([]*Plan, 0, len(settingsBoth))
+	for _, st := range settingsBoth {
+		s := st
+		cells, err := HierCells(p, s, seed, counts)
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, sectionPlan("", cells,
+			func(res []any) (fmt.Stringer, error) {
+				hs, err := AssembleHierStudy(s, counts, res)
+				if err != nil {
+					return nil, err
+				}
+				return hs.Render(), nil
+			}))
+	}
+	return composePlans(subs...), nil
+}

@@ -71,6 +71,9 @@ var definitions = []Definition{
 	{"battery", "finite-battery fleet campaign", func(p Preset, seed int64, _ Options) (*Plan, error) {
 		return batteryPlan(p, seed)
 	}},
+	{"hier", "hierarchical edge-aggregation tier (E edge aggregators)", func(p Preset, seed int64, _ Options) (*Plan, error) {
+		return hierPlan(p, seed)
+	}},
 	{"all", "full campaign with headline summary", func(p Preset, seed int64, _ Options) (*Plan, error) {
 		return allPlan(p, seed)
 	}},

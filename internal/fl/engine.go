@@ -249,6 +249,15 @@ type Engine struct {
 	deltaBuf   []float64
 	avgBuf     []float64
 
+	// Hierarchical aggregation tier, active when the planner implements
+	// EdgeTopology: edgeBuf maps each selected user to its edge aggregator,
+	// upEdgesBuf the surviving uploads likewise, hierScratch the per-edge
+	// FedAvg accumulators.
+	topo        EdgeTopology
+	edgeBuf     []int
+	upEdgesBuf  []int
+	hierScratch HierScratch
+
 	// Persistent local-update worker pool, spawned lazily on the first
 	// round that trains more than one client concurrently and drained when
 	// Result finalizes the run. With one effective worker the engine trains
@@ -310,6 +319,10 @@ func newEngineState(cfg Config) (*Engine, error) {
 	if evalEvery <= 0 {
 		evalEvery = 1
 	}
+	var topo EdgeTopology
+	if t, ok := cfg.Planner.(EdgeTopology); ok && t.NumEdges() > 0 {
+		topo = t
+	}
 	return &Engine{
 		cfg:       cfg,
 		rng:       rng,
@@ -327,6 +340,7 @@ func newEngineState(cfg Config) (*Engine, error) {
 		},
 		bestLoss: math.Inf(1),
 		spentJ:   make([]float64, len(cfg.Devices)),
+		topo:     topo,
 	}, nil
 }
 
@@ -449,7 +463,18 @@ func (e *Engine) Step() (bool, error) {
 	}
 	// round.Users aliases the engine's sim scratch: valid until the next
 	// Step, which covers every use below (telemetry and battery roll-up).
-	round := e.simScratch.SimulateRoundGains(e.selDevs, freqs, cfg.Channel, e.modelBits, cfg.LocalSteps, gains)
+	var round sim.RoundResult
+	if e.topo != nil {
+		// Hierarchical tier: each user uploads to its edge aggregator and
+		// the per-edge TDMA chains run in parallel.
+		e.edgeBuf = growInts(e.edgeBuf, len(selected))
+		for i, q := range selected {
+			e.edgeBuf[i] = e.topo.EdgeOf(q)
+		}
+		round = e.simScratch.SimulateRoundEdges(e.selDevs, freqs, cfg.Channel, e.modelBits, cfg.LocalSteps, gains, e.edgeBuf, e.topo.NumEdges())
+	} else {
+		round = e.simScratch.SimulateRoundGains(e.selDevs, freqs, cfg.Channel, e.modelBits, cfg.LocalSteps, gains)
+	}
 
 	trainSp := cfg.Trace.Start(roundSp.Ref(), "fl.round.train")
 
@@ -522,6 +547,7 @@ func (e *Engine) Step() (bool, error) {
 	uploadSp := cfg.Trace.Start(roundSp.Ref(), "fl.round.upload")
 	uploads := e.uploadsBuf[:0]
 	weights := e.weightsBuf[:0]
+	upEdges := e.upEdgesBuf[:0]
 	lossSum := 0.0
 	failed := 0
 	for si, q := range selected {
@@ -561,8 +587,11 @@ func (e *Engine) Step() (bool, error) {
 		}
 		uploads = append(uploads, flat)
 		weights = append(weights, cfg.UserData[q].N())
+		if e.topo != nil {
+			upEdges = append(upEdges, e.edgeBuf[si])
+		}
 	}
-	e.uploadsBuf, e.weightsBuf = uploads, weights
+	e.uploadsBuf, e.weightsBuf, e.upEdgesBuf = uploads, weights, upEdges
 	if cfg.Trace != nil {
 		// Modeled counterpart of the measured upload phase: Eq. (7)–(8)
 		// total TDMA airtime and upload energy.
@@ -578,7 +607,11 @@ func (e *Engine) Step() (bool, error) {
 	aggSp := cfg.Trace.Start(roundSp.Ref(), "fl.round.aggregate")
 	if len(uploads) > 0 {
 		e.avgBuf = growFloats(e.avgBuf, len(uploads[0]))
-		FedAvgInto(e.avgBuf, uploads, weights)
+		if e.topo != nil {
+			FedAvgHierInto(e.avgBuf, &e.hierScratch, uploads, weights, upEdges, e.topo.NumEdges())
+		} else {
+			FedAvgInto(e.avgBuf, uploads, weights)
+		}
 		e.global.SetFlatParams(e.avgBuf)
 		if cfg.Sink != nil {
 			cfg.Sink.OnAggregate(obs.AggregateEvent{
@@ -806,6 +839,14 @@ func (e *Engine) drainPool() {
 func growFloats(buf []float64, n int) []float64 {
 	if cap(buf) < n {
 		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// growInts is growFloats for index buffers.
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
 	}
 	return buf[:n]
 }

@@ -53,6 +53,20 @@ type TracedPlanner interface {
 	SetTrace(rec *span.Recorder, parent span.Ref)
 }
 
+// EdgeTopology is an optional Planner extension declaring a hierarchical
+// aggregation tier: users upload to one of NumEdges edge aggregators (their
+// TDMA uplinks run in parallel) and the FLCC performs a second-level
+// weighted average over the edge models. A planner implementing it switches
+// the engine's round simulation to sim.Scratch.SimulateRoundEdges and its
+// aggregation to FedAvgHierInto; with NumEdges() == 1 both are bit-identical
+// to the flat path.
+type EdgeTopology interface {
+	// NumEdges returns E ≥ 1, the number of edge aggregators.
+	NumEdges() int
+	// EdgeOf maps a fleet index to its edge aggregator in [0, NumEdges()).
+	EdgeOf(q int) int
+}
+
 // StatefulPlanner is an optional Planner extension for checkpoint/resume:
 // planners whose decisions depend on cross-round mutable state (the HELCFL
 // α_q decay counters, loss-feedback memory) expose it as an opaque blob so

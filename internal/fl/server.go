@@ -57,6 +57,95 @@ func FedAvgInto(dst []float64, uploads [][]float64, weights []int) {
 	}
 }
 
+// HierScratch holds the per-edge accumulators of FedAvgHierInto so the
+// engine's round loop reuses them. The zero value is ready to use.
+type HierScratch struct {
+	sums [][]float64
+	wsum []float64
+}
+
+// FedAvgHierInto is two-level FedAvg for a hierarchical aggregation tier:
+// each edge aggregator e computes the Eq. (18) weighted mean over its own
+// uploads (edges[i] names upload i's aggregator), then the FLCC averages
+// the E edge models weighted by their total sample counts. The composition
+// is algebraically identical to flat FedAvg —
+//
+//	Σ_e (W_e/W)·(Σ_{i∈e} w_i·M_i / W_e) = Σ_i w_i·M_i / W
+//
+// — but not bitwise (the float sums associate differently), except for
+// E == 1 where share = W/W = 1 exactly and the result is bit-identical to
+// FedAvgInto (pinned by test). Edges with no uploads this round simply
+// contribute nothing.
+func FedAvgHierInto(dst []float64, scratch *HierScratch, uploads [][]float64, weights []int, edges []int, numEdges int) {
+	if len(uploads) == 0 {
+		panic("fl: FedAvg with no uploads")
+	}
+	if len(uploads) != len(weights) || len(uploads) != len(edges) {
+		panic(fmt.Sprintf("fl: %d uploads but %d weights and %d edge assignments", len(uploads), len(weights), len(edges)))
+	}
+	if numEdges <= 0 {
+		panic(fmt.Sprintf("fl: non-positive edge count %d", numEdges))
+	}
+	n := len(uploads[0])
+	if len(dst) != n {
+		panic(fmt.Sprintf("fl: FedAvg destination has %d params, want %d", len(dst), n))
+	}
+	if len(scratch.sums) < numEdges {
+		scratch.sums = make([][]float64, numEdges)
+		scratch.wsum = make([]float64, numEdges)
+	}
+	sums := scratch.sums[:numEdges]
+	wsum := scratch.wsum[:numEdges]
+	for e := 0; e < numEdges; e++ {
+		if len(sums[e]) != n {
+			sums[e] = make([]float64, n)
+		}
+		row := sums[e]
+		for j := range row {
+			row[j] = 0
+		}
+		wsum[e] = 0
+	}
+	// First level: per-edge weighted sums, accumulated in upload order.
+	for i, u := range uploads {
+		if len(u) != n {
+			panic(fmt.Sprintf("fl: upload %d has %d params, want %d", i, len(u), n))
+		}
+		if weights[i] <= 0 {
+			panic(fmt.Sprintf("fl: non-positive weight %d for upload %d", weights[i], i))
+		}
+		e := edges[i]
+		if e < 0 || e >= numEdges {
+			panic(fmt.Sprintf("fl: upload %d assigned to edge %d outside [0, %d)", i, e, numEdges))
+		}
+		w := float64(weights[i])
+		wsum[e] += w
+		row := sums[e]
+		for j, v := range u {
+			row[j] += w * v
+		}
+	}
+	totalW := 0.0
+	for e := 0; e < numEdges; e++ {
+		totalW += wsum[e]
+	}
+	// Second level: FLCC-side weighted mean of the edge models.
+	for j := range dst {
+		dst[j] = 0
+	}
+	for e := 0; e < numEdges; e++ {
+		if wsum[e] == 0 {
+			continue // edge had no participants this round
+		}
+		share := wsum[e] / totalW
+		invE := 1 / wsum[e]
+		row := sums[e]
+		for j := range dst {
+			dst[j] += share * (row[j] * invE)
+		}
+	}
+}
+
 // Evaluate computes loss and accuracy of a model over a dataset, batching
 // the forward passes to bound peak memory. flattenInput selects the (B, D)
 // view for dense models.

@@ -1,0 +1,106 @@
+package fl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestFedAvgHierSingleEdgeBitIdentical pins the E == 1 hierarchical path
+// bit-identical to flat FedAvg: share = W/W = 1.0 exactly in IEEE-754, so
+// the two-level composition collapses to the one-level mean bitwise.
+func TestFedAvgHierSingleEdgeBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(50)
+		m := 1 + rng.Intn(12)
+		uploads := make([][]float64, m)
+		weights := make([]int, m)
+		edges := make([]int, m)
+		for i := range uploads {
+			uploads[i] = make([]float64, n)
+			for j := range uploads[i] {
+				uploads[i][j] = rng.NormFloat64()
+			}
+			weights[i] = 1 + rng.Intn(100)
+		}
+		flat := make([]float64, n)
+		hier := make([]float64, n)
+		var scratch HierScratch
+		FedAvgInto(flat, uploads, weights)
+		FedAvgHierInto(hier, &scratch, uploads, weights, edges, 1)
+		for j := range flat {
+			if flat[j] != hier[j] {
+				t.Fatalf("trial %d: param %d diverges: flat %v, hier %v", trial, j, flat[j], hier[j])
+			}
+		}
+	}
+}
+
+// TestFedAvgHierWeightedCorrectness checks the two-level mean agrees with
+// flat FedAvg up to float reassociation across random multi-edge splits —
+// the algebraic identity Σ_e (W_e/W)·(Σ_{i∈e} w_i·M_i/W_e) = Σ_i w_i·M_i/W.
+func TestFedAvgHierWeightedCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(40)
+		m := 2 + rng.Intn(20)
+		numEdges := 2 + rng.Intn(4)
+		uploads := make([][]float64, m)
+		weights := make([]int, m)
+		edges := make([]int, m)
+		for i := range uploads {
+			uploads[i] = make([]float64, n)
+			for j := range uploads[i] {
+				uploads[i][j] = rng.NormFloat64()
+			}
+			weights[i] = 1 + rng.Intn(100)
+			edges[i] = rng.Intn(numEdges)
+		}
+		flat := make([]float64, n)
+		hier := make([]float64, n)
+		var scratch HierScratch
+		FedAvgInto(flat, uploads, weights)
+		FedAvgHierInto(hier, &scratch, uploads, weights, edges, numEdges)
+		for j := range flat {
+			if math.Abs(flat[j]-hier[j]) > 1e-12*(1+math.Abs(flat[j])) {
+				t.Fatalf("trial %d: param %d diverges beyond reassociation noise: flat %v, hier %v", trial, j, flat[j], hier[j])
+			}
+		}
+	}
+	// Empty edges contribute nothing: all uploads on edge 2 of 5.
+	uploads := [][]float64{{1, 2}, {3, 4}}
+	weights := []int{1, 3}
+	dst := make([]float64, 2)
+	want := make([]float64, 2)
+	var scratch HierScratch
+	FedAvgInto(want, uploads, weights)
+	FedAvgHierInto(dst, &scratch, uploads, weights, []int{2, 2}, 5)
+	for j := range dst {
+		if dst[j] != want[j] {
+			t.Fatalf("sparse edges: param %d = %v, want %v", j, dst[j], want[j])
+		}
+	}
+}
+
+func TestFedAvgHierPanics(t *testing.T) {
+	var scratch HierScratch
+	dst := make([]float64, 2)
+	ok := [][]float64{{1, 2}}
+	for name, f := range map[string]func(){
+		"no uploads":   func() { FedAvgHierInto(dst, &scratch, nil, nil, nil, 1) },
+		"ragged edges": func() { FedAvgHierInto(dst, &scratch, ok, []int{1}, []int{0, 1}, 2) },
+		"zero edges":   func() { FedAvgHierInto(dst, &scratch, ok, []int{1}, []int{0}, 0) },
+		"edge range":   func() { FedAvgHierInto(dst, &scratch, ok, []int{1}, []int{3}, 2) },
+		"bad weight":   func() { FedAvgHierInto(dst, &scratch, ok, []int{0}, []int{0}, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

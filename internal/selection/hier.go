@@ -1,0 +1,196 @@
+package selection
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"helcfl/internal/core"
+	"helcfl/internal/device"
+	"helcfl/internal/obs/span"
+	"helcfl/internal/wireless"
+)
+
+// HierHELCFL is HELCFL with a hierarchical edge-aggregation tier: the fleet
+// is partitioned into E contiguous shards, one per edge aggregator, and
+// each shard runs its own Algorithm 2 + 3 plan against its own edge uplink.
+// The E per-edge plans are independent, so they solve in parallel; the
+// per-edge TDMA chains also run in parallel in the round simulation (the
+// planner implements fl.EdgeTopology), and the FLCC performs a second-level
+// weighted average over the edge models (fl.FedAvgHierInto).
+//
+// With E = 1 the planner is bit-identical to the flat HELCFL planner: one
+// shard is the whole fleet and the single "edge" is the FLCC.
+type HierHELCFL struct {
+	ch     wireless.Channel
+	bits   float64
+	scheds []*core.Scheduler
+	// offsets[e] is the first fleet index of edge e's shard; offsets[E] = Q.
+	// Shard-local index l on edge e is fleet index offsets[e]+l.
+	offsets []int
+
+	tr       *span.Recorder
+	trParent span.Ref
+
+	// Per-edge plan parts, concatenated edge-major into each round's result.
+	selParts  [][]int
+	freqParts [][]float64
+}
+
+// NewHierHELCFL partitions devs into numEdges contiguous balanced shards
+// (sizes differ by at most one) and builds one core scheduler per shard.
+// Every shard must be non-empty: numEdges may not exceed the fleet size.
+func NewHierHELCFL(devs []*device.Device, numEdges int, ch wireless.Channel, modelBits float64, params core.Params) (*HierHELCFL, error) {
+	if numEdges <= 0 {
+		return nil, fmt.Errorf("selection: non-positive edge count %d", numEdges)
+	}
+	if numEdges > len(devs) {
+		return nil, fmt.Errorf("selection: %d edge aggregators for %d devices", numEdges, len(devs))
+	}
+	h := &HierHELCFL{
+		ch:        ch,
+		bits:      modelBits,
+		scheds:    make([]*core.Scheduler, numEdges),
+		offsets:   make([]int, numEdges+1),
+		selParts:  make([][]int, numEdges),
+		freqParts: make([][]float64, numEdges),
+	}
+	base, rem := len(devs)/numEdges, len(devs)%numEdges
+	off := 0
+	for e := 0; e < numEdges; e++ {
+		h.offsets[e] = off
+		size := base
+		if e < rem {
+			size++
+		}
+		off += size
+	}
+	h.offsets[numEdges] = off
+	for e := 0; e < numEdges; e++ {
+		shard := devs[h.offsets[e]:h.offsets[e+1]]
+		sched, err := core.NewScheduler(shard, ch, modelBits, params)
+		if err != nil {
+			return nil, fmt.Errorf("selection: edge %d: %w", e, err)
+		}
+		h.scheds[e] = sched
+	}
+	return h, nil
+}
+
+// Name implements fl.Planner.
+func (h *HierHELCFL) Name() string { return "HELCFL-hier" }
+
+// NumEdges implements fl.EdgeTopology.
+func (h *HierHELCFL) NumEdges() int { return len(h.scheds) }
+
+// EdgeOf implements fl.EdgeTopology: the shard owning fleet index q.
+func (h *HierHELCFL) EdgeOf(q int) int {
+	// First offset boundary strictly above q, over the E interior bounds.
+	return sort.SearchInts(h.offsets[1:], q+1)
+}
+
+// SetTrace implements fl.TracedPlanner; each edge's plan records a
+// sched.edge span (with the Algorithm 2/3 child spans beneath it) under the
+// engine's plan span.
+func (h *HierHELCFL) SetTrace(rec *span.Recorder, parent span.Ref) {
+	h.tr, h.trParent = rec, parent
+}
+
+// PlanRound implements fl.Planner: every edge plans its own shard, and the
+// parts concatenate edge-major with shard-local indices lifted to fleet
+// indices. Each edge's decision depends only on its own scheduler, so the
+// result is deterministic regardless of the goroutine interleaving.
+func (h *HierHELCFL) PlanRound(j int) ([]int, []float64) {
+	e0 := len(h.scheds)
+	if e0 == 1 {
+		h.planEdge(0)
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(e0)
+		for e := 0; e < e0; e++ {
+			go func(e int) {
+				defer wg.Done()
+				h.planEdge(e)
+			}(e)
+		}
+		wg.Wait()
+	}
+	total := 0
+	for e := range h.selParts {
+		total += len(h.selParts[e])
+	}
+	selected := make([]int, 0, total)
+	freqs := make([]float64, 0, total)
+	for e := range h.selParts {
+		off := h.offsets[e]
+		for i, l := range h.selParts[e] {
+			selected = append(selected, off+l)
+			freqs = append(freqs, h.freqParts[e][i])
+		}
+	}
+	return selected, freqs
+}
+
+// planEdge runs Algorithm 2 + 3 on edge e's shard scheduler, storing the
+// shard-local plan in selParts/freqParts[e].
+func (h *HierHELCFL) planEdge(e int) {
+	sched := h.scheds[e]
+	sp := h.tr.Start(h.trParent, "sched.edge")
+	sp.SetInt("edge", int64(e))
+	sp.SetInt("edge.users", int64(sched.NumUsers()))
+	sched.SetTrace(h.tr, sp.Ref())
+	sel, freqs := sched.PlanRound(h.ch, h.bits)
+	h.selParts[e], h.freqParts[e] = sel, freqs
+	sp.SetInt("edge.selected", int64(len(sel)))
+	sp.End()
+}
+
+// SelectionDetail implements fl.DecisionDetailer: the per-edge Eq. (20)
+// utility vectors and decay counters stitched back into fleet order. Nil
+// before the first round.
+func (h *HierHELCFL) SelectionDetail() ([]float64, []int) {
+	q := h.offsets[len(h.offsets)-1]
+	util := make([]float64, 0, q)
+	alpha := make([]int, 0, q)
+	for _, sched := range h.scheds {
+		u := sched.LastUtilities()
+		if u == nil {
+			return nil, nil
+		}
+		util = append(util, u...)
+		alpha = append(alpha, sched.Appearances()...)
+	}
+	return util, alpha
+}
+
+// hierState is the gob wire form of the planner's cross-round state: one
+// decay-state snapshot per edge shard, in edge order.
+type hierState struct {
+	Edges []core.SchedulerState
+}
+
+// ExportState implements fl.StatefulPlanner.
+func (h *HierHELCFL) ExportState() ([]byte, error) {
+	st := hierState{Edges: make([]core.SchedulerState, len(h.scheds))}
+	for e, sched := range h.scheds {
+		st.Edges[e] = sched.ExportState()
+	}
+	return gobEncode(st)
+}
+
+// ImportState implements fl.StatefulPlanner.
+func (h *HierHELCFL) ImportState(raw []byte) error {
+	var st hierState
+	if err := gobDecode(raw, &st); err != nil {
+		return err
+	}
+	if len(st.Edges) != len(h.scheds) {
+		return fmt.Errorf("selection: state has %d edge shards, planner has %d", len(st.Edges), len(h.scheds))
+	}
+	for e, sched := range h.scheds {
+		if err := sched.ImportState(st.Edges[e]); err != nil {
+			return fmt.Errorf("selection: edge %d: %w", e, err)
+		}
+	}
+	return nil
+}

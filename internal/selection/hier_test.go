@@ -1,0 +1,155 @@
+package selection
+
+import (
+	"math/rand"
+	"testing"
+
+	"helcfl/internal/core"
+	"helcfl/internal/device"
+	"helcfl/internal/wireless"
+)
+
+func hierFleet(n int, seed int64) []*device.Device {
+	cfg := device.DefaultCatalogConfig()
+	cfg.Q = n
+	devs := device.NewCatalog(cfg, rand.New(rand.NewSource(seed)))
+	for i, d := range devs {
+		d.NumSamples = 30 + 7*(i%6)
+	}
+	return devs
+}
+
+// TestHierHELCFLSingleEdgeMatchesFlat pins the E = 1 hierarchical planner
+// bit-identical to the flat HELCFL planner over many rounds: one shard is
+// the whole fleet and the single edge is the FLCC.
+func TestHierHELCFLSingleEdgeMatchesFlat(t *testing.T) {
+	devs := hierFleet(80, 6)
+	ch := wireless.DefaultChannel()
+	flat, err := NewHELCFL(devs, ch, 4e5, core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, err := NewHierHELCFL(devs, 1, ch, 4e5, core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 20; j++ {
+		fs, ff := flat.PlanRound(j)
+		hs, hf := hier.PlanRound(j)
+		if len(fs) != len(hs) {
+			t.Fatalf("round %d: cohort sizes %d vs %d", j, len(fs), len(hs))
+		}
+		for i := range fs {
+			if fs[i] != hs[i] || ff[i] != hf[i] {
+				t.Fatalf("round %d user %d: flat (%d, %v) vs hier (%d, %v)", j, i, fs[i], ff[i], hs[i], hf[i])
+			}
+		}
+	}
+}
+
+// TestHierHELCFLShards checks the contiguous balanced partition, EdgeOf,
+// and that each edge selects only from its own shard with fleet-global
+// indices.
+func TestHierHELCFLShards(t *testing.T) {
+	devs := hierFleet(23, 2) // 23 over 4 edges: shards 6,6,6,5
+	ch := wireless.DefaultChannel()
+	h, err := NewHierHELCFL(devs, 4, ch, 4e5, core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEdges() != 4 {
+		t.Fatalf("NumEdges = %d, want 4", h.NumEdges())
+	}
+	wantOffsets := []int{0, 6, 12, 18, 23}
+	for i, w := range wantOffsets {
+		if h.offsets[i] != w {
+			t.Fatalf("offsets = %v, want %v", h.offsets, wantOffsets)
+		}
+	}
+	for q := 0; q < len(devs); q++ {
+		e := h.EdgeOf(q)
+		if q < h.offsets[e] || q >= h.offsets[e+1] {
+			t.Fatalf("EdgeOf(%d) = %d, but shard %d is [%d, %d)", q, e, e, h.offsets[e], h.offsets[e+1])
+		}
+	}
+	for j := 0; j < 5; j++ {
+		sel, freqs := h.PlanRound(j)
+		if len(sel) != len(freqs) {
+			t.Fatalf("round %d: %d selected, %d freqs", j, len(sel), len(freqs))
+		}
+		prevEdge := 0
+		for _, q := range sel {
+			if q < 0 || q >= len(devs) {
+				t.Fatalf("round %d: selected fleet index %d out of range", j, q)
+			}
+			e := h.EdgeOf(q)
+			if e < prevEdge {
+				t.Fatalf("round %d: selection not edge-major (%v)", j, sel)
+			}
+			prevEdge = e
+		}
+		// Every edge contributes max(shard·C, 1) users.
+		perEdge := make([]int, 4)
+		for _, q := range sel {
+			perEdge[h.EdgeOf(q)]++
+		}
+		for e, n := range perEdge {
+			if n != 1 { // shards of 5–6 users at C = 0.1 → max(·, 1) = 1
+				t.Fatalf("round %d: edge %d selected %d users, want 1", j, e, n)
+			}
+		}
+	}
+
+	if _, err := NewHierHELCFL(devs, 0, ch, 4e5, core.DefaultParams()); err == nil {
+		t.Fatal("zero edges must be rejected")
+	}
+	if _, err := NewHierHELCFL(devs, len(devs)+1, ch, 4e5, core.DefaultParams()); err == nil {
+		t.Fatal("more edges than devices must be rejected")
+	}
+}
+
+// TestHierHELCFLStateRoundTrip checks export/import restores the exact
+// selection trajectory across all edge shards.
+func TestHierHELCFLStateRoundTrip(t *testing.T) {
+	devs := hierFleet(60, 8)
+	ch := wireless.DefaultChannel()
+	orig, err := NewHierHELCFL(devs, 3, ch, 4e5, core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 6; j++ {
+		orig.PlanRound(j)
+	}
+	blob, err := orig.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewHierHELCFL(devs, 3, ch, 4e5, core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.ImportState(blob); err != nil {
+		t.Fatal(err)
+	}
+	for j := 6; j < 12; j++ {
+		a, af := orig.PlanRound(j)
+		b, bf := restored.PlanRound(j)
+		for i := range a {
+			if a[i] != b[i] || af[i] != bf[i] {
+				t.Fatalf("round %d: restored planner diverged", j)
+			}
+		}
+	}
+	// Shape mismatch: a 2-edge snapshot must not import into 3 edges.
+	two, err := NewHierHELCFL(devs, 2, ch, 4e5, core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob2, err := two.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.ImportState(blob2); err == nil {
+		t.Fatal("edge-count mismatch must be rejected")
+	}
+}

@@ -288,14 +288,12 @@ func NewHELCFLLossAware(devs []*device.Device, ch wireless.Channel, modelBits fl
 // Name implements fl.Planner.
 func (h *HELCFLLossAware) Name() string { return "HELCFL-lossaware" }
 
-// PlanRound implements fl.Planner.
+// PlanRound implements fl.Planner. Frequencies come from the scheduler's
+// SoA Algorithm 3, bit-identical to the AoS core.FrequencyPlan it replaced
+// (fleet positions are device IDs in every catalog here).
 func (h *HELCFLLossAware) PlanRound(j int) ([]int, []float64) {
 	sel := h.sched.SelectRound()
-	devs := make([]*device.Device, len(sel))
-	for i, q := range sel {
-		devs[i] = h.devs[q]
-	}
-	return sel, core.FrequencyPlan(devs, h.ch, h.bits, h.params.StepsPerRound, h.params.Clamp)
+	return sel, h.sched.FrequencyPlanSelected(sel, h.ch, h.bits)
 }
 
 // ObserveRound implements fl.Observer.

@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"fmt"
+
+	"helcfl/internal/device"
+	"helcfl/internal/wireless"
+)
+
+// SimulateRoundEdges is SimulateRoundGains with a hierarchical aggregation
+// tier: each selected device uploads to its edge aggregator (edges[i], in
+// [0, numEdges)) instead of the FLCC, and the numEdges TDMA uplinks run in
+// parallel. The round makespan is the slowest edge's makespan; stop-and-wait
+// slack sums across edges. Edge→FLCC backhaul is modeled as free, the
+// standard wired-backhaul assumption in hierarchical FL (the access uplink
+// is the bottleneck the paper's Eq. (6)–(8) model).
+//
+// Users is ordered edge-major (edge 0's slots, then edge 1's, ...), each
+// edge in its own TDMA transmission order. With numEdges == 1 the result is
+// bit-identical to SimulateRoundGains — the single "edge" is the FLCC.
+func (s *Scratch) SimulateRoundEdges(devs []*device.Device, freqs []float64, ch wireless.Channel, modelBits float64, steps int, gains []float64, edges []int, numEdges int) RoundResult {
+	if len(edges) != len(devs) {
+		panic(fmt.Sprintf("sim: %d devices but %d edge assignments", len(devs), len(edges)))
+	}
+	if numEdges <= 0 {
+		panic(fmt.Sprintf("sim: non-positive edge count %d", numEdges))
+	}
+	if len(devs) != len(freqs) {
+		panic(fmt.Sprintf("sim: %d devices but %d frequencies", len(devs), len(freqs)))
+	}
+	if gains != nil && len(gains) != len(devs) {
+		panic(fmt.Sprintf("sim: %d devices but %d gains", len(devs), len(gains)))
+	}
+	if steps <= 0 {
+		panic(fmt.Sprintf("sim: non-positive local steps %d", steps))
+	}
+	if len(devs) == 0 {
+		return RoundResult{}
+	}
+	scale := float64(steps)
+	s.users = growUserRounds(s.users, len(devs))
+	if cap(s.reqs) < len(devs) {
+		s.reqs = make([]wireless.UploadRequest, len(devs))
+	}
+	if cap(s.edgeReqs) < len(devs) {
+		s.edgeReqs = make([]wireless.UploadRequest, 0, len(devs))
+	}
+	s.reqs = s.reqs[:len(devs)]
+	users, reqs := s.users, s.reqs
+	for i, d := range devs {
+		if edges[i] < 0 || edges[i] >= numEdges {
+			panic(fmt.Sprintf("sim: device %d assigned to edge %d outside [0, %d)", d.ID, edges[i], numEdges))
+		}
+		f := freqs[i]
+		// Relative tolerance: frequencies are ~1e9 Hz, so ULP-scale noise
+		// from upstream arithmetic must not trip the range check.
+		if f < d.FMin*(1-1e-12)-1e-9 || f > d.FMax*(1+1e-12)+1e-9 {
+			panic(fmt.Sprintf("sim: frequency %g outside device %d range [%g, %g]", f, d.ID, d.FMin, d.FMax))
+		}
+		gain := d.ChannelGain
+		if gains != nil {
+			gain = gains[i]
+		}
+		u := UserRound{
+			User:          d.ID,
+			Freq:          f,
+			ComputeDelay:  scale * d.ComputeDelay(f),
+			ComputeEnergy: scale * d.ComputeEnergy(f),
+			UploadDelay:   ch.UploadDelay(modelBits, d.TxPower, gain),
+			UploadEnergy:  ch.UploadEnergy(modelBits, d.TxPower, gain),
+		}
+		users[i] = u
+		reqs[i] = wireless.UploadRequest{User: i, ComputeDone: u.ComputeDelay, Duration: u.UploadDelay}
+	}
+
+	res := RoundResult{}
+	s.out = growUserRounds(s.out, len(devs))[:0]
+	for e := 0; e < numEdges; e++ {
+		s.edgeReqs = s.edgeReqs[:0]
+		for i := range reqs {
+			if edges[i] == e {
+				s.edgeReqs = append(s.edgeReqs, reqs[i])
+			}
+		}
+		slots, makespan := wireless.ScheduleTDMAInto(s.slots, s.edgeReqs)
+		s.slots = slots
+		if makespan > res.Makespan {
+			res.Makespan = makespan
+		}
+		res.TotalSlack += wireless.TotalWait(slots)
+		for _, slot := range slots {
+			u := users[slot.User]
+			u.UploadStart = slot.Start
+			u.UploadEnd = slot.End
+			u.Wait = slot.Wait
+			s.out = append(s.out, u)
+		}
+	}
+	res.Users = s.out
+	for i := range users {
+		if d := users[i].TotalDelay(); d > res.Eq10Delay {
+			res.Eq10Delay = d
+		}
+		res.ComputeEnergy += users[i].ComputeEnergy
+		res.UploadEnergy += users[i].UploadEnergy
+	}
+	res.TotalEnergy = res.ComputeEnergy + res.UploadEnergy
+	return res
+}

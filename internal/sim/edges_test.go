@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"helcfl/internal/device"
+	"helcfl/internal/wireless"
+)
+
+func edgeFleet(n int, seed int64) []*device.Device {
+	cfg := device.DefaultCatalogConfig()
+	cfg.Q = n
+	devs := device.NewCatalog(cfg, rand.New(rand.NewSource(seed)))
+	for i, d := range devs {
+		d.NumSamples = 25 + 5*(i%5)
+	}
+	return devs
+}
+
+// TestSimulateRoundEdgesSingleEdgeMatchesFlat pins the numEdges == 1 path
+// bit-identical to the flat simulator: one edge IS the FLCC.
+func TestSimulateRoundEdgesSingleEdgeMatchesFlat(t *testing.T) {
+	devs := edgeFleet(17, 4)
+	ch := wireless.DefaultChannel()
+	freqs := MaxFrequencies(devs)
+	edges := make([]int, len(devs))
+	var a, b Scratch
+	flat := a.SimulateRoundGains(devs, freqs, ch, 4e5, 1, nil)
+	hier := b.SimulateRoundEdges(devs, freqs, ch, 4e5, 1, nil, edges, 1)
+	if flat.Makespan != hier.Makespan || flat.Eq10Delay != hier.Eq10Delay ||
+		flat.TotalEnergy != hier.TotalEnergy || flat.TotalSlack != hier.TotalSlack {
+		t.Fatalf("single-edge aggregates diverge from flat:\nflat %+v\nhier %+v", flat, hier)
+	}
+	if len(flat.Users) != len(hier.Users) {
+		t.Fatalf("user counts %d vs %d", len(flat.Users), len(hier.Users))
+	}
+	for i := range flat.Users {
+		if flat.Users[i] != hier.Users[i] {
+			t.Fatalf("user %d diverges:\nflat %+v\nhier %+v", i, flat.Users[i], hier.Users[i])
+		}
+	}
+}
+
+// TestSimulateRoundEdgesParallelUplinks checks the hierarchical semantics:
+// per-edge TDMA chains run in parallel, so the round makespan is the max of
+// the per-edge makespans (never larger than the flat single-channel one),
+// energies are channel-independent, and every user appears exactly once in
+// edge-major order.
+func TestSimulateRoundEdgesParallelUplinks(t *testing.T) {
+	devs := edgeFleet(24, 9)
+	ch := wireless.DefaultChannel()
+	freqs := MaxFrequencies(devs)
+	const numEdges = 3
+	edges := make([]int, len(devs))
+	for i := range edges {
+		edges[i] = i % numEdges
+	}
+	var s Scratch
+	flat := SimulateRoundGains(devs, freqs, ch, 4e5, 1, nil)
+	hier := s.SimulateRoundEdges(devs, freqs, ch, 4e5, 1, nil, edges, numEdges)
+
+	if hier.Makespan > flat.Makespan {
+		t.Fatalf("parallel edge uplinks made the round slower: %v > %v", hier.Makespan, flat.Makespan)
+	}
+	if math.Abs(hier.TotalEnergy-flat.TotalEnergy) > 1e-9 {
+		t.Fatalf("energy depends on aggregation topology: %v vs %v", hier.TotalEnergy, flat.TotalEnergy)
+	}
+	if hier.Eq10Delay != flat.Eq10Delay {
+		t.Fatalf("Eq10Delay depends on topology: %v vs %v", hier.Eq10Delay, flat.Eq10Delay)
+	}
+	// Recompute each edge in isolation; the round makespan must be their max.
+	maxEdge := 0.0
+	for e := 0; e < numEdges; e++ {
+		var ed []*device.Device
+		var ef []float64
+		for i, d := range devs {
+			if edges[i] == e {
+				ed = append(ed, d)
+				ef = append(ef, freqs[i])
+			}
+		}
+		r := SimulateRoundGains(ed, ef, ch, 4e5, 1, nil)
+		if r.Makespan > maxEdge {
+			maxEdge = r.Makespan
+		}
+	}
+	if hier.Makespan != maxEdge {
+		t.Fatalf("makespan %v != max per-edge makespan %v", hier.Makespan, maxEdge)
+	}
+	// Coverage: every device exactly once, grouped edge-major.
+	seen := make(map[int]int)
+	for _, u := range hier.Users {
+		seen[u.User]++
+	}
+	for _, d := range devs {
+		if seen[d.ID] != 1 {
+			t.Fatalf("device %d appears %d times", d.ID, seen[d.ID])
+		}
+	}
+	prevEdge := -1
+	for _, u := range hier.Users {
+		e := u.User % numEdges // edges[i] = i%numEdges and ID = position
+		if e < prevEdge {
+			t.Fatalf("users not edge-major: edge %d after edge %d", e, prevEdge)
+		}
+		prevEdge = e
+	}
+}
+
+func TestSimulateRoundEdgesPanics(t *testing.T) {
+	devs := edgeFleet(3, 1)
+	ch := wireless.DefaultChannel()
+	freqs := MaxFrequencies(devs)
+	var s Scratch
+	for name, f := range map[string]func(){
+		"ragged edges":  func() { s.SimulateRoundEdges(devs, freqs, ch, 4e5, 1, nil, []int{0}, 1) },
+		"zero edges":    func() { s.SimulateRoundEdges(devs, freqs, ch, 4e5, 1, nil, []int{0, 0, 0}, 0) },
+		"edge range":    func() { s.SimulateRoundEdges(devs, freqs, ch, 4e5, 1, nil, []int{0, 2, 0}, 2) },
+		"negative edge": func() { s.SimulateRoundEdges(devs, freqs, ch, 4e5, 1, nil, []int{0, -1, 0}, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

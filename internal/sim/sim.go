@@ -81,6 +81,9 @@ type Scratch struct {
 	reqs  []wireless.UploadRequest
 	slots []wireless.UploadSlot
 	out   []UserRound
+	// edgeReqs gathers one edge aggregator's uplink requests at a time in
+	// SimulateRoundEdges.
+	edgeReqs []wireless.UploadRequest
 }
 
 func growUserRounds(buf []UserRound, n int) []UserRound {
